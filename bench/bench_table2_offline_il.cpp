@@ -1,0 +1,65 @@
+// Reproduces Table II: energy (normalized w.r.t. the Oracle) of an IL policy
+// trained ONLY on MiBench applications, evaluated on applications from
+// MiBench, Cortex and PARSEC.  Also prints Table I (the collected counters)
+// for completeness.
+//
+// Paper values: ~1.00-1.01 on MiBench, 1.09-1.76 on Cortex, 1.47-1.86 on
+// PARSEC — the offline policy fails to generalize across suites.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/online_il.h"
+#include "core/runner.h"
+#include "workloads/cpu_benchmarks.h"
+
+using namespace oal;
+using namespace oal::core;
+
+int main() {
+  std::puts("=== Table I: data collected in each snippet ===");
+  common::Table t1({"Counter", "Counter"});
+  t1.add_row({"Instructions Retired", "Noncache External Memory Requests"});
+  t1.add_row({"CPU Cycles Total", "Little Cluster Utilization"});
+  t1.add_row({"Branch Miss Prediction Per Core", "Big Cluster Utilization"});
+  t1.add_row({"Level 2 Cache Misses Total", "Chip Power Consumption"});
+  t1.add_row({"Data Memory Access", "Avg Runnable Threads (OS)"});
+  t1.print(std::cout);
+
+  soc::BigLittlePlatform plat;
+  common::Rng rng(7);
+
+  // Offline phase: Oracle construction + IL training on MiBench only.
+  const auto mibench = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
+  const auto off = collect_offline_data(plat, mibench, Objective::kEnergy,
+                                        /*snippets_per_app=*/40, /*configs_per_snippet=*/6, rng);
+  IlPolicy policy(plat.space());
+  policy.train_offline(off.policy, rng);
+  std::printf("\nOffline IL policy: %zu params, %zu bytes (paper budget: <20 KB)\n",
+              policy.num_params(), policy.storage_bytes());
+
+  std::puts("\n=== Table II: normalized energy of the offline-only IL policy ===");
+  common::Table t2({"Suite", "Benchmark", "Normalized energy (this repro)", "Paper"});
+  struct Row {
+    const char* name;
+    const char* paper;
+  };
+  const Row rows[] = {{"BML", "1.00"},       {"Dijkstra", "1.01"}, {"FFT", "1.00"},
+                      {"Qsort", "1.00"},     {"MotionEst", "1.13"}, {"Spectral", "1.09"},
+                      {"Kmeans", "1.76"},    {"Blkschls-2T", "1.86"}, {"Blkschls-4T", "1.47"}};
+  DrmRunner runner(plat);
+  const soc::SocConfig init{4, 4, 8, 10};
+  for (const auto& row : rows) {
+    const auto& app = workloads::CpuBenchmarks::by_name(row.name);
+    const auto trace = workloads::CpuBenchmarks::trace(app, 80, rng);
+    OfflineIlController ctl(plat.space(), policy);
+    const auto res = runner.run(trace, ctl, init);
+    t2.add_row({workloads::suite_name(app.suite), row.name,
+                common::Table::fmt(res.energy_ratio(), 2), row.paper});
+  }
+  t2.print(std::cout);
+  std::puts("\nShape check: MiBench ~1.0 (training suite); Cortex and PARSEC");
+  std::puts("substantially above 1.0 (distribution shift) — matching the paper's");
+  std::puts("argument that offline IL policies do not generalize to unseen suites.");
+  return 0;
+}

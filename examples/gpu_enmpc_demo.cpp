@@ -1,0 +1,65 @@
+// Multi-variable GPU power management demo: baseline governor vs implicit
+// NMPC vs explicit NMPC on one game, with per-phase configuration traces so
+// you can watch the slow (slices) and fast (frequency) loops work.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/nmpc.h"
+#include "workloads/gpu_benchmarks.h"
+
+using namespace oal;
+using namespace oal::core;
+
+int main() {
+  gpu::GpuPlatform plat;
+  const double fps = 30.0;
+  GpuRunner runner(plat, fps);
+  const gpu::GpuConfig init{9, plat.params().max_slices};
+
+  const auto& spec = workloads::GpuBenchmarks::by_name("EpicCitadel");
+  common::Rng rng(3);
+  const auto trace = workloads::GpuBenchmarks::trace(spec, 1500, rng);
+  std::printf("Workload: %s, %zu frames at %.0f FPS target\n\n", spec.name.c_str(), trace.size(),
+              fps);
+
+  common::Table t({"Controller", "GPU J", "PKG J", "Miss %", "Freq changes", "Slice changes",
+                   "Model evals"});
+  auto report = [&](GpuController& ctl) {
+    const auto r = runner.run(trace, ctl, init);
+    t.add_row({ctl.name(), common::Table::fmt(r.gpu_energy_j, 2),
+               common::Table::fmt(r.pkg_energy_j, 2), common::Table::fmt(100.0 * r.miss_rate(), 2),
+               std::to_string(r.freq_changes), std::to_string(r.slice_changes),
+               std::to_string(r.decision_evals)});
+    return r;
+  };
+
+  BaselineGpuGovernor baseline(plat);
+  report(baseline);
+
+  NmpcConfig cfg;
+  cfg.fps_target = fps;
+  GpuOnlineModels m1(plat);
+  common::Rng b1(7);
+  bootstrap_gpu_models(plat, m1, 1.0 / fps, 400, b1);
+  NmpcGpuController nmpc(plat, m1, cfg);
+  report(nmpc);
+
+  GpuOnlineModels m2(plat);
+  common::Rng b2(7);
+  bootstrap_gpu_models(plat, m2, 1.0 / fps, 400, b2);
+  ExplicitNmpcGpuController enmpc(plat, m2, cfg, 1500);
+  const auto re = report(enmpc);
+
+  t.print(std::cout);
+
+  // Show the multi-rate behaviour: slices change rarely, frequency often.
+  std::puts("\nExplicit-NMPC configuration trace (every 100th frame):");
+  for (std::size_t i = 0; i < re.configs.size(); i += 100) {
+    std::printf("  frame %4zu: %2d slices @ %4.0f MHz\n", i, re.configs[i].num_slices,
+                plat.freq_mhz(re.configs[i].freq_idx));
+  }
+  std::printf("\nExplicit-law construction used %zu offline NMPC evaluations (Sobol sampling).\n",
+              enmpc.offline_evals());
+  return 0;
+}

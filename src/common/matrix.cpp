@@ -1,0 +1,442 @@
+#include "common/matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <ostream>
+#include <stdexcept>
+
+namespace oal::common {
+
+Mat::Mat(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Mat::Mat(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) throw std::invalid_argument("ragged initializer for Mat");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Mat Mat::identity(std::size_t n) {
+  Mat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Mat Mat::diag(const Vec& d) {
+  Mat m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Mat Mat::transpose() const {
+  Mat t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Mat Mat::operator+(const Mat& o) const {
+  Mat r = *this;
+  r += o;
+  return r;
+}
+
+Mat Mat::operator-(const Mat& o) const {
+  Mat r = *this;
+  r -= o;
+  return r;
+}
+
+Mat& Mat::operator+=(const Mat& o) {
+  if (rows_ != o.rows_ || cols_ != o.cols_) throw std::invalid_argument("Mat size mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Mat& Mat::operator-=(const Mat& o) {
+  if (rows_ != o.rows_ || cols_ != o.cols_) throw std::invalid_argument("Mat size mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Mat& Mat::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Mat Mat::operator*(double s) const {
+  Mat r = *this;
+  r *= s;
+  return r;
+}
+
+Mat Mat::operator*(const Mat& o) const {
+  if (cols_ != o.rows_) throw std::invalid_argument("Mat size mismatch in *");
+  Mat r(rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < o.cols_; ++j) r(i, j) += aik * o(k, j);
+    }
+  }
+  return r;
+}
+
+Vec Mat::operator*(const Vec& v) const {
+  if (cols_ != v.size()) throw std::invalid_argument("Mat*Vec size mismatch");
+  Vec r(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) s += (*this)(i, j) * v[j];
+    r[i] = s;
+  }
+  return r;
+}
+
+Vec Mat::row(std::size_t r) const {
+  Vec v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+Vec Mat::col(std::size_t c) const {
+  Vec v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Mat::set_row(std::size_t r, const Vec& v) {
+  if (v.size() != cols_) throw std::invalid_argument("set_row size mismatch");
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+double Mat::norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Mat::trace() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < std::min(rows_, cols_); ++i) s += (*this)(i, i);
+  return s;
+}
+
+double Mat::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, const Mat& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < m.cols(); ++c) os << m(r, c) << (c + 1 == m.cols() ? "" : ", ");
+    os << (r + 1 == m.rows() ? "]" : ";\n");
+  }
+  return os;
+}
+
+double dot(const Vec& a, const Vec& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+Vec add(const Vec& a, const Vec& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("add size mismatch");
+  Vec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+Vec sub(const Vec& a, const Vec& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("sub size mismatch");
+  Vec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+Vec scale(const Vec& a, double s) {
+  Vec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] * s;
+  return r;
+}
+
+double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
+
+Mat outer(const Vec& a, const Vec& b) {
+  Mat m(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j) m(i, j) = a[i] * b[j];
+  return m;
+}
+
+namespace {
+
+// LU with partial pivoting, in place.  Returns pivot permutation and sign.
+struct LuResult {
+  Mat lu;
+  std::vector<std::size_t> piv;
+  double sign = 1.0;
+};
+
+LuResult lu_factor(Mat a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) throw std::invalid_argument("lu_factor: matrix not square");
+  LuResult res{std::move(a), {}, 1.0};
+  res.piv.resize(n);
+  for (std::size_t i = 0; i < n; ++i) res.piv[i] = i;
+  Mat& m = res.lu;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Pivot selection.
+    std::size_t p = k;
+    double best = std::abs(m(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(m(i, k)) > best) {
+        best = std::abs(m(i, k));
+        p = i;
+      }
+    }
+    if (best < 1e-300) throw std::runtime_error("lu_factor: singular matrix");
+    if (p != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(m(p, c), m(k, c));
+      std::swap(res.piv[p], res.piv[k]);
+      res.sign = -res.sign;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      m(i, k) /= m(k, k);
+      const double f = m(i, k);
+      for (std::size_t c = k + 1; c < n; ++c) m(i, c) -= f * m(k, c);
+    }
+  }
+  return res;
+}
+
+Vec lu_apply(const LuResult& f, const Vec& b) {
+  const std::size_t n = f.lu.rows();
+  Vec x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[f.piv[i]];
+  // Forward substitution (L has unit diagonal).
+  for (std::size_t i = 1; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) x[i] -= f.lu(i, j) * x[j];
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n; ++j) x[ii] -= f.lu(ii, j) * x[j];
+    x[ii] /= f.lu(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace
+
+Vec lu_solve(Mat a, Vec b) {
+  if (a.rows() != b.size()) throw std::invalid_argument("lu_solve size mismatch");
+  const LuResult f = lu_factor(std::move(a));
+  return lu_apply(f, b);
+}
+
+Mat lu_solve(Mat a, const Mat& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("lu_solve size mismatch");
+  const LuResult f = lu_factor(std::move(a));
+  Mat x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const Vec xc = lu_apply(f, b.col(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = xc[r];
+  }
+  return x;
+}
+
+Mat inverse(const Mat& a) { return lu_solve(a, Mat::identity(a.rows())); }
+
+double determinant(Mat a) {
+  LuResult f = lu_factor(std::move(a));
+  double d = f.sign;
+  for (std::size_t i = 0; i < f.lu.rows(); ++i) d *= f.lu(i, i);
+  return d;
+}
+
+Mat cholesky(const Mat& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) throw std::invalid_argument("cholesky: matrix not square");
+  Mat l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (s <= 0.0) throw std::runtime_error("cholesky: matrix not SPD");
+        l(i, j) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Vec cholesky_solve(const Mat& a, const Vec& b) {
+  const Mat l = cholesky(a);
+  const std::size_t n = l.rows();
+  Vec y(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) y[i] -= l(i, j) * y[j];
+    y[i] /= l(i, i);
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n; ++j) y[ii] -= l(j, ii) * y[j];
+    y[ii] /= l(ii, ii);
+  }
+  return y;
+}
+
+namespace {
+
+// Reduces to upper Hessenberg form by Householder reflections (in place).
+void hessenberg(Mat& a) {
+  const std::size_t n = a.rows();
+  if (n < 3) return;
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    double alpha = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) alpha += a(i, k) * a(i, k);
+    alpha = std::sqrt(alpha);
+    if (alpha < 1e-300) continue;
+    if (a(k + 1, k) > 0) alpha = -alpha;
+    Vec v(n, 0.0);
+    v[k + 1] = a(k + 1, k) - alpha;
+    for (std::size_t i = k + 2; i < n; ++i) v[i] = a(i, k);
+    double vnorm = norm2(v);
+    if (vnorm < 1e-300) continue;
+    for (double& x : v) x /= vnorm;
+    // A <- (I - 2 v v^T) A (I - 2 v v^T)
+    for (std::size_t c = 0; c < n; ++c) {
+      double s = 0.0;
+      for (std::size_t r = k + 1; r < n; ++r) s += v[r] * a(r, c);
+      for (std::size_t r = k + 1; r < n; ++r) a(r, c) -= 2.0 * v[r] * s;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      double s = 0.0;
+      for (std::size_t c = k + 1; c < n; ++c) s += a(r, c) * v[c];
+      for (std::size_t c = k + 1; c < n; ++c) a(r, c) -= 2.0 * s * v[c];
+    }
+  }
+}
+
+}  // namespace
+
+Eigenvalues eigenvalues(const Mat& a_in) {
+  // Francis-style shifted QR on the Hessenberg form with deflation.  For the
+  // small (<= ~32x32) matrices in this codebase this is fast and reliable.
+  Mat a = a_in;
+  const std::size_t n = a.rows();
+  if (a.cols() != n) throw std::invalid_argument("eigenvalues: matrix not square");
+  Eigenvalues ev;
+  if (n == 0) return ev;
+  hessenberg(a);
+
+  std::size_t hi = n;  // active block is [0, hi)
+  int iter_guard = 0;
+  const int max_iters = 200 * static_cast<int>(n) + 200;
+  while (hi > 0 && iter_guard++ < max_iters) {
+    // Look for a small subdiagonal to deflate.
+    std::size_t lo = hi - 1;
+    while (lo > 0) {
+      const double s = std::abs(a(lo - 1, lo - 1)) + std::abs(a(lo, lo));
+      if (std::abs(a(lo, lo - 1)) < 1e-13 * (s + 1e-30)) {
+        a(lo, lo - 1) = 0.0;
+        break;
+      }
+      --lo;
+    }
+    if (lo == hi - 1) {  // 1x1 block
+      ev.real.push_back(a(lo, lo));
+      ev.imag.push_back(0.0);
+      hi -= 1;
+      continue;
+    }
+    if (lo == hi - 2) {  // 2x2 block: solve quadratic
+      const double p = a(lo, lo), q = a(lo, lo + 1), r = a(lo + 1, lo), s = a(lo + 1, lo + 1);
+      const double tr = p + s, det = p * s - q * r;
+      const double disc = tr * tr / 4.0 - det;
+      if (disc >= 0.0) {
+        const double sq = std::sqrt(disc);
+        ev.real.push_back(tr / 2.0 + sq);
+        ev.imag.push_back(0.0);
+        ev.real.push_back(tr / 2.0 - sq);
+        ev.imag.push_back(0.0);
+      } else {
+        const double sq = std::sqrt(-disc);
+        ev.real.push_back(tr / 2.0);
+        ev.imag.push_back(sq);
+        ev.real.push_back(tr / 2.0);
+        ev.imag.push_back(-sq);
+      }
+      hi -= 2;
+      continue;
+    }
+    // Wilkinson shift from the trailing 2x2 of the active block.
+    const double p = a(hi - 2, hi - 2), q = a(hi - 2, hi - 1), r = a(hi - 1, hi - 2),
+                 s = a(hi - 1, hi - 1);
+    const double tr = p + s, det = p * s - q * r;
+    double shift = s;
+    const double disc = tr * tr / 4.0 - det;
+    if (disc >= 0) {
+      const double sq = std::sqrt(disc);
+      const double l1 = tr / 2.0 + sq, l2 = tr / 2.0 - sq;
+      shift = (std::abs(l1 - s) < std::abs(l2 - s)) ? l1 : l2;
+    }
+    // Shifted QR step via Givens rotations on the Hessenberg block [lo, hi).
+    for (std::size_t i = lo; i < hi; ++i) a(i, i) -= shift;
+    std::vector<std::pair<double, double>> rot(hi - lo - 1);
+    for (std::size_t k = lo; k + 1 < hi; ++k) {
+      const double x = a(k, k), y = a(k + 1, k);
+      const double rr = std::hypot(x, y);
+      double c = 1.0, sn = 0.0;
+      if (rr > 1e-300) {
+        c = x / rr;
+        sn = y / rr;
+      }
+      rot[k - lo] = {c, sn};
+      for (std::size_t j = k; j < hi; ++j) {
+        const double t1 = a(k, j), t2 = a(k + 1, j);
+        a(k, j) = c * t1 + sn * t2;
+        a(k + 1, j) = -sn * t1 + c * t2;
+      }
+    }
+    for (std::size_t k = lo; k + 1 < hi; ++k) {
+      const auto [c, sn] = rot[k - lo];
+      const std::size_t top = lo;
+      const std::size_t last = std::min(hi, k + 2);
+      for (std::size_t i = top; i < last + (last < hi ? 1 : 0) && i < hi; ++i) {
+        const double t1 = a(i, k), t2 = a(i, k + 1);
+        a(i, k) = c * t1 + sn * t2;
+        a(i, k + 1) = -sn * t1 + c * t2;
+      }
+    }
+    for (std::size_t i = lo; i < hi; ++i) a(i, i) += shift;
+  }
+  // If the guard tripped, report the remaining diagonal as-is (best effort).
+  for (std::size_t i = 0; i < hi; ++i) {
+    ev.real.push_back(a(i, i));
+    ev.imag.push_back(0.0);
+  }
+  return ev;
+}
+
+double spectral_radius(const Mat& a) {
+  const Eigenvalues ev = eigenvalues(a);
+  double m = 0.0;
+  for (std::size_t i = 0; i < ev.real.size(); ++i)
+    m = std::max(m, std::hypot(ev.real[i], ev.imag[i]));
+  return m;
+}
+
+}  // namespace oal::common

@@ -1,0 +1,114 @@
+// Dense vector/matrix algebra used throughout the library.
+//
+// The models in this project (RLS, ridge regression, Kalman filters, thermal
+// state-space models) operate on small dense matrices (tens of rows), so a
+// simple row-major implementation with LU / Cholesky factorization is both
+// sufficient and easy to audit.  No external BLAS dependency is required.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace oal::common {
+
+using Vec = std::vector<double>;
+
+/// Row-major dense matrix of doubles.
+class Mat {
+ public:
+  Mat() = default;
+  Mat(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Mat(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Mat identity(std::size_t n);
+  /// Diagonal matrix from a vector.
+  static Mat diag(const Vec& d);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  const std::vector<double>& data() const { return data_; }
+
+  Mat transpose() const;
+  Mat operator+(const Mat& o) const;
+  Mat operator-(const Mat& o) const;
+  Mat operator*(const Mat& o) const;
+  Mat operator*(double s) const;
+  Mat& operator+=(const Mat& o);
+  Mat& operator-=(const Mat& o);
+  Mat& operator*=(double s);
+
+  Vec operator*(const Vec& v) const;
+
+  /// Extracts row r as a vector.
+  Vec row(std::size_t r) const;
+  /// Extracts column c as a vector.
+  Vec col(std::size_t c) const;
+  void set_row(std::size_t r, const Vec& v);
+
+  /// Frobenius norm.
+  double norm() const;
+  double trace() const;
+
+  /// Maximum absolute element.
+  double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Mat& m);
+
+// ---- Vector helpers -------------------------------------------------------
+
+double dot(const Vec& a, const Vec& b);
+Vec add(const Vec& a, const Vec& b);
+Vec sub(const Vec& a, const Vec& b);
+Vec scale(const Vec& a, double s);
+double norm2(const Vec& a);
+/// Outer product a b^T.
+Mat outer(const Vec& a, const Vec& b);
+
+// ---- Factorizations & solvers ---------------------------------------------
+
+/// Solves A x = b by LU decomposition with partial pivoting.
+/// Throws std::runtime_error if A is (numerically) singular.
+Vec lu_solve(Mat a, Vec b);
+
+/// Solves A X = B column-by-column; returns X.
+Mat lu_solve(Mat a, const Mat& b);
+
+/// Inverse via LU.  Prefer lu_solve when possible.
+Mat inverse(const Mat& a);
+
+/// Cholesky factor L (lower) of a symmetric positive-definite matrix.
+/// Throws std::runtime_error if the matrix is not SPD.
+Mat cholesky(const Mat& a);
+
+/// Solves A x = b for SPD A via Cholesky.
+Vec cholesky_solve(const Mat& a, const Vec& b);
+
+/// Determinant via LU (sign-corrected).
+double determinant(Mat a);
+
+/// Eigenvalues of a general real matrix via the (shifted) QR algorithm on the
+/// Hessenberg form.  Returns real parts and imaginary parts.  Intended for
+/// the small matrices used in thermal stability analysis.
+struct Eigenvalues {
+  Vec real;
+  Vec imag;
+};
+Eigenvalues eigenvalues(const Mat& a);
+
+/// Spectral radius: max |lambda_i|.
+double spectral_radius(const Mat& a);
+
+}  // namespace oal::common

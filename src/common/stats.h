@@ -1,0 +1,71 @@
+// Small statistics helpers shared by models, benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace oal::common {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  // population variance
+double stddev(const std::vector<double>& xs);
+double median(std::vector<double> xs);
+/// p in [0, 100]; linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double p);
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+double sum(const std::vector<double>& xs);
+
+/// Mean absolute percentage error: mean(|pred - actual| / |actual|) * 100.
+/// Entries with |actual| < eps are skipped.
+double mape(const std::vector<double>& actual, const std::vector<double>& predicted,
+            double eps = 1e-12);
+
+/// Root-mean-square error.
+double rmse(const std::vector<double>& actual, const std::vector<double>& predicted);
+
+/// Pearson correlation coefficient.
+double correlation(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Exponentially-weighted moving average tracker.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+  double update(double x) {
+    if (!init_) {
+      value_ = x;
+      init_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+    return value_;
+  }
+  double value() const { return value_; }
+  bool initialized() const { return init_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool init_ = false;
+};
+
+/// Streaming mean / variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // population
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace oal::common

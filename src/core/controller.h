@@ -1,0 +1,34 @@
+// Runtime DRM controller interface.
+//
+// A controller observes the result of the snippet that just executed (the
+// Table-I counters at the applied configuration — never ground-truth
+// descriptors) and returns the configuration for the next snippet.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "soc/config_space.h"
+#include "soc/counters.h"
+
+namespace oal::core {
+
+class DrmController {
+ public:
+  virtual ~DrmController() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Observe the just-finished snippet and choose the next configuration.
+  virtual soc::SocConfig step(const soc::SnippetResult& result,
+                              const soc::SocConfig& executed) = 0;
+
+  /// What the *bare learned policy* chose during the last step(), when the
+  /// controller has one (used for the Fig. 3 accuracy-vs-Oracle curves).
+  virtual std::optional<soc::SocConfig> last_policy_decision() const { return std::nullopt; }
+
+  /// Called once before a run starts (reset transient state if any).
+  virtual void begin_run(const soc::SocConfig& /*initial*/) {}
+};
+
+}  // namespace oal::core

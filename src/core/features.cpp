@@ -1,0 +1,99 @@
+#include "core/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oal::core {
+
+WorkloadFeatures workload_features(const soc::PerfCounters& k, const soc::SocConfig& c) {
+  WorkloadFeatures w;
+  const double instr = std::max(k.instructions_retired, 1.0);
+  w.mpki = k.l2_cache_misses / instr * 1000.0;
+  w.bmpki = k.branch_mispredictions / instr * 1000.0;
+  w.mem_ai = k.data_memory_accesses / instr;
+  w.ext_per_inst = k.noncache_external_requests / instr;
+  w.cpi_obs = k.cpu_cycles / instr;
+  // Parallel-fraction proxy from cluster utilizations: total busy core-time
+  // above one core's worth, normalized by the remaining cores.
+  const double n_total = static_cast<double>(c.num_little + c.num_big);
+  const double busy_cores = k.little_cluster_utilization * static_cast<double>(c.num_little) +
+                            k.big_cluster_utilization * static_cast<double>(c.num_big);
+  w.pf_proxy = n_total > 1.0 ? std::clamp((busy_cores - 1.0) / (n_total - 1.0), 0.0, 1.0) : 0.0;
+  w.runnable = std::max(k.avg_runnable_threads, 1.0);
+  return w;
+}
+
+common::Vec FeatureExtractor::policy_features(const soc::PerfCounters& k,
+                                              const soc::SocConfig& current) const {
+  const WorkloadFeatures w = workload_features(k, current);
+  const double fl_norm = static_cast<double>(current.little_freq_idx) /
+                         static_cast<double>(space_.little_freqs().size() - 1);
+  const double fb_norm = static_cast<double>(current.big_freq_idx) /
+                         static_cast<double>(space_.big_freqs().size() - 1);
+  return {w.mpki,
+          w.bmpki,
+          w.mem_ai,
+          w.ext_per_inst,
+          w.pf_proxy,
+          w.cpi_obs,
+          w.runnable / 4.0,
+          k.little_cluster_utilization,
+          k.big_cluster_utilization,
+          static_cast<double>(current.num_little) / 4.0,
+          static_cast<double>(current.num_big) / 4.0,
+          0.5 * (fl_norm + fb_norm)};
+}
+
+common::Vec FeatureExtractor::model_features(const WorkloadFeatures& w,
+                                             const soc::SocConfig& c) const {
+  // Physically-motivated basis.  Let f_l, f_b be GHz, n_l, n_b core counts.
+  // log(t/I) of the analytic platform is approximately affine in:
+  //   log-speeds of the two clusters, memory-intensity crossings, and the
+  //   parallel-width terms.  Keeping everything smooth and bounded keeps the
+  //   RLS covariance well conditioned.
+  const double f_l = space_.little_freq_mhz(c) / 1000.0;  // GHz
+  const double f_b = space_.big_freq_mhz(c) / 1000.0;
+  const double n_l = static_cast<double>(c.num_little);
+  const double n_b = static_cast<double>(c.num_big);
+  const bool big_on = c.num_big >= 1;
+  const double log_fl = std::log(f_l);
+  const double log_fb = big_on ? std::log(f_b) : 0.0;
+  const double mpki = w.mpki;
+  // Parallel-fraction estimate from the run-queue depth (robust even when a
+  // single core is active, unlike the utilization-based proxy).
+  const double pf = w.runnable > 1.0
+                        ? std::clamp((w.runnable - 1.0) / w.runnable, 0.0, 1.0)
+                        : w.pf_proxy;
+  // Usable parallel width: software threads cap hardware width.
+  const double w_eff =
+      std::min(std::max(w.runnable, 1.0), n_l + (big_on ? n_b : 0.0));
+  const double width = std::log(std::max(w_eff, 1.0) );
+
+  return {1.0,
+          log_fl,
+          log_fb,
+          big_on ? 1.0 : 0.0,
+          mpki,
+          mpki * f_l,
+          mpki * (big_on ? f_b : 0.0),
+          w.bmpki,
+          pf,
+          pf * width,
+          n_l,
+          big_on ? n_b : 0.0,
+          f_l,
+          big_on ? f_b : 0.0,
+          f_l * f_l,
+          big_on ? f_b * f_b : 0.0,
+          pf * log_fl,
+          pf * log_fb,
+          w.mem_ai,
+          w.ext_per_inst,
+          w_eff,
+          pf * w_eff,
+          pf / std::max(w_eff, 1.0)};
+}
+
+std::size_t FeatureExtractor::model_dim() const { return 23; }
+
+}  // namespace oal::core

@@ -1,0 +1,73 @@
+#include "core/governors.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oal::core {
+
+namespace {
+
+int clamp_idx(int idx, int max_idx) { return std::clamp(idx, 0, max_idx); }
+
+}  // namespace
+
+OndemandGovernor::OndemandGovernor(const soc::ConfigSpace& space, double up_threshold,
+                                   double target_load)
+    : space_(&space), up_threshold_(up_threshold), target_load_(target_load) {}
+
+soc::SocConfig OndemandGovernor::step(const soc::SnippetResult& result,
+                                      const soc::SocConfig& executed) {
+  const soc::PerfCounters& k = result.counters;
+  soc::SocConfig c = executed;
+  c.num_little = 4;
+  c.num_big = 4;
+
+  const int max_l = static_cast<int>(space_->little_freqs().size()) - 1;
+  const int max_b = static_cast<int>(space_->big_freqs().size()) - 1;
+  auto next_idx = [&](double util, int cur, int max_idx) {
+    if (util > up_threshold_) return max_idx;
+    // f_target = f_cur * util / target_load, mapped back to the table.
+    const double cur_f = 200.0 + 100.0 * cur;
+    const double want = cur_f * util / target_load_;
+    return clamp_idx(static_cast<int>(std::lround((want - 200.0) / 100.0)), max_idx);
+  };
+  c.little_freq_idx = next_idx(k.little_cluster_utilization, executed.little_freq_idx, max_l);
+  c.big_freq_idx = next_idx(k.big_cluster_utilization, executed.big_freq_idx, max_b);
+  return c;
+}
+
+InteractiveGovernor::InteractiveGovernor(const soc::ConfigSpace& space, double hispeed_load,
+                                         int ramp_up_steps, int ramp_down_steps)
+    : space_(&space), hispeed_load_(hispeed_load), ramp_up_steps_(ramp_up_steps),
+      ramp_down_steps_(ramp_down_steps) {}
+
+soc::SocConfig InteractiveGovernor::step(const soc::SnippetResult& result,
+                                         const soc::SocConfig& executed) {
+  const soc::PerfCounters& k = result.counters;
+  soc::SocConfig c = executed;
+  c.num_little = 4;
+  c.num_big = 4;
+  const int max_l = static_cast<int>(space_->little_freqs().size()) - 1;
+  const int max_b = static_cast<int>(space_->big_freqs().size()) - 1;
+  auto ramp = [&](double util, int cur, int max_idx) {
+    if (util > hispeed_load_) return clamp_idx(cur + ramp_up_steps_, max_idx);
+    if (util < 0.5 * hispeed_load_) return clamp_idx(cur - ramp_down_steps_, max_idx);
+    return cur;
+  };
+  c.little_freq_idx = ramp(k.little_cluster_utilization, executed.little_freq_idx, max_l);
+  c.big_freq_idx = ramp(k.big_cluster_utilization, executed.big_freq_idx, max_b);
+  return c;
+}
+
+PerformanceGovernor::PerformanceGovernor(const soc::ConfigSpace& space) : space_(&space) {}
+
+soc::SocConfig PerformanceGovernor::step(const soc::SnippetResult&, const soc::SocConfig&) {
+  return soc::SocConfig{4, 4, static_cast<int>(space_->little_freqs().size()) - 1,
+                        static_cast<int>(space_->big_freqs().size()) - 1};
+}
+
+soc::SocConfig PowersaveGovernor::step(const soc::SnippetResult&, const soc::SocConfig&) {
+  return soc::SocConfig{4, 4, 0, 0};
+}
+
+}  // namespace oal::core

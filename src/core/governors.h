@@ -1,0 +1,71 @@
+// Reference CPU frequency governors (paper Section I: "interactive and
+// on-demand governors increase (or decrease) operating frequency of cores
+// when the utilization of the cores goes above (or below) a predefined
+// threshold").  These are the heuristics the learned policies improve upon;
+// they keep all cores active and manage per-cluster frequency only.
+#pragma once
+
+#include "core/controller.h"
+
+namespace oal::core {
+
+/// Linux-style ondemand: jump to max above the up-threshold, otherwise scale
+/// frequency proportionally to utilization.
+class OndemandGovernor : public DrmController {
+ public:
+  explicit OndemandGovernor(const soc::ConfigSpace& space, double up_threshold = 0.90,
+                            double target_load = 0.80);
+  std::string name() const override { return "ondemand"; }
+  soc::SocConfig step(const soc::SnippetResult& result, const soc::SocConfig& executed) override;
+
+ private:
+  const soc::ConfigSpace* space_;
+  double up_threshold_;
+  double target_load_;
+};
+
+/// Interactive-style: ramp quickly on load, decay slowly.
+class InteractiveGovernor : public DrmController {
+ public:
+  explicit InteractiveGovernor(const soc::ConfigSpace& space, double hispeed_load = 0.85,
+                               int ramp_up_steps = 4, int ramp_down_steps = 1);
+  std::string name() const override { return "interactive"; }
+  soc::SocConfig step(const soc::SnippetResult& result, const soc::SocConfig& executed) override;
+
+ private:
+  const soc::ConfigSpace* space_;
+  double hispeed_load_;
+  int ramp_up_steps_;
+  int ramp_down_steps_;
+};
+
+/// Pin everything at maximum.
+class PerformanceGovernor : public DrmController {
+ public:
+  explicit PerformanceGovernor(const soc::ConfigSpace& space);
+  std::string name() const override { return "performance"; }
+  soc::SocConfig step(const soc::SnippetResult& result, const soc::SocConfig& executed) override;
+
+ private:
+  const soc::ConfigSpace* space_;
+};
+
+/// Pin everything at minimum (all cores on, lowest frequencies).
+class PowersaveGovernor : public DrmController {
+ public:
+  std::string name() const override { return "powersave"; }
+  soc::SocConfig step(const soc::SnippetResult& result, const soc::SocConfig& executed) override;
+};
+
+/// Hold a fixed configuration forever (useful as an experimental control).
+class StaticController : public DrmController {
+ public:
+  explicit StaticController(soc::SocConfig c) : config_(c) {}
+  std::string name() const override { return "static"; }
+  soc::SocConfig step(const soc::SnippetResult&, const soc::SocConfig&) override { return config_; }
+
+ private:
+  soc::SocConfig config_;
+};
+
+}  // namespace oal::core

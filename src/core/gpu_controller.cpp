@@ -1,0 +1,72 @@
+#include "core/gpu_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oal::core {
+
+BaselineGpuGovernor::BaselineGpuGovernor(const gpu::GpuPlatform& platform, double up_threshold,
+                                         double down_threshold, double target_busy)
+    : platform_(&platform), up_threshold_(up_threshold), down_threshold_(down_threshold),
+      target_busy_(target_busy) {}
+
+gpu::GpuConfig BaselineGpuGovernor::step(const gpu::FrameResult& result,
+                                         const gpu::GpuConfig& current, std::size_t) {
+  gpu::GpuConfig next = current;
+  next.num_slices = platform_->params().max_slices;
+  const int max_idx = static_cast<int>(platform_->num_freqs()) - 1;
+  if (result.gpu_busy_frac > up_threshold_ || !result.deadline_met) {
+    // Aggressive ramp-up (QoS first), as in the production step governors
+    // the ENMPC paper compared against.
+    next.freq_idx = std::min(current.freq_idx + 3, max_idx);
+  } else if (result.gpu_busy_frac < down_threshold_) {
+    // Conservative single-step decay: legacy governors scale down slowly to
+    // avoid oscillation, which is precisely the inefficiency a predictive
+    // controller removes.
+    next.freq_idx = std::max(current.freq_idx - 1, 0);
+  } else {
+    (void)target_busy_;
+  }
+  return next;
+}
+
+GpuRunner::GpuRunner(gpu::GpuPlatform& platform, double fps_target)
+    : platform_(&platform), period_s_(1.0 / fps_target) {
+  if (fps_target <= 0.0) throw std::invalid_argument("GpuRunner: fps_target must be > 0");
+}
+
+GpuRunResult GpuRunner::run(const std::vector<gpu::FrameDescriptor>& trace,
+                            GpuController& controller, const gpu::GpuConfig& initial) {
+  GpuRunResult out;
+  out.frame_times_s.reserve(trace.size());
+  out.configs.reserve(trace.size());
+  controller.begin_run(initial);
+  gpu::GpuConfig current = initial;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const gpu::FrameResult r = platform_->render(trace[i], current, period_s_);
+    out.gpu_energy_j += r.gpu_energy_j;
+    out.pkg_energy_j += r.pkg_energy_j;
+    out.pkg_dram_energy_j += r.pkg_dram_energy_j;
+    out.deadline_misses += r.deadline_met ? 0 : 1;
+    out.frame_times_s.push_back(r.frame_time_s);
+    out.configs.push_back(current);
+    ++out.frames;
+
+    const gpu::GpuConfig next = controller.step(r, current, i);
+    if (!platform_->valid(next)) throw std::logic_error("GpuRunner: controller returned invalid config");
+    if (next.freq_idx != current.freq_idx) ++out.freq_changes;
+    if (next.num_slices != current.num_slices) ++out.slice_changes;
+    const auto tc = platform_->transition_cost(current, next);
+    out.transition_energy_j += tc.energy_j;
+    // Transition energy is charged to every scope (it is real energy).
+    out.gpu_energy_j += tc.energy_j;
+    out.pkg_energy_j += tc.energy_j;
+    out.pkg_dram_energy_j += tc.energy_j;
+    current = next;
+  }
+  out.decision_evals = controller.decision_evals();
+  return out;
+}
+
+}  // namespace oal::core

@@ -1,0 +1,92 @@
+// GPU power-management controller interface + the baseline governor, and the
+// frame-loop runner that evaluates controllers on graphics workloads.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gpu/frame.h"
+#include "gpu/gpu_model.h"
+
+namespace oal::core {
+
+class GpuController {
+ public:
+  virtual ~GpuController() = default;
+  virtual std::string name() const = 0;
+  /// Observe the just-rendered frame, return the configuration for the next.
+  virtual gpu::GpuConfig step(const gpu::FrameResult& result, const gpu::GpuConfig& current,
+                              std::size_t frame_index) = 0;
+  virtual void begin_run(const gpu::GpuConfig& /*initial*/) {}
+  /// Cumulative count of model/optimizer evaluations (overhead accounting).
+  virtual std::size_t decision_evals() const { return 0; }
+};
+
+/// The paper's baseline: a busy-threshold frequency governor with all slices
+/// permanently active (slice gating was the novelty of the ENMPC work, so
+/// production baselines of the time did not exercise it).
+class BaselineGpuGovernor : public GpuController {
+ public:
+  explicit BaselineGpuGovernor(const gpu::GpuPlatform& platform, double up_threshold = 0.92,
+                               double down_threshold = 0.70, double target_busy = 0.85);
+  std::string name() const override { return "baseline"; }
+  gpu::GpuConfig step(const gpu::FrameResult& result, const gpu::GpuConfig& current,
+                      std::size_t frame_index) override;
+
+ private:
+  const gpu::GpuPlatform* platform_;
+  double up_threshold_;
+  double down_threshold_;
+  double target_busy_;
+};
+
+/// Pin frequency and slices at maximum (reference upper bound on power).
+class MaxGpuGovernor : public GpuController {
+ public:
+  explicit MaxGpuGovernor(const gpu::GpuPlatform& platform) : platform_(&platform) {}
+  std::string name() const override { return "max"; }
+  gpu::GpuConfig step(const gpu::FrameResult&, const gpu::GpuConfig&, std::size_t) override {
+    return gpu::GpuConfig{static_cast<int>(platform_->num_freqs()) - 1,
+                          platform_->params().max_slices};
+  }
+
+ private:
+  const gpu::GpuPlatform* platform_;
+};
+
+/// Result of running a frame trace under a controller.
+struct GpuRunResult {
+  double gpu_energy_j = 0.0;
+  double pkg_energy_j = 0.0;
+  double pkg_dram_energy_j = 0.0;
+  std::size_t frames = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t freq_changes = 0;
+  std::size_t slice_changes = 0;
+  double transition_energy_j = 0.0;
+  std::size_t decision_evals = 0;
+  /// Per-frame log for prediction-accuracy studies (Fig. 2).
+  std::vector<double> frame_times_s;
+  std::vector<gpu::GpuConfig> configs;
+
+  double miss_rate() const {
+    return frames == 0 ? 0.0 : static_cast<double>(deadline_misses) / static_cast<double>(frames);
+  }
+};
+
+class GpuRunner {
+ public:
+  GpuRunner(gpu::GpuPlatform& platform, double fps_target = 30.0);
+
+  GpuRunResult run(const std::vector<gpu::FrameDescriptor>& trace, GpuController& controller,
+                   const gpu::GpuConfig& initial);
+
+  double period_s() const { return period_s_; }
+
+ private:
+  gpu::GpuPlatform* platform_;
+  double period_s_;
+};
+
+}  // namespace oal::core

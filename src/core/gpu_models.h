@@ -1,0 +1,81 @@
+// Online GPU frame-time and energy models (paper Sections III-B, IV-B).
+//
+// Frame time on the slice-gated GPU obeys
+//     t = work / (f * eff(n)) + theta_mem * mem_bytes
+// which is linear in unknowns given the observable work proxy, so an RLS (or
+// STAFF) estimator tracks it online across DVFS/slice changes — this is the
+// Fig. 2 predictor.  Per-period energy at scope s is likewise linear in
+// switched-capacitance/leakage features once busy time is predicted, giving
+// the NMPC its predictive energy models.  Sensitivities (the derivative of
+// predicted time/energy w.r.t. frequency) fall out of the same models in
+// closed form — the "predictive sensitivity models" of the ENMPC technique.
+#pragma once
+
+#include "common/matrix.h"
+#include "gpu/gpu_model.h"
+#include "ml/rls.h"
+#include "ml/staff.h"
+
+namespace oal::core {
+
+/// Workload observables carried between frames (content predictor state).
+struct GpuWorkloadState {
+  double work_cycles = 5e6;  ///< EWMA of slice-normalized render work
+  double mem_bytes = 5e6;    ///< EWMA of frame memory traffic
+  double cpu_cycles = 2e6;   ///< EWMA of producer-side work
+
+  void observe(const gpu::FrameResult& r, double slice_eff, double alpha = 0.6);
+};
+
+class GpuOnlineModels {
+ public:
+  explicit GpuOnlineModels(const gpu::GpuPlatform& platform);
+
+  /// Multi-slice efficiency used to normalize observed busy cycles.
+  double slice_eff(int n) const;
+
+  /// Predicted frame time for a candidate configuration.
+  double predict_frame_time_s(const GpuWorkloadState& w, const gpu::GpuConfig& c) const;
+  /// d(frame time)/d(frequency in GHz): the DVFS sensitivity model.
+  double frame_time_freq_sensitivity(const GpuWorkloadState& w, const gpu::GpuConfig& c) const;
+  /// Predicted GPU-scope energy over one deadline period.
+  double predict_gpu_energy_j(const GpuWorkloadState& w, const gpu::GpuConfig& c,
+                              double period_s) const;
+
+  /// Adapt both models from an executed frame.
+  void update(const GpuWorkloadState& w_before, const gpu::GpuConfig& c, double period_s,
+              const gpu::FrameResult& observed);
+
+  std::size_t updates() const { return time_model_.updates(); }
+
+  /// Feature maps (exposed for the explicit-NMPC sampler and tests).
+  common::Vec time_features(const GpuWorkloadState& w, const gpu::GpuConfig& c) const;
+  common::Vec energy_features(const GpuWorkloadState& w, const gpu::GpuConfig& c,
+                              double period_s) const;
+
+ private:
+  const gpu::GpuPlatform* platform_;
+  ml::RecursiveLeastSquares time_model_;    // target: frame time (s)
+  ml::RecursiveLeastSquares energy_model_;  // target: GPU energy per period (J)
+};
+
+/// Standalone STAFF-based frame-time predictor used by the Fig. 2 experiment:
+/// same physics features plus deliberately irrelevant inputs, demonstrating
+/// the adaptive forgetting factor and online feature selection.
+class StaffFrameTimePredictor {
+ public:
+  explicit StaffFrameTimePredictor(const gpu::GpuPlatform& platform, ml::StaffConfig cfg = {});
+
+  double predict_ms(const GpuWorkloadState& w, const gpu::GpuConfig& c) const;
+  /// Returns the a-priori relative error of this update.
+  double update(const GpuWorkloadState& w, const gpu::GpuConfig& c,
+                const gpu::FrameResult& observed);
+  const ml::StaffModel& model() const { return staff_; }
+
+ private:
+  common::Vec features(const GpuWorkloadState& w, const gpu::GpuConfig& c) const;
+  const gpu::GpuPlatform* platform_;
+  ml::StaffModel staff_;
+};
+
+}  // namespace oal::core

@@ -1,0 +1,62 @@
+#include "core/il_policy.h"
+
+#include <stdexcept>
+
+namespace oal::core {
+
+namespace {
+ml::MlpConfig make_net_config(const IlPolicyConfig& cfg) {
+  ml::MlpConfig m;
+  m.hidden = cfg.hidden;
+  m.activation = ml::Activation::kTanh;
+  m.learning_rate = cfg.learning_rate;
+  m.l2 = cfg.l2;
+  m.seed = cfg.seed;
+  return m;
+}
+}  // namespace
+
+IlPolicy::IlPolicy(const soc::ConfigSpace& space, IlPolicyConfig cfg)
+    : cfg_(cfg),
+      net_(FeatureExtractor(space).policy_dim(), space.knob_cardinalities(), make_net_config(cfg)) {}
+
+double IlPolicy::train_offline(const PolicyDataset& data, common::Rng& rng) {
+  if (data.states.empty() || data.states.size() != data.labels.size())
+    throw std::invalid_argument("IlPolicy::train_offline: bad dataset");
+  scaler_ = ml::StandardScaler();
+  scaler_.fit(data.states);
+  std::vector<common::Vec> xs;
+  std::vector<std::vector<std::size_t>> ys;
+  xs.reserve(data.states.size());
+  ys.reserve(data.labels.size());
+  for (std::size_t i = 0; i < data.states.size(); ++i) {
+    xs.push_back(scaler_.transform(data.states[i]));
+    ys.push_back(labels_of(data.labels[i]));
+  }
+  const double loss = net_.train(xs, ys, cfg_.offline_epochs, 32, rng);
+  trained_ = true;
+  return loss;
+}
+
+double IlPolicy::train_incremental(const PolicyDataset& data, std::size_t epochs,
+                                   common::Rng& rng) {
+  if (!trained_) throw std::logic_error("IlPolicy::train_incremental before train_offline");
+  if (data.states.empty() || data.states.size() != data.labels.size())
+    throw std::invalid_argument("IlPolicy::train_incremental: bad dataset");
+  std::vector<common::Vec> xs;
+  std::vector<std::vector<std::size_t>> ys;
+  xs.reserve(data.states.size());
+  ys.reserve(data.labels.size());
+  for (std::size_t i = 0; i < data.states.size(); ++i) {
+    xs.push_back(scaler_.transform(data.states[i]));
+    ys.push_back(labels_of(data.labels[i]));
+  }
+  return net_.train(xs, ys, epochs, 32, rng);
+}
+
+soc::SocConfig IlPolicy::decide(const common::Vec& state) const {
+  if (!trained_) throw std::logic_error("IlPolicy::decide before training");
+  return config_of(net_.predict(scaler_.transform(state)));
+}
+
+}  // namespace oal::core

@@ -1,0 +1,57 @@
+// Imitation-learning policy (paper Section IV-A).
+//
+// A multi-head neural network (one softmax head per control knob) that
+// approximates the Oracle: state -> (num little, num big, f_little, f_big).
+// The whole network fits in a few kilobytes — the paper stresses that the
+// runtime policy, unlike the Oracle, must be small enough for an OS governor
+// or firmware (<20 KB including the online training buffer).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "core/oracle.h"
+#include "ml/mlp.h"
+#include "ml/scaler.h"
+#include "soc/config_space.h"
+#include "soc/counters.h"
+
+namespace oal::core {
+
+struct IlPolicyConfig {
+  std::vector<std::size_t> hidden{24, 24};
+  double learning_rate = 2e-3;
+  double l2 = 1e-5;
+  std::size_t offline_epochs = 40;
+  std::uint64_t seed = 42;
+};
+
+class IlPolicy {
+ public:
+  IlPolicy(const soc::ConfigSpace& space, IlPolicyConfig cfg = {});
+
+  /// Offline training: fits the feature scaler and the network on an
+  /// Oracle-labeled dataset.  Returns final-epoch mean cross-entropy.
+  double train_offline(const PolicyDataset& data, common::Rng& rng);
+
+  /// Incremental training on aggregated runtime data (scaler stays frozen so
+  /// the input space of the deployed network is stable).
+  double train_incremental(const PolicyDataset& data, std::size_t epochs, common::Rng& rng);
+
+  /// Greedy policy decision from a raw (unscaled) state vector.
+  soc::SocConfig decide(const common::Vec& state) const;
+
+  bool trained() const { return trained_; }
+  std::size_t num_params() const { return net_.num_params(); }
+  std::size_t storage_bytes() const { return net_.storage_bytes(); }
+
+ private:
+  IlPolicyConfig cfg_;
+  ml::StandardScaler scaler_;
+  ml::MultiHeadClassifier net_;
+  bool trained_ = false;
+};
+
+}  // namespace oal::core

@@ -1,0 +1,232 @@
+#include "core/nmpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/sobol.h"
+#include "workloads/gpu_benchmarks.h"
+
+namespace oal::core {
+
+// ---- Implicit NMPC ----------------------------------------------------------
+
+NmpcGpuController::NmpcGpuController(const gpu::GpuPlatform& platform, GpuOnlineModels& models,
+                                     NmpcConfig cfg)
+    : platform_(&platform), models_(&models), cfg_(cfg) {}
+
+void NmpcGpuController::begin_run(const gpu::GpuConfig& initial) {
+  slow_cfg_ = initial;
+  state_ = GpuWorkloadState{};
+}
+
+gpu::GpuConfig NmpcGpuController::solve_slow(const GpuWorkloadState& w,
+                                             const gpu::GpuConfig& current,
+                                             std::size_t* eval_counter) const {
+  const double period = 1.0 / cfg_.fps_target;
+  const double deadline = period * (1.0 - cfg_.deadline_margin);
+  const double h = static_cast<double>(cfg_.horizon_periods * cfg_.slow_period_frames);
+
+  gpu::GpuConfig best = current;
+  double best_cost = std::numeric_limits<double>::infinity();
+  gpu::GpuConfig fastest = current;
+  double fastest_t = std::numeric_limits<double>::infinity();
+  bool any_feasible = false;
+
+  for (int n = 1; n <= platform_->params().max_slices; ++n) {
+    for (int fi = 0; fi < static_cast<int>(platform_->num_freqs()); ++fi) {
+      const gpu::GpuConfig c{fi, n};
+      const double t = models_->predict_frame_time_s(w, c);
+      const double e = models_->predict_gpu_energy_j(w, c, period);
+      if (eval_counter != nullptr) *eval_counter += 2;
+      if (t < fastest_t) {
+        fastest_t = t;
+        fastest = c;
+      }
+      if (t > deadline) continue;
+      // Horizon energy (workload forecast: EWMA held over the horizon) plus
+      // one-time actuation cost amortized across the horizon.
+      const auto tc = platform_->transition_cost(current, c);
+      const double cost = e * h + tc.energy_j;
+      if (!any_feasible || cost < best_cost) {
+        any_feasible = true;
+        best_cost = cost;
+        best = c;
+      }
+    }
+  }
+  return any_feasible ? best : fastest;
+}
+
+gpu::GpuConfig NmpcGpuController::fast_trim(const GpuWorkloadState& w,
+                                            const gpu::GpuConfig& current,
+                                            std::size_t* eval_counter) const {
+  const double period = 1.0 / cfg_.fps_target;
+  const double deadline = period * (1.0 - cfg_.deadline_margin);
+  const double target = period * cfg_.fast_target_busy * (1.0 - cfg_.deadline_margin);
+  gpu::GpuConfig c = current;
+  const double t = models_->predict_frame_time_s(w, c);
+  const double sens = models_->frame_time_freq_sensitivity(w, c);  // s per GHz (negative)
+  if (eval_counter != nullptr) *eval_counter += 2;
+  if (std::abs(sens) < 1e-12) return c;
+  // Deadbeat step toward the target busy time using the learned sensitivity.
+  const double df_ghz = (target - t) / sens;  // GHz change needed
+  int steps = static_cast<int>(std::lround(df_ghz * 1000.0 / 50.0));  // 50 MHz bins
+  steps = std::clamp(steps, -cfg_.fast_max_step, cfg_.fast_max_step);
+  // Never trim below the deadline: verify the trimmed config still fits.
+  c.freq_idx = std::clamp(current.freq_idx + steps, 0,
+                          static_cast<int>(platform_->num_freqs()) - 1);
+  while (c.freq_idx < static_cast<int>(platform_->num_freqs()) - 1 &&
+         models_->predict_frame_time_s(w, c) > deadline) {
+    ++c.freq_idx;
+    if (eval_counter != nullptr) *eval_counter += 1;
+  }
+  return c;
+}
+
+gpu::GpuConfig NmpcGpuController::step(const gpu::FrameResult& result,
+                                       const gpu::GpuConfig& current, std::size_t frame_index) {
+  const double period = 1.0 / cfg_.fps_target;
+  const GpuWorkloadState before = state_;
+  models_->update(before, current, period, result);
+  state_.observe(result, models_->slice_eff(current.num_slices));
+
+  if (frame_index % cfg_.slow_period_frames == 0) {
+    slow_cfg_ = solve_slow(state_, current, &evals_);
+    return slow_cfg_;
+  }
+  gpu::GpuConfig c = fast_trim(state_, current, &evals_);
+  c.num_slices = slow_cfg_.num_slices;  // fast loop never touches slices
+  if (!result.deadline_met) {
+    // Hard feedback: an observed miss overrides the model and escalates.
+    c.freq_idx = std::min(c.freq_idx + cfg_.fast_max_step,
+                          static_cast<int>(platform_->num_freqs()) - 1);
+  }
+  return c;
+}
+
+// ---- Explicit NMPC ----------------------------------------------------------
+
+ExplicitNmpcGpuController::ExplicitNmpcGpuController(const gpu::GpuPlatform& platform,
+                                                     GpuOnlineModels& models, NmpcConfig cfg,
+                                                     std::size_t num_samples, std::uint64_t seed)
+    : platform_(&platform), models_(&models), cfg_(cfg) {
+  // ---- Offline phase: sample the NMPC law on a Sobol grid ----------------
+  // State: (work cycles, mem bytes, current freq idx, current slices).
+  NmpcGpuController reference(platform, models, cfg);
+  const double max_f = platform.freq_mhz(static_cast<int>(platform.num_freqs()) - 1) * 1e6;
+  const double period = 1.0 / cfg.fps_target;
+  // Work range: up to what the fastest configuration can retire per period.
+  const double max_work = max_f * 4.0 * period;
+  const std::vector<double> lo{0.02 * max_work, 1e6, 0.0, 1.0};
+  const std::vector<double> hi{0.95 * max_work, 60e6, static_cast<double>(platform.num_freqs()) - 1.0,
+                               static_cast<double>(platform.params().max_slices)};
+  const auto grid = common::sobol_grid(num_samples, lo, hi);
+  (void)seed;
+
+  std::vector<common::Vec> xs;
+  std::vector<double> f_targets;
+  std::vector<std::size_t> s_targets;
+  xs.reserve(grid.size());
+  for (const auto& p : grid) {
+    GpuWorkloadState w;
+    w.work_cycles = p[0];
+    w.mem_bytes = p[1];
+    const gpu::GpuConfig cur{static_cast<int>(std::lround(p[2])),
+                             static_cast<int>(std::lround(p[3]))};
+    const gpu::GpuConfig sol = reference.solve_slow(w, cur, &offline_evals_);
+    xs.push_back(ml::quadratic_features(law_features(w, cur)));
+    f_targets.push_back(static_cast<double>(sol.freq_idx));
+    s_targets.push_back(static_cast<std::size_t>(sol.num_slices - 1));
+  }
+  freq_law_ = ml::RidgeRegression(1e-6);
+  freq_law_.fit(xs, f_targets);
+  ml::TreeConfig tree_cfg;
+  tree_cfg.max_depth = 10;
+  tree_cfg.min_samples_leaf = 3;
+  tree_cfg.min_samples_split = 6;
+  slice_law_ = ml::ClassificationTree(tree_cfg);
+  slice_law_.fit(xs, s_targets, static_cast<std::size_t>(platform.params().max_slices));
+}
+
+common::Vec ExplicitNmpcGpuController::law_features(const GpuWorkloadState& w,
+                                                    const gpu::GpuConfig& current) const {
+  const double max_f = platform_->freq_mhz(static_cast<int>(platform_->num_freqs()) - 1) * 1e6;
+  const double period = 1.0 / cfg_.fps_target;
+  const double max_work = max_f * 4.0 * period;
+  return {w.work_cycles / max_work, w.mem_bytes * 1e-8,
+          static_cast<double>(current.freq_idx) / (static_cast<double>(platform_->num_freqs()) - 1.0),
+          static_cast<double>(current.num_slices) / static_cast<double>(platform_->params().max_slices)};
+}
+
+void ExplicitNmpcGpuController::begin_run(const gpu::GpuConfig& initial) {
+  slow_cfg_ = initial;
+  state_ = GpuWorkloadState{};
+}
+
+gpu::GpuConfig ExplicitNmpcGpuController::step(const gpu::FrameResult& result,
+                                               const gpu::GpuConfig& current,
+                                               std::size_t frame_index) {
+  const double period = 1.0 / cfg_.fps_target;
+  const GpuWorkloadState before = state_;
+  models_->update(before, current, period, result);
+  state_.observe(result, models_->slice_eff(current.num_slices));
+
+  if (frame_index % cfg_.slow_period_frames == 0) {
+    // Evaluate the explicit law: two regressor lookups, O(features) work.
+    const common::Vec x = ml::quadratic_features(law_features(state_, current));
+    const int max_idx = static_cast<int>(platform_->num_freqs()) - 1;
+    int fi = static_cast<int>(std::lround(freq_law_.predict(x)));
+    fi = std::clamp(fi, 0, max_idx);
+    int slices = static_cast<int>(slice_law_.predict(x)) + 1;
+    slices = std::clamp(slices, 1, platform_->params().max_slices);
+    evals_ += 2;
+    slow_cfg_ = gpu::GpuConfig{fi, slices};
+    // Safety: if the law's pick predictably misses the deadline, escalate
+    // frequency (the learned surface is an approximation).
+    const double deadline = period * (1.0 - cfg_.deadline_margin);
+    while (slow_cfg_.freq_idx < max_idx &&
+           models_->predict_frame_time_s(state_, slow_cfg_) > deadline) {
+      ++slow_cfg_.freq_idx;
+      ++evals_;
+    }
+    return slow_cfg_;
+  }
+  // Fast rate: identical adaptive sensitivity trim as the implicit NMPC.
+  NmpcGpuController helper(*platform_, *models_, cfg_);
+  gpu::GpuConfig c = helper.fast_trim(state_, current, &evals_);
+  c.num_slices = slow_cfg_.num_slices;
+  if (!result.deadline_met) {
+    c.freq_idx = std::min(c.freq_idx + cfg_.fast_max_step,
+                          static_cast<int>(platform_->num_freqs()) - 1);
+  }
+  return c;
+}
+
+// ---- Offline model bootstrap -------------------------------------------------
+
+void bootstrap_gpu_models(gpu::GpuPlatform& platform, GpuOnlineModels& models, double period_s,
+                          std::size_t frames, common::Rng& rng) {
+  // Generic design-time content mix: one representative mid-intensity
+  // workload swept across random configurations.
+  const auto& suite = workloads::GpuBenchmarks::fig5_suite();
+  for (std::size_t i = 0; i < frames; ++i) {
+    const auto& spec = suite[i % suite.size()];
+    common::Rng frame_rng = rng.fork();
+    const auto trace = workloads::GpuBenchmarks::trace(spec, 1, frame_rng);
+    const gpu::GpuConfig c{rng.uniform_int(0, static_cast<int>(platform.num_freqs()) - 1),
+                           rng.uniform_int(1, platform.params().max_slices)};
+    const auto r = platform.render(trace[0], c, period_s);
+    // At design time the frame content is known exactly, so the models are
+    // trained against the true per-frame descriptors (profiling, not
+    // prediction).
+    GpuWorkloadState w;
+    w.work_cycles = trace[0].render_cycles;
+    w.mem_bytes = trace[0].mem_bytes;
+    w.cpu_cycles = trace[0].cpu_cycles;
+    models.update(w, c, period_s, r);
+  }
+}
+
+}  // namespace oal::core

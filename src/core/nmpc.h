@@ -1,0 +1,112 @@
+// Multi-rate (explicit) nonlinear model-predictive GPU power management
+// (paper Section IV-B, after Mercati et al. DAC'17 and Chakrabarty et al.).
+//
+// Two cooperating controllers manage the GPU under an FPS deadline:
+//  * Slow-rate controller (every `slow_period_frames` frames): jointly picks
+//    the number of active slices and a base frequency by minimizing the
+//    predicted energy over a receding horizon, subject to the predicted
+//    frame time meeting the deadline with a safety margin, including the
+//    (asymmetric) actuation costs of slice changes.  Solved exactly by
+//    enumerating the discrete control set — this is the NMPC reference.
+//  * Fast-rate controller (every frame): state-space frequency trim around
+//    the slow decision using the learned d(frame-time)/d(frequency)
+//    sensitivity — cheap enough for per-frame firmware execution.
+//
+// The *explicit* variant replaces the slow-rate online optimization with
+// regressors fitted offline to the NMPC law sampled on a Sobol
+// low-discrepancy grid of the state space; at runtime the law is a handful
+// of multiply-accumulates while the adaptive sensitivity models keep the
+// fast loop application-specific.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/gpu_controller.h"
+#include "core/gpu_models.h"
+#include "ml/linreg.h"
+#include "ml/tree.h"
+
+namespace oal::core {
+
+struct NmpcConfig {
+  double fps_target = 30.0;
+  double deadline_margin = 0.06;     ///< keep t <= period * (1 - margin)
+  std::size_t slow_period_frames = 30;
+  std::size_t horizon_periods = 3;   ///< receding horizon of the slow loop
+  int fast_max_step = 2;             ///< max freq steps per frame (fast loop)
+  double fast_target_busy = 0.90;    ///< fast loop pulls busy toward this
+};
+
+/// Implicit NMPC: exact enumeration at every slow tick (the reference).
+class NmpcGpuController : public GpuController {
+ public:
+  NmpcGpuController(const gpu::GpuPlatform& platform, GpuOnlineModels& models,
+                    NmpcConfig cfg = {});
+
+  std::string name() const override { return "NMPC"; }
+  gpu::GpuConfig step(const gpu::FrameResult& result, const gpu::GpuConfig& current,
+                      std::size_t frame_index) override;
+  void begin_run(const gpu::GpuConfig& initial) override;
+  std::size_t decision_evals() const override { return evals_; }
+
+  const GpuWorkloadState& workload_state() const { return state_; }
+
+  /// Exact slow-rate solve from an explicit state (shared with the sampler).
+  gpu::GpuConfig solve_slow(const GpuWorkloadState& w, const gpu::GpuConfig& current,
+                            std::size_t* eval_counter) const;
+  /// Fast-rate frequency trim at fixed slice count.
+  gpu::GpuConfig fast_trim(const GpuWorkloadState& w, const gpu::GpuConfig& current,
+                           std::size_t* eval_counter) const;
+
+ private:
+  const gpu::GpuPlatform* platform_;
+  GpuOnlineModels* models_;
+  NmpcConfig cfg_;
+  GpuWorkloadState state_;
+  gpu::GpuConfig slow_cfg_{0, 1};
+  std::size_t evals_ = 0;
+};
+
+/// Explicit NMPC: offline-fitted control law + online-adaptive fast loop.
+class ExplicitNmpcGpuController : public GpuController {
+ public:
+  /// Fits the explicit law by sampling the NMPC slow-rate solution on
+  /// `num_samples` Sobol points of the (work, mem, current-config) state
+  /// space, using the provided (bootstrapped) models.
+  ExplicitNmpcGpuController(const gpu::GpuPlatform& platform, GpuOnlineModels& models,
+                            NmpcConfig cfg = {}, std::size_t num_samples = 1500,
+                            std::uint64_t seed = 2017);
+
+  std::string name() const override { return "Explicit NMPC"; }
+  gpu::GpuConfig step(const gpu::FrameResult& result, const gpu::GpuConfig& current,
+                      std::size_t frame_index) override;
+  void begin_run(const gpu::GpuConfig& initial) override;
+  std::size_t decision_evals() const override { return evals_; }
+
+  /// Offline construction cost (NMPC solves during sampling) — reported by
+  /// the ablation bench; not counted against runtime overhead.
+  std::size_t offline_evals() const { return offline_evals_; }
+
+ private:
+  common::Vec law_features(const GpuWorkloadState& w, const gpu::GpuConfig& current) const;
+
+  const gpu::GpuPlatform* platform_;
+  GpuOnlineModels* models_;
+  NmpcConfig cfg_;
+  GpuWorkloadState state_;
+  gpu::GpuConfig slow_cfg_{0, 1};
+  ml::RidgeRegression freq_law_;
+  ml::ClassificationTree slice_law_;
+  std::size_t evals_ = 0;
+  std::size_t offline_evals_ = 0;
+};
+
+/// Offline profiling pass: renders random-config frames of a generic content
+/// mix to bootstrap the GPU time/energy models (the design-time data of the
+/// paper's framework).
+void bootstrap_gpu_models(gpu::GpuPlatform& platform, GpuOnlineModels& models, double period_s,
+                          std::size_t frames, common::Rng& rng);
+
+}  // namespace oal::core

@@ -1,0 +1,42 @@
+// Optimization objectives for DRM policies (paper Section IV-A1: "Oracle
+// policies which optimize different objectives (e.g., energy consumption,
+// performance-per-watt)").
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "soc/counters.h"
+
+namespace oal::core {
+
+enum class Objective {
+  kEnergy,          ///< minimize energy per snippet
+  kEdp,             ///< minimize energy-delay product
+  kPerfPerWatt,     ///< maximize instructions / joule (minimize its negative)
+};
+
+inline std::string objective_name(Objective o) {
+  switch (o) {
+    case Objective::kEnergy: return "energy";
+    case Objective::kEdp: return "EDP";
+    case Objective::kPerfPerWatt: return "perf-per-watt";
+  }
+  return "?";
+}
+
+/// Scalar cost (lower is better) of a snippet result under an objective.
+inline double objective_cost(const soc::SnippetResult& r, Objective o) {
+  switch (o) {
+    case Objective::kEnergy: return r.energy_j;
+    case Objective::kEdp: return r.energy_j * r.exec_time_s;
+    case Objective::kPerfPerWatt: {
+      if (r.energy_j <= 0.0) throw std::invalid_argument("objective_cost: non-positive energy");
+      // instructions per joule, negated so lower is better.
+      return -r.counters.instructions_retired / r.energy_j;
+    }
+  }
+  throw std::logic_error("objective_cost: unknown objective");
+}
+
+}  // namespace oal::core

@@ -1,0 +1,122 @@
+#include "core/online_il.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace oal::core {
+
+OnlineIlController::OnlineIlController(const soc::ConfigSpace& space, IlPolicy& policy,
+                                       OnlineSocModels& models, OnlineIlConfig cfg)
+    : space_(&space), policy_(&policy), models_(&models), fx_(space), cfg_(cfg), rng_(cfg.seed),
+      explore_(cfg.explore_init) {
+  buffer_states_.reserve(cfg_.buffer_capacity);
+  buffer_labels_.reserve(cfg_.buffer_capacity);
+}
+
+soc::SocConfig OnlineIlController::step(const soc::SnippetResult& result,
+                                        const soc::SocConfig& executed) {
+  const soc::PerfCounters& k = result.counters;
+  const WorkloadFeatures w = workload_features(k, executed);
+
+  // 1. Adapt the online models with the new observation.  Sustained large
+  //    innovation signals a workload change: re-arm exploration.  Innovation
+  //    from a deliberately exploratory configuration is expected (the model
+  //    has not seen that region) and must NOT re-arm, or exploration becomes
+  //    self-sustaining.
+  const double innovation = models_->update(ModelSample{
+      w, executed, result.exec_time_s, k.instructions_retired, result.avg_power_w});
+  if (!last_was_exploratory_) {
+    innov_ewma_ = 0.7 * innov_ewma_ + 0.3 * std::abs(innovation);
+    if (innov_ewma_ > cfg_.innovation_reset_threshold) {
+      explore_ = std::max(explore_, cfg_.explore_rearm);
+      innov_ewma_ = 0.0;  // one re-arm per detected change
+    }
+  }
+
+  // 2. Policy decision (recorded for accuracy-vs-Oracle tracking).
+  const common::Vec state = fx_.policy_features(k, executed);
+  const soc::SocConfig policy_cfg = policy_->decide(state);
+  last_policy_ = policy_cfg;
+
+  // 3. Runtime Oracle approximation: models score the local neighborhood,
+  //    the per-cluster sweeps, and the policy's suggestion (so a converged
+  //    policy can jump directly).
+  std::vector<soc::SocConfig> candidates =
+      space_->neighborhood(executed, cfg_.neighborhood_radius, cfg_.max_changed_knobs);
+  if (cfg_.include_cluster_sweeps) {
+    const auto sweeps = space_->cluster_sweeps(executed);
+    candidates.insert(candidates.end(), sweeps.begin(), sweeps.end());
+  }
+  if (cfg_.include_policy_candidate) candidates.push_back(policy_cfg);
+
+  soc::SocConfig best = executed;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const soc::SocConfig& c : candidates) {
+    const double cost = models_->predict_log_cost(w, c);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = c;
+    }
+  }
+  // Near-ties (within ~1% predicted energy) are resolved toward the lowest
+  // predicted power: among equal-energy configurations the cooler one is
+  // preferable, and deterministic tie-breaking stabilizes the supervision
+  // labels the policy is trained on.
+  {
+    double best_power = models_->predict_power_w(w, best);
+    for (const soc::SocConfig& c : candidates) {
+      if (models_->predict_log_cost(w, c) > best_cost + 0.01) continue;
+      const double p = models_->predict_power_w(w, c);
+      if (p < best_power) {
+        best_power = p;
+        best = c;
+      }
+    }
+  }
+
+  // Epsilon-greedy exploration over the candidate set: keeps the online
+  // models excited outside the current operating point.  The supervision
+  // label below is always the argmin, never the exploratory config.
+  soc::SocConfig applied = best;
+  last_was_exploratory_ = rng_.bernoulli(explore_);
+  if (last_was_exploratory_) {
+    applied = candidates[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(candidates.size()) - 1))];
+  }
+  explore_ = std::max(cfg_.explore_min, explore_ * cfg_.explore_decay);
+
+  // 4. Aggregate supervision and periodically retrain the policy.
+  buffer_states_.push_back(state);
+  buffer_labels_.push_back(best);
+  if (buffer_states_.size() >= cfg_.buffer_capacity) {
+    for (std::size_t i = 0; i < buffer_states_.size(); ++i) {
+      agg_states_.push_back(buffer_states_[i]);
+      agg_labels_.push_back(buffer_labels_[i]);
+    }
+    while (agg_states_.size() > cfg_.aggregate_capacity) {
+      agg_states_.pop_front();
+      agg_labels_.pop_front();
+    }
+    PolicyDataset ds;
+    ds.states.assign(agg_states_.begin(), agg_states_.end());
+    ds.labels.assign(agg_labels_.begin(), agg_labels_.end());
+    policy_->train_incremental(ds, cfg_.update_epochs, rng_);
+    ++policy_updates_;
+    buffer_states_.clear();
+    buffer_labels_.clear();
+  }
+  return applied;
+}
+
+OfflineIlController::OfflineIlController(const soc::ConfigSpace& space, const IlPolicy& policy)
+    : policy_(&policy), fx_(space) {}
+
+soc::SocConfig OfflineIlController::step(const soc::SnippetResult& result,
+                                         const soc::SocConfig& executed) {
+  const soc::SocConfig c = policy_->decide(fx_.policy_features(result.counters, executed));
+  last_policy_ = c;
+  return c;
+}
+
+}  // namespace oal::core

@@ -1,0 +1,71 @@
+#include "core/oracle.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace oal::core {
+
+soc::SocConfig oracle_config(const soc::BigLittlePlatform& plat, const soc::SnippetDescriptor& s,
+                             Objective obj) {
+  const soc::ConfigSpace& space = plat.space();
+  soc::SocConfig best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const soc::SocConfig c = space.config_at(i);
+    const double cost = objective_cost(plat.execute_ideal(s, c), obj);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double oracle_cost(const soc::BigLittlePlatform& plat, const soc::SnippetDescriptor& s,
+                   Objective obj) {
+  return objective_cost(plat.execute_ideal(s, oracle_config(plat, s, obj)), obj);
+}
+
+std::vector<std::size_t> labels_of(const soc::SocConfig& c) {
+  return {static_cast<std::size_t>(c.num_little - 1), static_cast<std::size_t>(c.num_big),
+          static_cast<std::size_t>(c.little_freq_idx), static_cast<std::size_t>(c.big_freq_idx)};
+}
+
+soc::SocConfig config_of(const std::vector<std::size_t>& labels) {
+  if (labels.size() != 4) throw std::invalid_argument("config_of: need 4 labels");
+  return soc::SocConfig{static_cast<int>(labels[0]) + 1, static_cast<int>(labels[1]),
+                        static_cast<int>(labels[2]), static_cast<int>(labels[3])};
+}
+
+OfflineData collect_offline_data(soc::BigLittlePlatform& plat,
+                                 const std::vector<workloads::AppSpec>& apps, Objective obj,
+                                 std::size_t snippets_per_app, std::size_t configs_per_snippet,
+                                 common::Rng& rng) {
+  OfflineData data;
+  const soc::ConfigSpace& space = plat.space();
+  const FeatureExtractor fx(space);
+  for (const auto& app : apps) {
+    const auto trace = workloads::CpuBenchmarks::trace(app, snippets_per_app, rng);
+    for (const auto& snip : trace) {
+      const soc::SocConfig label = oracle_config(plat, snip, obj);
+      for (std::size_t k = 0; k <= configs_per_snippet; ++k) {
+        // k == 0 observes at the Oracle configuration itself (the state the
+        // converged policy will actually see); the rest at random configs so
+        // the policy is robust to arbitrary starting points.
+        const soc::SocConfig at =
+            k == 0 ? label
+                   : space.config_at(static_cast<std::size_t>(
+                         rng.uniform_int(0, static_cast<int>(space.size()) - 1)));
+        const soc::SnippetResult r = plat.execute(snip, at);
+        data.policy.states.push_back(fx.policy_features(r.counters, at));
+        data.policy.labels.push_back(label);
+        data.model_samples.push_back(ModelSample{workload_features(r.counters, at), at,
+                                                 r.exec_time_s, r.counters.instructions_retired,
+                                                 r.avg_power_w});
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace oal::core

@@ -1,0 +1,58 @@
+// Oracle construction and offline dataset generation (paper Section IV-A1).
+//
+// The Oracle maps a snippet to the configuration minimizing the chosen
+// objective, found by exhaustively evaluating all 4940 configurations on the
+// ground-truth platform model — the simulator equivalent of the paper's
+// "each snippet ... executed at each configuration supported by the SoC".
+// Oracle policies cannot ship (4940 evaluations / snippet and unbounded
+// storage); they exist to (a) label IL training data and (b) normalize the
+// energies reported in Table II and Figs. 3-4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "core/features.h"
+#include "core/models.h"
+#include "core/objectives.h"
+#include "soc/platform.h"
+#include "workloads/cpu_benchmarks.h"
+
+namespace oal::core {
+
+/// Exhaustive ground-truth optimum for one snippet.
+soc::SocConfig oracle_config(const soc::BigLittlePlatform& plat, const soc::SnippetDescriptor& s,
+                             Objective obj);
+
+/// Cost of the oracle configuration (used as the normalization denominator).
+double oracle_cost(const soc::BigLittlePlatform& plat, const soc::SnippetDescriptor& s,
+                   Objective obj);
+
+/// Supervised IL dataset: policy states paired with Oracle configurations.
+struct PolicyDataset {
+  std::vector<common::Vec> states;
+  std::vector<soc::SocConfig> labels;
+};
+
+/// Offline data-collection protocol: for each app, generate a snippet trace,
+/// execute each snippet at `configs_per_snippet` random configurations plus
+/// the Oracle configuration (with measurement noise, as a real profiling run
+/// would see), and pair every observed state with the Oracle label.
+/// Also returns the raw model samples for bootstrapping the online models.
+struct OfflineData {
+  PolicyDataset policy;
+  std::vector<ModelSample> model_samples;
+};
+OfflineData collect_offline_data(soc::BigLittlePlatform& plat,
+                                 const std::vector<workloads::AppSpec>& apps, Objective obj,
+                                 std::size_t snippets_per_app, std::size_t configs_per_snippet,
+                                 common::Rng& rng);
+
+/// Knob-label encoding shared by the IL policy and dataset code:
+/// {num_little-1, num_big, little_freq_idx, big_freq_idx}.
+std::vector<std::size_t> labels_of(const soc::SocConfig& c);
+soc::SocConfig config_of(const std::vector<std::size_t>& labels);
+
+}  // namespace oal::core

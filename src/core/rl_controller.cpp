@@ -1,0 +1,102 @@
+#include "core/rl_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oal::core {
+
+soc::SocConfig apply_rl_action(const soc::ConfigSpace& space, const soc::SocConfig& c,
+                               std::size_t action) {
+  soc::SocConfig n = c;
+  switch (action) {
+    case 0: break;  // hold
+    case 1: n.num_little += 1; break;
+    case 2: n.num_little -= 1; break;
+    case 3: n.num_big += 1; break;
+    case 4: n.num_big -= 1; break;
+    case 5: n.little_freq_idx += 1; break;
+    case 6: n.little_freq_idx -= 1; break;
+    case 7: n.big_freq_idx += 1; break;
+    case 8: n.big_freq_idx -= 1; break;
+    default: break;
+  }
+  // Clamp each knob to its legal range (an out-of-range move degrades to hold
+  // on that knob, as a real governor interface would).
+  n.num_little = std::clamp(n.num_little, 1, 4);
+  n.num_big = std::clamp(n.num_big, 0, 4);
+  n.little_freq_idx =
+      std::clamp(n.little_freq_idx, 0, static_cast<int>(space.little_freqs().size()) - 1);
+  n.big_freq_idx = std::clamp(n.big_freq_idx, 0, static_cast<int>(space.big_freqs().size()) - 1);
+  return n;
+}
+
+namespace {
+
+int bucket(double v, std::initializer_list<double> edges) {
+  int b = 0;
+  for (double e : edges) {
+    if (v < e) return b;
+    ++b;
+  }
+  return b;
+}
+
+double reward_of(const soc::SnippetResult& r, const RlRewardScale& s) {
+  const double instr = std::max(r.counters.instructions_retired, 1.0);
+  return -(r.energy_j / instr) * s.nj_per_inst_scale;
+}
+
+}  // namespace
+
+QLearningController::QLearningController(const soc::ConfigSpace& space, ml::QLearnConfig cfg,
+                                         RlRewardScale scale)
+    : space_(&space), q_(kNumRlActions, cfg), scale_(scale) {}
+
+std::uint64_t QLearningController::discretize(const soc::PerfCounters& k,
+                                              const soc::SocConfig& c) const {
+  const WorkloadFeatures w = workload_features(k, c);
+  std::vector<int> comps{
+      bucket(w.mpki, {1.0, 3.0, 6.0, 10.0}),
+      bucket(w.bmpki, {2.0, 5.0}),
+      bucket(w.pf_proxy, {0.2, 0.5}),
+      bucket(k.big_cluster_utilization, {0.05, 0.5}),
+      c.num_little,
+      c.num_big,
+      c.little_freq_idx / 5,
+      c.big_freq_idx / 5,
+  };
+  return ml::hash_state(comps);
+}
+
+void QLearningController::begin_run(const soc::SocConfig& /*initial*/) { has_prev_ = false; }
+
+soc::SocConfig QLearningController::step(const soc::SnippetResult& result,
+                                         const soc::SocConfig& executed) {
+  const std::uint64_t state = discretize(result.counters, executed);
+  if (has_prev_) q_.update(prev_state_, prev_action_, reward_of(result, scale_), state);
+  const std::size_t action = q_.select_action(state);
+  prev_state_ = state;
+  prev_action_ = action;
+  has_prev_ = true;
+  return apply_rl_action(*space_, executed, action);
+}
+
+DqnController::DqnController(const soc::ConfigSpace& space, ml::DqnConfig cfg, RlRewardScale scale)
+    : space_(&space), fx_(space), dqn_(fx_.policy_dim(), kNumRlActions, cfg), scale_(scale) {}
+
+void DqnController::begin_run(const soc::SocConfig& /*initial*/) { has_prev_ = false; }
+
+soc::SocConfig DqnController::step(const soc::SnippetResult& result,
+                                   const soc::SocConfig& executed) {
+  common::Vec state = fx_.policy_features(result.counters, executed);
+  // Squash the unbounded counter-rate features for network stability.
+  for (double& v : state) v = std::tanh(v * 0.2);
+  if (has_prev_) dqn_.observe(prev_state_, prev_action_, reward_of(result, scale_), state);
+  const std::size_t action = dqn_.select_action(state);
+  prev_state_ = state;
+  prev_action_ = action;
+  has_prev_ = true;
+  return apply_rl_action(*space_, executed, action);
+}
+
+}  // namespace oal::core

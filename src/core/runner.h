@@ -1,0 +1,67 @@
+// DRM experiment runner.
+//
+// Executes a snippet trace on the platform under a controller, recording per
+// snippet: the applied configuration, the controller's bare-policy decision
+// (if any), the Oracle configuration and both energies.  The benches derive
+// every row of Table II and every curve of Figs. 3-4 from these records.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/objectives.h"
+#include "core/oracle.h"
+#include "soc/platform.h"
+
+namespace oal::core {
+
+struct SnippetRecord {
+  std::size_t index = 0;
+  std::uint32_t app_id = 0;
+  double start_time_s = 0.0;   ///< wall-clock time at snippet start
+  soc::SocConfig applied;
+  std::optional<soc::SocConfig> policy_decision;
+  soc::SocConfig oracle;
+  double energy_j = 0.0;        ///< measured energy at the applied config
+  double oracle_energy_j = 0.0; ///< ground-truth energy at the Oracle config
+  double exec_time_s = 0.0;
+};
+
+struct RunResult {
+  std::vector<SnippetRecord> records;
+
+  double total_energy_j() const;
+  double oracle_energy_j() const;
+  double total_time_s() const;
+  /// Total energy normalized to the Oracle (the metric of Table II / Fig. 4).
+  double energy_ratio() const;
+  /// Energy ratio restricted to snippets of one app.
+  double energy_ratio_for_app(std::uint32_t app_id) const;
+
+  /// Fraction of records in [begin, end) whose policy decision matches the
+  /// Oracle on the big-cluster frequency (the Fig. 3 metric).  Records with
+  /// no policy decision fall back to the applied configuration.
+  double big_freq_accuracy(std::size_t begin, std::size_t end, int tolerance_steps = 0) const;
+  /// Same, over full configurations.
+  double config_accuracy(std::size_t begin, std::size_t end) const;
+};
+
+struct RunnerOptions {
+  Objective objective = Objective::kEnergy;
+  bool compute_oracle = true;  ///< disable for speed when ratios are not needed
+};
+
+class DrmRunner {
+ public:
+  DrmRunner(soc::BigLittlePlatform& platform, RunnerOptions opts = {});
+
+  RunResult run(const std::vector<soc::SnippetDescriptor>& trace, DrmController& controller,
+                const soc::SocConfig& initial);
+
+ private:
+  soc::BigLittlePlatform* platform_;
+  RunnerOptions opts_;
+};
+
+}  // namespace oal::core

@@ -1,0 +1,26 @@
+// Graphics frame descriptor.
+//
+// Deadline-driven graphics workloads (paper Section IV-B) are sequences of
+// frames; each frame carries configuration-independent work descriptors from
+// which the GPU platform model derives frame time, power and energy for any
+// (slice count, frequency) setting.
+#pragma once
+
+#include <cstdint>
+
+namespace oal::gpu {
+
+struct FrameDescriptor {
+  /// GPU shader/raster work in cycles on a single slice at unit efficiency.
+  double render_cycles = 4.0e6;
+  /// Memory traffic for the frame (bytes: textures, render targets).
+  double mem_bytes = 8.0e6;
+  /// CPU-side driver + game-logic work for this frame (cycles on one core).
+  double cpu_cycles = 2.0e6;
+  /// Fraction of memory time not hidden behind compute.
+  double mem_exposed = 0.30;
+
+  std::uint32_t workload_id = 0;
+};
+
+}  // namespace oal::gpu

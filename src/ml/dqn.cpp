@@ -1,0 +1,71 @@
+#include "ml/dqn.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oal::ml {
+
+namespace {
+MlpConfig make_mlp_config(const DqnConfig& cfg, std::uint64_t seed_offset) {
+  MlpConfig m;
+  m.hidden = cfg.hidden;
+  m.activation = Activation::kRelu;
+  m.learning_rate = cfg.learning_rate;
+  m.seed = cfg.seed + seed_offset;
+  return m;
+}
+}  // namespace
+
+Dqn::Dqn(std::size_t state_dim, std::size_t num_actions, DqnConfig cfg)
+    : state_dim_(state_dim), num_actions_(num_actions), cfg_(cfg),
+      online_(state_dim, num_actions, make_mlp_config(cfg, 0)),
+      target_(state_dim, num_actions, make_mlp_config(cfg, 0)),
+      epsilon_(cfg.epsilon_init), rng_(cfg.seed + 99) {
+  if (num_actions == 0) throw std::invalid_argument("Dqn: need at least one action");
+  target_.copy_params_from(online_);
+}
+
+std::size_t Dqn::select_action(const common::Vec& state) {
+  std::size_t a;
+  if (rng_.bernoulli(epsilon_)) {
+    a = static_cast<std::size_t>(rng_.uniform_int(0, static_cast<int>(num_actions_) - 1));
+  } else {
+    a = greedy_action(state);
+  }
+  epsilon_ = std::max(cfg_.epsilon_min, epsilon_ * cfg_.epsilon_decay);
+  return a;
+}
+
+std::size_t Dqn::greedy_action(const common::Vec& state) const {
+  const common::Vec q = online_.forward(state);
+  return static_cast<std::size_t>(std::distance(q.begin(), std::max_element(q.begin(), q.end())));
+}
+
+void Dqn::observe(const common::Vec& state, std::size_t action, double reward,
+                  const common::Vec& next_state) {
+  if (state.size() != state_dim_ || next_state.size() != state_dim_)
+    throw std::invalid_argument("Dqn::observe: state dim mismatch");
+  if (action >= num_actions_) throw std::invalid_argument("Dqn::observe: bad action");
+  replay_.push_back({state, action, reward, next_state});
+  while (replay_.size() > cfg_.replay_capacity) replay_.pop_front();
+  ++steps_;
+  if (replay_.size() >= cfg_.min_replay) train_batch();
+  if (steps_ % cfg_.target_sync_period == 0) target_.copy_params_from(online_);
+}
+
+void Dqn::train_batch() {
+  for (std::size_t b = 0; b < cfg_.batch_size; ++b) {
+    const auto& tr = replay_[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(replay_.size()) - 1))];
+    const common::Vec next_q = target_.forward(tr.next_state);
+    const double best_next = *std::max_element(next_q.begin(), next_q.end());
+    const double td_target = tr.reward + cfg_.gamma * best_next;
+    common::Vec target = online_.forward(tr.state);
+    common::Vec mask(num_actions_, 0.0);
+    target[tr.action] = td_target;
+    mask[tr.action] = 1.0;
+    online_.train_step(tr.state, target, &mask);
+  }
+}
+
+}  // namespace oal::ml

@@ -1,0 +1,308 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace oal::ml {
+
+namespace {
+constexpr double kAdamBeta1 = 0.9;
+constexpr double kAdamBeta2 = 0.999;
+constexpr double kAdamEps = 1e-8;
+}  // namespace
+
+common::Vec softmax(const common::Vec& z) {
+  double mx = z.front();
+  for (double v : z) mx = std::max(mx, v);
+  common::Vec p(z.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    p[i] = std::exp(z[i] - mx);
+    sum += p[i];
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+DenseLayer::DenseLayer(std::size_t in, std::size_t out, common::Rng& rng)
+    : w_(out, in), b_(out, 0.0), gw_(out, in), gb_(out, 0.0), mw_(out, in), vw_(out, in),
+      mb_(out, 0.0), vb_(out, 0.0) {
+  // Xavier/Glorot initialization.
+  const double scale = std::sqrt(2.0 / static_cast<double>(in + out));
+  for (std::size_t r = 0; r < out; ++r)
+    for (std::size_t c = 0; c < in; ++c) w_(r, c) = rng.normal(0.0, scale);
+}
+
+common::Vec DenseLayer::forward(const common::Vec& x) const {
+  common::Vec y = w_ * x;
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += b_[i];
+  return y;
+}
+
+common::Vec DenseLayer::backward(const common::Vec& x, const common::Vec& dy) {
+  for (std::size_t r = 0; r < w_.rows(); ++r) {
+    gb_[r] += dy[r];
+    for (std::size_t c = 0; c < w_.cols(); ++c) gw_(r, c) += dy[r] * x[c];
+  }
+  common::Vec dx(w_.cols(), 0.0);
+  for (std::size_t r = 0; r < w_.rows(); ++r)
+    for (std::size_t c = 0; c < w_.cols(); ++c) dx[c] += w_(r, c) * dy[r];
+  return dx;
+}
+
+void DenseLayer::apply_adam(double lr, double l2, std::size_t t) {
+  const double bc1 = 1.0 - std::pow(kAdamBeta1, static_cast<double>(t));
+  const double bc2 = 1.0 - std::pow(kAdamBeta2, static_cast<double>(t));
+  for (std::size_t r = 0; r < w_.rows(); ++r) {
+    for (std::size_t c = 0; c < w_.cols(); ++c) {
+      const double g = gw_(r, c) + l2 * w_(r, c);
+      mw_(r, c) = kAdamBeta1 * mw_(r, c) + (1.0 - kAdamBeta1) * g;
+      vw_(r, c) = kAdamBeta2 * vw_(r, c) + (1.0 - kAdamBeta2) * g * g;
+      w_(r, c) -= lr * (mw_(r, c) / bc1) / (std::sqrt(vw_(r, c) / bc2) + kAdamEps);
+    }
+    const double g = gb_[r];
+    mb_[r] = kAdamBeta1 * mb_[r] + (1.0 - kAdamBeta1) * g;
+    vb_[r] = kAdamBeta2 * vb_[r] + (1.0 - kAdamBeta2) * g * g;
+    b_[r] -= lr * (mb_[r] / bc1) / (std::sqrt(vb_[r] / bc2) + kAdamEps);
+  }
+}
+
+void DenseLayer::zero_grad() {
+  gw_ *= 0.0;
+  std::fill(gb_.begin(), gb_.end(), 0.0);
+}
+
+// ---- Mlp -------------------------------------------------------------------
+
+Mlp::Mlp(std::size_t input_dim, std::size_t output_dim, MlpConfig cfg)
+    : input_dim_(input_dim), output_dim_(output_dim), cfg_(cfg) {
+  if (input_dim == 0 || output_dim == 0) throw std::invalid_argument("Mlp: zero dimension");
+  common::Rng rng(cfg_.seed);
+  std::size_t prev = input_dim;
+  for (std::size_t h : cfg_.hidden) {
+    layers_.emplace_back(prev, h, rng);
+    prev = h;
+  }
+  layers_.emplace_back(prev, output_dim, rng);
+}
+
+common::Vec Mlp::activate(const common::Vec& z) const {
+  common::Vec a(z.size());
+  if (cfg_.activation == Activation::kTanh) {
+    for (std::size_t i = 0; i < z.size(); ++i) a[i] = std::tanh(z[i]);
+  } else {
+    for (std::size_t i = 0; i < z.size(); ++i) a[i] = z[i] > 0.0 ? z[i] : 0.0;
+  }
+  return a;
+}
+
+common::Vec Mlp::activate_grad(const common::Vec& z) const {
+  common::Vec g(z.size());
+  if (cfg_.activation == Activation::kTanh) {
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      const double t = std::tanh(z[i]);
+      g[i] = 1.0 - t * t;
+    }
+  } else {
+    for (std::size_t i = 0; i < z.size(); ++i) g[i] = z[i] > 0.0 ? 1.0 : 0.0;
+  }
+  return g;
+}
+
+common::Vec Mlp::forward(const common::Vec& x) const {
+  if (x.size() != input_dim_) throw std::invalid_argument("Mlp::forward: dim mismatch");
+  common::Vec a = x;
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) a = activate(layers_[l].forward(a));
+  return layers_.back().forward(a);
+}
+
+double Mlp::train_step(const common::Vec& x, const common::Vec& target, const common::Vec* mask) {
+  if (target.size() != output_dim_) throw std::invalid_argument("Mlp::train_step: target dim");
+  // Forward with caches.
+  std::vector<common::Vec> pre, post;
+  post.push_back(x);
+  common::Vec a = x;
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    common::Vec z = layers_[l].forward(a);
+    pre.push_back(z);
+    a = activate(z);
+    post.push_back(a);
+  }
+  const common::Vec y = layers_.back().forward(a);
+
+  common::Vec dy(output_dim_);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < output_dim_; ++i) {
+    const double m = mask != nullptr ? (*mask)[i] : 1.0;
+    const double e = (y[i] - target[i]) * m;
+    dy[i] = e;
+    loss += 0.5 * e * e;
+  }
+
+  for (auto& l : layers_) l.zero_grad();
+  common::Vec grad = layers_.back().backward(post.back(), dy);
+  for (std::size_t l = layers_.size() - 1; l-- > 0;) {
+    const common::Vec ag = activate_grad(pre[l]);
+    for (std::size_t i = 0; i < grad.size(); ++i) grad[i] *= ag[i];
+    grad = layers_[l].backward(post[l], grad);
+  }
+  ++adam_t_;
+  for (auto& l : layers_) l.apply_adam(cfg_.learning_rate, cfg_.l2, adam_t_);
+  return loss;
+}
+
+double Mlp::train(const std::vector<common::Vec>& xs, const std::vector<common::Vec>& targets,
+                  std::size_t epochs, std::size_t batch_size, common::Rng& rng) {
+  if (xs.size() != targets.size() || xs.empty()) throw std::invalid_argument("Mlp::train: bad data");
+  (void)batch_size;  // per-sample Adam steps; batch_size kept for API symmetry
+  double last_epoch_loss = 0.0;
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (std::size_t i = order.size(); i-- > 1;)
+      std::swap(order[i], order[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(i)))]);
+    double loss = 0.0;
+    for (std::size_t idx : order) loss += train_step(xs[idx], targets[idx]);
+    last_epoch_loss = loss / static_cast<double>(xs.size());
+  }
+  return last_epoch_loss;
+}
+
+std::size_t Mlp::num_params() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.num_params();
+  return n;
+}
+
+void Mlp::copy_params_from(const Mlp& other) {
+  if (other.layers_.size() != layers_.size()) throw std::invalid_argument("Mlp::copy_params_from: shape");
+  layers_ = other.layers_;
+}
+
+// ---- MultiHeadClassifier ----------------------------------------------------
+
+MultiHeadClassifier::MultiHeadClassifier(std::size_t input_dim, std::vector<std::size_t> head_sizes,
+                                         MlpConfig cfg)
+    : input_dim_(input_dim), cfg_(cfg), head_sizes_(std::move(head_sizes)) {
+  if (head_sizes_.empty()) throw std::invalid_argument("MultiHeadClassifier: no heads");
+  common::Rng rng(cfg_.seed);
+  std::size_t prev = input_dim;
+  for (std::size_t h : cfg_.hidden) {
+    trunk_.emplace_back(prev, h, rng);
+    prev = h;
+  }
+  for (std::size_t hs : head_sizes_) {
+    if (hs < 2) throw std::invalid_argument("MultiHeadClassifier: head needs >= 2 classes");
+    heads_.emplace_back(prev, hs, rng);
+  }
+}
+
+MultiHeadClassifier::TrunkCache MultiHeadClassifier::trunk_forward(const common::Vec& x) const {
+  TrunkCache c;
+  c.post.push_back(x);
+  common::Vec a = x;
+  for (const auto& layer : trunk_) {
+    common::Vec z = layer.forward(a);
+    c.pre.push_back(z);
+    a.resize(z.size());
+    if (cfg_.activation == Activation::kTanh) {
+      for (std::size_t i = 0; i < z.size(); ++i) a[i] = std::tanh(z[i]);
+    } else {
+      for (std::size_t i = 0; i < z.size(); ++i) a[i] = z[i] > 0.0 ? z[i] : 0.0;
+    }
+    c.post.push_back(a);
+  }
+  return c;
+}
+
+std::vector<common::Vec> MultiHeadClassifier::predict_proba(const common::Vec& x) const {
+  if (x.size() != input_dim_) throw std::invalid_argument("MultiHeadClassifier: dim mismatch");
+  const TrunkCache c = trunk_forward(x);
+  std::vector<common::Vec> probs;
+  probs.reserve(heads_.size());
+  for (const auto& head : heads_) probs.push_back(softmax(head.forward(c.post.back())));
+  return probs;
+}
+
+std::vector<std::size_t> MultiHeadClassifier::predict(const common::Vec& x) const {
+  const auto probs = predict_proba(x);
+  std::vector<std::size_t> cls;
+  cls.reserve(probs.size());
+  for (const auto& p : probs)
+    cls.push_back(static_cast<std::size_t>(
+        std::distance(p.begin(), std::max_element(p.begin(), p.end()))));
+  return cls;
+}
+
+double MultiHeadClassifier::train_step(const common::Vec& x, const std::vector<std::size_t>& labels) {
+  if (labels.size() != heads_.size())
+    throw std::invalid_argument("MultiHeadClassifier::train_step: label count mismatch");
+  const TrunkCache c = trunk_forward(x);
+
+  for (auto& l : trunk_) l.zero_grad();
+  for (auto& h : heads_) h.zero_grad();
+
+  double loss = 0.0;
+  common::Vec dtrunk(c.post.back().size(), 0.0);
+  for (std::size_t h = 0; h < heads_.size(); ++h) {
+    if (labels[h] >= head_sizes_[h])
+      throw std::invalid_argument("MultiHeadClassifier::train_step: label out of range");
+    const common::Vec z = heads_[h].forward(c.post.back());
+    common::Vec p = softmax(z);
+    loss += -std::log(std::max(p[labels[h]], 1e-12));
+    // dL/dz = p - onehot(label)
+    p[labels[h]] -= 1.0;
+    const common::Vec dx = heads_[h].backward(c.post.back(), p);
+    for (std::size_t i = 0; i < dtrunk.size(); ++i) dtrunk[i] += dx[i];
+  }
+
+  common::Vec grad = dtrunk;
+  for (std::size_t l = trunk_.size(); l-- > 0;) {
+    const common::Vec& z = c.pre[l];
+    if (cfg_.activation == Activation::kTanh) {
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        const double t = std::tanh(z[i]);
+        grad[i] *= 1.0 - t * t;
+      }
+    } else {
+      for (std::size_t i = 0; i < grad.size(); ++i) grad[i] *= z[i] > 0.0 ? 1.0 : 0.0;
+    }
+    grad = trunk_[l].backward(c.post[l], grad);
+  }
+
+  ++adam_t_;
+  for (auto& l : trunk_) l.apply_adam(cfg_.learning_rate, cfg_.l2, adam_t_);
+  for (auto& h : heads_) h.apply_adam(cfg_.learning_rate, cfg_.l2, adam_t_);
+  return loss;
+}
+
+double MultiHeadClassifier::train(const std::vector<common::Vec>& xs,
+                                  const std::vector<std::vector<std::size_t>>& labels,
+                                  std::size_t epochs, std::size_t batch_size, common::Rng& rng) {
+  if (xs.size() != labels.size() || xs.empty())
+    throw std::invalid_argument("MultiHeadClassifier::train: bad data");
+  (void)batch_size;
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+  double last = 0.0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    for (std::size_t i = order.size(); i-- > 1;)
+      std::swap(order[i], order[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(i)))]);
+    double loss = 0.0;
+    for (std::size_t idx : order) loss += train_step(xs[idx], labels[idx]);
+    last = loss / static_cast<double>(xs.size());
+  }
+  return last;
+}
+
+std::size_t MultiHeadClassifier::num_params() const {
+  std::size_t n = 0;
+  for (const auto& l : trunk_) n += l.num_params();
+  for (const auto& h : heads_) n += h.num_params();
+  return n;
+}
+
+}  // namespace oal::ml

@@ -1,0 +1,140 @@
+// Multi-layer perceptrons trained with backpropagation (paper Section IV-A3:
+// "the policy is represented as a neural network and it is updated using the
+// back-propagation algorithm").
+//
+// Two variants are provided:
+//  * Mlp — generic regression network with linear outputs (used by the DQN
+//    baseline and by function-approximation experiments).
+//  * MultiHeadClassifier — a shared trunk with one softmax head per control
+//    knob; this is the IL policy representation (one head each for the
+//    number of little/big cores and the little/big frequency levels).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace oal::ml {
+
+enum class Activation { kTanh, kRelu };
+
+/// One dense layer with Adam optimizer state.
+class DenseLayer {
+ public:
+  DenseLayer(std::size_t in, std::size_t out, common::Rng& rng);
+
+  common::Vec forward(const common::Vec& x) const;
+  /// Backward pass: given dL/dy and the cached input, accumulates parameter
+  /// gradients and returns dL/dx.
+  common::Vec backward(const common::Vec& x, const common::Vec& dy);
+
+  void apply_adam(double lr, double l2, std::size_t t);
+  void zero_grad();
+
+  std::size_t in_dim() const { return w_.cols(); }
+  std::size_t out_dim() const { return w_.rows(); }
+  std::size_t num_params() const { return w_.rows() * w_.cols() + b_.size(); }
+
+  const common::Mat& weights() const { return w_; }
+
+ private:
+  common::Mat w_;       // out x in
+  common::Vec b_;       // out
+  common::Mat gw_;      // gradient accumulators
+  common::Vec gb_;
+  common::Mat mw_, vw_; // Adam moments
+  common::Vec mb_, vb_;
+};
+
+struct MlpConfig {
+  std::vector<std::size_t> hidden{32};
+  Activation activation = Activation::kTanh;
+  double learning_rate = 1e-3;
+  double l2 = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Regression MLP with linear outputs, trained on (optionally masked) MSE.
+class Mlp {
+ public:
+  Mlp(std::size_t input_dim, std::size_t output_dim, MlpConfig cfg = {});
+
+  common::Vec forward(const common::Vec& x) const;
+
+  /// One SGD/Adam step on 0.5*||mask .* (f(x) - target)||^2; returns the loss.
+  /// mask == nullptr means all outputs contribute.
+  double train_step(const common::Vec& x, const common::Vec& target,
+                    const common::Vec* mask = nullptr);
+
+  /// Mini-batch training over a dataset; returns mean loss of the last epoch.
+  double train(const std::vector<common::Vec>& xs, const std::vector<common::Vec>& targets,
+               std::size_t epochs, std::size_t batch_size, common::Rng& rng);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t output_dim() const { return output_dim_; }
+  std::size_t num_params() const;
+
+  /// Copies all parameters from another network of identical shape (used for
+  /// DQN target networks).
+  void copy_params_from(const Mlp& other);
+
+ private:
+  friend class MultiHeadClassifier;
+  common::Vec activate(const common::Vec& z) const;
+  common::Vec activate_grad(const common::Vec& z) const;
+
+  std::size_t input_dim_;
+  std::size_t output_dim_;
+  MlpConfig cfg_;
+  std::vector<DenseLayer> layers_;
+  std::size_t adam_t_ = 0;
+};
+
+/// Shared-trunk multi-head softmax classifier: the IL policy network.
+class MultiHeadClassifier {
+ public:
+  /// head_sizes[h] = number of classes of head h.
+  MultiHeadClassifier(std::size_t input_dim, std::vector<std::size_t> head_sizes,
+                      MlpConfig cfg = {});
+
+  /// Per-head class probabilities.
+  std::vector<common::Vec> predict_proba(const common::Vec& x) const;
+  /// Per-head argmax class.
+  std::vector<std::size_t> predict(const common::Vec& x) const;
+
+  /// One Adam step on the summed cross-entropy of all heads; returns loss.
+  double train_step(const common::Vec& x, const std::vector<std::size_t>& labels);
+
+  /// Mini-batch training; returns mean loss of the final epoch.
+  double train(const std::vector<common::Vec>& xs,
+               const std::vector<std::vector<std::size_t>>& labels, std::size_t epochs,
+               std::size_t batch_size, common::Rng& rng);
+
+  std::size_t num_heads() const { return heads_.size(); }
+  std::size_t num_params() const;
+  /// Storage footprint in bytes assuming 4-byte fixed-point parameters (the
+  /// paper stores the policy in <20 KB of firmware memory).
+  std::size_t storage_bytes() const { return num_params() * 4; }
+
+ private:
+  struct TrunkCache {
+    std::vector<common::Vec> pre;   // pre-activation per layer
+    std::vector<common::Vec> post;  // post-activation per layer (post[0] = input)
+  };
+  TrunkCache trunk_forward(const common::Vec& x) const;
+
+  std::size_t input_dim_;
+  MlpConfig cfg_;
+  std::vector<DenseLayer> trunk_;
+  std::vector<DenseLayer> heads_;
+  std::vector<std::size_t> head_sizes_;
+  std::size_t adam_t_ = 0;
+};
+
+/// Numerically-stable softmax.
+common::Vec softmax(const common::Vec& z);
+
+}  // namespace oal::ml

@@ -1,0 +1,70 @@
+#include "ml/qlearn.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oal::ml {
+
+TabularQ::TabularQ(std::size_t num_actions, QLearnConfig cfg)
+    : num_actions_(num_actions), cfg_(cfg), epsilon_(cfg.epsilon_init), rng_(cfg.seed),
+      default_row_(num_actions, cfg.optimistic_init) {
+  if (num_actions == 0) throw std::invalid_argument("TabularQ: need at least one action");
+}
+
+const std::vector<double>& TabularQ::row(std::uint64_t state) const {
+  const auto it = table_.find(state);
+  return it == table_.end() ? default_row_ : it->second;
+}
+
+std::vector<double>& TabularQ::row_mut(std::uint64_t state) {
+  auto [it, inserted] = table_.try_emplace(state, default_row_);
+  return it->second;
+}
+
+std::size_t TabularQ::select_action(std::uint64_t state) {
+  std::size_t a;
+  if (rng_.bernoulli(epsilon_)) {
+    a = static_cast<std::size_t>(rng_.uniform_int(0, static_cast<int>(num_actions_) - 1));
+  } else {
+    a = greedy_action(state);
+  }
+  epsilon_ = std::max(cfg_.epsilon_min, epsilon_ * cfg_.epsilon_decay);
+  return a;
+}
+
+std::size_t TabularQ::greedy_action(std::uint64_t state) const {
+  const auto& q = row(state);
+  return static_cast<std::size_t>(std::distance(q.begin(), std::max_element(q.begin(), q.end())));
+}
+
+void TabularQ::update(std::uint64_t state, std::size_t action, double reward,
+                      std::uint64_t next_state) {
+  if (action >= num_actions_) throw std::invalid_argument("TabularQ::update: bad action");
+  const auto& next_q = row(next_state);
+  const double best_next = *std::max_element(next_q.begin(), next_q.end());
+  auto& q = row_mut(state);
+  q[action] += cfg_.alpha * (reward + cfg_.gamma * best_next - q[action]);
+}
+
+double TabularQ::q_value(std::uint64_t state, std::size_t action) const {
+  return row(state)[action];
+}
+
+std::size_t TabularQ::storage_bytes() const {
+  // Key + row of doubles per visited state.
+  return table_.size() * (sizeof(std::uint64_t) + num_actions_ * sizeof(double));
+}
+
+std::uint64_t hash_state(const std::vector<int>& components) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (int c : components) {
+    auto v = static_cast<std::uint64_t>(static_cast<std::int64_t>(c));
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace oal::ml

@@ -1,0 +1,57 @@
+#include "ml/rls.h"
+
+#include <stdexcept>
+
+namespace oal::ml {
+
+RecursiveLeastSquares::RecursiveLeastSquares(std::size_t dim, RlsConfig cfg)
+    : cfg_(cfg), theta_(dim, 0.0), p_(common::Mat::identity(dim) * cfg.initial_p) {
+  if (dim == 0) throw std::invalid_argument("RLS: dim must be > 0");
+  if (cfg.lambda <= 0.0 || cfg.lambda > 1.0)
+    throw std::invalid_argument("RLS: lambda must be in (0, 1]");
+  if (cfg.initial_p <= 0.0) throw std::invalid_argument("RLS: initial_p must be > 0");
+}
+
+double RecursiveLeastSquares::predict(const common::Vec& x) const {
+  return common::dot(theta_, x);
+}
+
+double RecursiveLeastSquares::update(const common::Vec& x, double y) {
+  if (x.size() != theta_.size()) throw std::invalid_argument("RLS: feature dim mismatch");
+  const double err = y - predict(x);
+  // K = P x / (lambda + x' P x)
+  const common::Vec px = p_ * x;
+  const double denom = cfg_.lambda + common::dot(x, px) + cfg_.regularization;
+  common::Vec k = common::scale(px, 1.0 / denom);
+  // theta += K err
+  for (std::size_t i = 0; i < theta_.size(); ++i) theta_[i] += k[i] * err;
+  // P = (P - K x' P) / lambda
+  const common::Mat kxp = common::outer(k, px);
+  p_ -= kxp;
+  p_ *= 1.0 / cfg_.lambda;
+  // Symmetrize to fight numerical drift.
+  for (std::size_t i = 0; i < p_.rows(); ++i)
+    for (std::size_t j = i + 1; j < p_.cols(); ++j) {
+      const double v = 0.5 * (p_(i, j) + p_(j, i));
+      p_(i, j) = v;
+      p_(j, i) = v;
+    }
+  ++updates_;
+  return err;
+}
+
+void RecursiveLeastSquares::set_weights(common::Vec theta) {
+  if (theta.size() != theta_.size()) throw std::invalid_argument("RLS: weight dim mismatch");
+  theta_ = std::move(theta);
+}
+
+void RecursiveLeastSquares::set_lambda(double lambda) {
+  if (lambda <= 0.0 || lambda > 1.0) throw std::invalid_argument("RLS: lambda out of range");
+  cfg_.lambda = lambda;
+}
+
+void RecursiveLeastSquares::reset_covariance() {
+  p_ = common::Mat::identity(theta_.size()) * cfg_.initial_p;
+}
+
+}  // namespace oal::ml

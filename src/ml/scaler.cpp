@@ -1,0 +1,58 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oal::ml {
+
+StandardScaler::StandardScaler(std::size_t dim) : mean_(dim, 0.0), m2_(dim, 0.0) {}
+
+void StandardScaler::fit(const std::vector<common::Vec>& samples) {
+  if (samples.empty()) throw std::invalid_argument("StandardScaler::fit: no samples");
+  mean_.assign(samples.front().size(), 0.0);
+  m2_.assign(samples.front().size(), 0.0);
+  count_ = 0;
+  for (const auto& s : samples) partial_fit(s);
+}
+
+void StandardScaler::partial_fit(const common::Vec& x) {
+  if (mean_.empty()) {
+    mean_.assign(x.size(), 0.0);
+    m2_.assign(x.size(), 0.0);
+  }
+  if (x.size() != mean_.size()) throw std::invalid_argument("StandardScaler: dim mismatch");
+  ++count_;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double delta = x[i] - mean_[i];
+    mean_[i] += delta / static_cast<double>(count_);
+    m2_[i] += delta * (x[i] - mean_[i]);
+  }
+}
+
+common::Vec StandardScaler::stds() const {
+  common::Vec s(mean_.size(), 1.0);
+  if (count_ == 0) return s;
+  for (std::size_t i = 0; i < mean_.size(); ++i) {
+    const double var = m2_[i] / static_cast<double>(count_);
+    s[i] = std::max(std::sqrt(var), kMinStd);
+  }
+  return s;
+}
+
+common::Vec StandardScaler::transform(const common::Vec& x) const {
+  if (x.size() != mean_.size()) throw std::invalid_argument("StandardScaler: dim mismatch");
+  const common::Vec s = stds();
+  common::Vec z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = (x[i] - mean_[i]) / s[i];
+  return z;
+}
+
+common::Vec StandardScaler::inverse_transform(const common::Vec& z) const {
+  if (z.size() != mean_.size()) throw std::invalid_argument("StandardScaler: dim mismatch");
+  const common::Vec s = stds();
+  common::Vec x(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) x[i] = z[i] * s[i] + mean_[i];
+  return x;
+}
+
+}  // namespace oal::ml

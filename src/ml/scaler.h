@@ -1,0 +1,43 @@
+// Feature standardization.
+//
+// All learned models in this project (policies, SVR, MLPs) operate on
+// standardized features; the scaler can be fit offline and then updated
+// online so the feature distribution tracks workload drift.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace oal::ml {
+
+/// Per-feature (x - mean) / std standardizer.
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+  explicit StandardScaler(std::size_t dim);
+
+  /// Batch fit from rows of samples.
+  void fit(const std::vector<common::Vec>& samples);
+
+  /// Online (streaming) update of mean/variance via Welford's algorithm.
+  void partial_fit(const common::Vec& x);
+
+  common::Vec transform(const common::Vec& x) const;
+  common::Vec inverse_transform(const common::Vec& z) const;
+
+  std::size_t dim() const { return mean_.size(); }
+  bool fitted() const { return count_ > 0; }
+  const common::Vec& mean() const { return mean_; }
+  /// Standard deviations (floored at min_std to avoid division blow-up).
+  common::Vec stds() const;
+
+ private:
+  common::Vec mean_;
+  common::Vec m2_;
+  std::size_t count_ = 0;
+  static constexpr double kMinStd = 1e-9;
+};
+
+}  // namespace oal::ml

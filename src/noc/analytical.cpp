@@ -1,0 +1,77 @@
+#include "noc/analytical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oal::noc {
+
+AnalyticalNocModel::AnalyticalNocModel(const Mesh& mesh, NocParams params)
+    : mesh_(&mesh), params_(params) {
+  if (params_.packet_service_cycles <= 0.0)
+    throw std::invalid_argument("AnalyticalNocModel: bad service time");
+}
+
+std::vector<double> AnalyticalNocModel::link_utilization(const TrafficMatrix& t) const {
+  std::vector<double> lambda(mesh_->num_links(), 0.0);
+  for (std::size_t s = 0; s < t.num_nodes(); ++s) {
+    for (std::size_t d = 0; d < t.num_nodes(); ++d) {
+      const double r = t.rate(s, d);
+      if (r <= 0.0 || s == d) continue;
+      for (std::size_t link : mesh_->xy_route(s, d)) lambda[link] += r;
+    }
+  }
+  std::vector<double> rho(lambda.size());
+  for (std::size_t i = 0; i < lambda.size(); ++i)
+    rho[i] = lambda[i] * params_.packet_service_cycles / params_.link_capacity;
+  return rho;
+}
+
+AnalyticalLatency AnalyticalNocModel::evaluate(const TrafficMatrix& t) const {
+  AnalyticalLatency out;
+  const std::vector<double> rho = link_utilization(t);
+  out.max_link_utilization = rho.empty() ? 0.0 : *std::max_element(rho.begin(), rho.end());
+  out.saturated = out.max_link_utilization >= 0.999;
+
+  // M/D/1 waiting per link: W = rho * s / (2 (1 - rho)), capped near
+  // saturation so the model degrades gracefully instead of exploding.
+  const double s_cycles = params_.packet_service_cycles;
+  auto waiting = [&](double r) {
+    const double rc = std::min(r, 0.995);
+    return rc * s_cycles / (2.0 * (1.0 - rc));
+  };
+
+  double total_rate = 0.0;
+  double lat_sum = 0.0;
+  double chan_wait_sum = 0.0;
+  double src_wait_sum = 0.0;
+  for (std::size_t s = 0; s < t.num_nodes(); ++s) {
+    // Source (injection) queue: all flows from s share one injection port.
+    double inj_rate = 0.0;
+    for (std::size_t d = 0; d < t.num_nodes(); ++d)
+      if (d != s) inj_rate += t.rate(s, d);
+    const double src_wait = waiting(inj_rate * s_cycles / params_.link_capacity);
+
+    for (std::size_t d = 0; d < t.num_nodes(); ++d) {
+      const double r = t.rate(s, d);
+      if (r <= 0.0 || s == d) continue;
+      const auto route = mesh_->xy_route(s, d);
+      double w = 0.0;
+      for (std::size_t link : route) w += waiting(rho[link]);
+      const double hops = static_cast<double>(route.size());
+      const double lat =
+          hops * (params_.router_delay_cycles + s_cycles) + w + src_wait;
+      lat_sum += r * lat;
+      chan_wait_sum += r * w;
+      src_wait_sum += r * src_wait;
+      total_rate += r;
+    }
+  }
+  if (total_rate <= 0.0) throw std::invalid_argument("AnalyticalNocModel: empty traffic");
+  out.avg_latency_cycles = lat_sum / total_rate;
+  out.avg_channel_waiting_cycles = chan_wait_sum / total_rate;
+  out.avg_source_waiting_cycles = src_wait_sum / total_rate;
+  return out;
+}
+
+}  // namespace oal::noc

@@ -1,0 +1,50 @@
+// Queueing-theoretic analytical NoC latency model (paper Section III-C:
+// "state-of-the-art techniques view the NoC as a network of queues and
+// construct performance models using queuing theory").
+//
+// Each directed link is an M/D/1 server: deterministic service time equal to
+// the packet serialization latency, Poisson-approximated arrivals equal to
+// the sum of injection rates routed across the link (XY routing).  The
+// average end-to-end packet latency is
+//     L = hops * (t_router + t_ser) + sum_over_links W_link + W_source
+// with the M/D/1 waiting time W = rho * s / (2 (1 - rho)).  Estimated
+// channel and source waiting times are also exported individually — they are
+// the physics features of the SVR-corrected model (Qian et al., TCAD 2015).
+#pragma once
+
+#include "noc/mesh.h"
+
+namespace oal::noc {
+
+struct NocParams {
+  double router_delay_cycles = 3.0;   ///< per-hop pipeline latency
+  double packet_service_cycles = 4.0; ///< serialization time (packet/flit ratio)
+  double link_capacity = 1.0;         ///< packets per service window
+};
+
+struct AnalyticalLatency {
+  double avg_latency_cycles = 0.0;
+  double avg_channel_waiting_cycles = 0.0;  ///< mean per-packet queueing
+  double avg_source_waiting_cycles = 0.0;   ///< injection-queue waiting
+  double max_link_utilization = 0.0;
+  bool saturated = false;  ///< some link at/over capacity
+};
+
+class AnalyticalNocModel {
+ public:
+  AnalyticalNocModel(const Mesh& mesh, NocParams params = {});
+
+  /// Per-link utilization (rho) under a traffic matrix with XY routing.
+  std::vector<double> link_utilization(const TrafficMatrix& t) const;
+
+  /// Average end-to-end latency prediction.
+  AnalyticalLatency evaluate(const TrafficMatrix& t) const;
+
+  const NocParams& params() const { return params_; }
+
+ private:
+  const Mesh* mesh_;
+  NocParams params_;
+};
+
+}  // namespace oal::noc

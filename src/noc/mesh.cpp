@@ -1,0 +1,124 @@
+#include "noc/mesh.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oal::noc {
+
+Mesh::Mesh(std::size_t cols, std::size_t rows) : cols_(cols), rows_(rows) {
+  if (cols < 2 || rows < 1) throw std::invalid_argument("Mesh: need at least a 2x1 mesh");
+  link_lookup_.assign(num_nodes(), std::vector<std::size_t>(num_nodes(), 0));
+  auto add_link = [&](std::size_t a, std::size_t b) {
+    links_.push_back({a, b});
+    link_lookup_[a][b] = links_.size();  // store idx+1
+  };
+  for (std::size_t y = 0; y < rows_; ++y) {
+    for (std::size_t x = 0; x < cols_; ++x) {
+      const std::size_t n = node(x, y);
+      if (x + 1 < cols_) {
+        add_link(n, node(x + 1, y));
+        add_link(node(x + 1, y), n);
+      }
+      if (y + 1 < rows_) {
+        add_link(n, node(x, y + 1));
+        add_link(node(x, y + 1), n);
+      }
+    }
+  }
+}
+
+std::size_t Mesh::link_index(std::size_t from, std::size_t to) const {
+  if (from >= num_nodes() || to >= num_nodes()) throw std::invalid_argument("link_index: bad node");
+  const std::size_t idx = link_lookup_[from][to];
+  if (idx == 0) throw std::invalid_argument("link_index: nodes not adjacent");
+  return idx - 1;
+}
+
+std::vector<std::size_t> Mesh::xy_route(std::size_t src, std::size_t dst) const {
+  if (src >= num_nodes() || dst >= num_nodes()) throw std::invalid_argument("xy_route: bad node");
+  std::vector<std::size_t> route;
+  std::size_t cx = x_of(src), cy = y_of(src);
+  const std::size_t dx = x_of(dst), dy = y_of(dst);
+  while (cx != dx) {
+    const std::size_t nx = cx < dx ? cx + 1 : cx - 1;
+    route.push_back(link_index(node(cx, cy), node(nx, cy)));
+    cx = nx;
+  }
+  while (cy != dy) {
+    const std::size_t ny = cy < dy ? cy + 1 : cy - 1;
+    route.push_back(link_index(node(cx, cy), node(cx, ny)));
+    cy = ny;
+  }
+  return route;
+}
+
+std::size_t Mesh::hop_count(std::size_t src, std::size_t dst) const {
+  const auto dx = static_cast<std::ptrdiff_t>(x_of(src)) - static_cast<std::ptrdiff_t>(x_of(dst));
+  const auto dy = static_cast<std::ptrdiff_t>(y_of(src)) - static_cast<std::ptrdiff_t>(y_of(dst));
+  return static_cast<std::size_t>(std::abs(dx) + std::abs(dy));
+}
+
+TrafficMatrix::TrafficMatrix(std::size_t num_nodes) : m_(num_nodes, num_nodes) {}
+
+double TrafficMatrix::total_rate() const {
+  double t = 0.0;
+  for (std::size_t s = 0; s < m_.rows(); ++s)
+    for (std::size_t d = 0; d < m_.cols(); ++d) t += m_(s, d);
+  return t;
+}
+
+TrafficMatrix TrafficMatrix::uniform(std::size_t num_nodes, double rate_per_node) {
+  TrafficMatrix t(num_nodes);
+  const double per_dst = rate_per_node / static_cast<double>(num_nodes - 1);
+  for (std::size_t s = 0; s < num_nodes; ++s)
+    for (std::size_t d = 0; d < num_nodes; ++d)
+      if (s != d) t.rate(s, d) = per_dst;
+  return t;
+}
+
+TrafficMatrix TrafficMatrix::transpose(std::size_t cols, std::size_t rows, double rate_per_node) {
+  TrafficMatrix t(cols * rows);
+  for (std::size_t y = 0; y < rows; ++y) {
+    for (std::size_t x = 0; x < cols; ++x) {
+      const std::size_t src = y * cols + x;
+      // Transpose across the diagonal (requires square mesh for exactness;
+      // coordinates are clamped otherwise).
+      const std::size_t tx = y < cols ? y : cols - 1;
+      const std::size_t ty = x < rows ? x : rows - 1;
+      const std::size_t dst = ty * cols + tx;
+      if (dst != src) t.rate(src, dst) = rate_per_node;
+    }
+  }
+  return t;
+}
+
+TrafficMatrix TrafficMatrix::hotspot(std::size_t num_nodes, std::size_t hotspot_node,
+                                     double rate_per_node, double hotspot_fraction) {
+  if (hotspot_node >= num_nodes) throw std::invalid_argument("hotspot: bad node");
+  TrafficMatrix t(num_nodes);
+  const double to_hot = rate_per_node * hotspot_fraction;
+  const double per_dst = rate_per_node * (1.0 - hotspot_fraction) / static_cast<double>(num_nodes - 1);
+  for (std::size_t s = 0; s < num_nodes; ++s) {
+    if (s == hotspot_node) continue;
+    t.rate(s, hotspot_node) += to_hot;
+    for (std::size_t d = 0; d < num_nodes; ++d)
+      if (d != s) t.rate(s, d) += per_dst;
+  }
+  return t;
+}
+
+TrafficMatrix TrafficMatrix::bit_complement(std::size_t cols, std::size_t rows,
+                                            double rate_per_node) {
+  const std::size_t n = cols * rows;
+  TrafficMatrix t(n);
+  for (std::size_t y = 0; y < rows; ++y) {
+    for (std::size_t x = 0; x < cols; ++x) {
+      const std::size_t src = y * cols + x;
+      const std::size_t dst = (rows - 1 - y) * cols + (cols - 1 - x);
+      if (dst != src) t.rate(src, dst) = rate_per_node;
+    }
+  }
+  return t;
+}
+
+}  // namespace oal::noc

@@ -1,0 +1,67 @@
+// 2D-mesh NoC topology with XY routing (paper Section III-C substrate).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace oal::noc {
+
+/// Directed link identifier inside a mesh.
+struct Link {
+  std::size_t from = 0;
+  std::size_t to = 0;
+};
+
+class Mesh {
+ public:
+  Mesh(std::size_t cols, std::size_t rows);
+
+  std::size_t cols() const { return cols_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t num_nodes() const { return cols_ * rows_; }
+  std::size_t num_links() const { return links_.size(); }
+  const std::vector<Link>& links() const { return links_; }
+
+  std::size_t node(std::size_t x, std::size_t y) const { return y * cols_ + x; }
+  std::size_t x_of(std::size_t n) const { return n % cols_; }
+  std::size_t y_of(std::size_t n) const { return n / cols_; }
+
+  /// Dimension-ordered (XY) route: sequence of link indices src -> dst.
+  std::vector<std::size_t> xy_route(std::size_t src, std::size_t dst) const;
+  /// Link index for a hop between adjacent nodes; throws if not adjacent.
+  std::size_t link_index(std::size_t from, std::size_t to) const;
+
+  std::size_t hop_count(std::size_t src, std::size_t dst) const;
+
+ private:
+  std::size_t cols_;
+  std::size_t rows_;
+  std::vector<Link> links_;
+  std::vector<std::vector<std::size_t>> link_lookup_;  // [from][to] -> idx+1
+};
+
+/// Traffic matrix: packet injection rate (packets/cycle) per (src, dst).
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(std::size_t num_nodes);
+
+  double& rate(std::size_t src, std::size_t dst) { return m_(src, dst); }
+  double rate(std::size_t src, std::size_t dst) const { return m_(src, dst); }
+  std::size_t num_nodes() const { return m_.rows(); }
+  /// Total injection rate (packets/cycle over all sources).
+  double total_rate() const;
+
+  /// Canonical synthetic patterns at a given per-node injection rate.
+  static TrafficMatrix uniform(std::size_t num_nodes, double rate_per_node);
+  static TrafficMatrix transpose(std::size_t cols, std::size_t rows, double rate_per_node);
+  static TrafficMatrix hotspot(std::size_t num_nodes, std::size_t hotspot_node,
+                               double rate_per_node, double hotspot_fraction = 0.5);
+  static TrafficMatrix bit_complement(std::size_t cols, std::size_t rows, double rate_per_node);
+
+ private:
+  common::Mat m_;
+};
+
+}  // namespace oal::noc

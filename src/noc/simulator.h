@@ -1,0 +1,45 @@
+// Packet-level discrete-event NoC simulator.
+//
+// The reference "measurement" substrate for Section III-C: packets are
+// injected per-source as Poisson processes following a traffic matrix, XY
+// routed, and queued FIFO at every directed link (deterministic service =
+// serialization time, plus per-hop router delay).  The analytical model of
+// analytical.h approximates exactly this system, and the SVR model of
+// svr_model.h learns its residuals — mirroring the paper's methodology where
+// the simulator plays the role of the real interconnect.
+#pragma once
+
+#include <cstdint>
+
+#include "noc/analytical.h"
+#include "noc/mesh.h"
+
+namespace oal::noc {
+
+struct SimConfig {
+  double warmup_cycles = 10000.0;
+  double measure_cycles = 80000.0;
+  std::uint64_t seed = 1;
+};
+
+struct SimResult {
+  double avg_latency_cycles = 0.0;
+  double p95_latency_cycles = 0.0;
+  double avg_hops = 0.0;
+  std::size_t packets_measured = 0;
+  double offered_rate = 0.0;   ///< packets/cycle injected
+  double delivered_rate = 0.0; ///< packets/cycle delivered in the window
+};
+
+class NocSimulator {
+ public:
+  NocSimulator(const Mesh& mesh, NocParams params = {});
+
+  SimResult simulate(const TrafficMatrix& t, const SimConfig& cfg = {}) const;
+
+ private:
+  const Mesh* mesh_;
+  NocParams params_;
+};
+
+}  // namespace oal::noc

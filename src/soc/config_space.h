@@ -1,0 +1,81 @@
+// SoC configuration space.
+//
+// The paper's running example is the Samsung Exynos 5422 (Odroid-XU3):
+// a big.LITTLE SoC whose runtime-controllable knobs are
+//   - number of active LITTLE cores   (1..4)
+//   - number of active big cores      (0..4)
+//   - LITTLE cluster frequency        (200..1400 MHz in 100 MHz steps, 13 levels)
+//   - big cluster frequency           (200..2000 MHz in 100 MHz steps, 19 levels)
+// giving 4 * 5 * 13 * 19 = 4940 unique configurations — the exact number the
+// paper quotes.  This file defines the configuration value type and an
+// enumerable/indexable description of the space, including the local
+// neighborhoods used by the online-IL candidate search.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace oal::soc {
+
+struct SocConfig {
+  int num_little = 4;      ///< active LITTLE cores, 1..4
+  int num_big = 4;         ///< active big cores, 0..4
+  int little_freq_idx = 0; ///< index into ConfigSpace::little_freqs()
+  int big_freq_idx = 0;    ///< index into ConfigSpace::big_freqs()
+
+  bool operator==(const SocConfig&) const = default;
+};
+
+class ConfigSpace {
+ public:
+  ConfigSpace();
+
+  std::size_t size() const { return size_; }
+
+  /// Frequency tables in MHz.
+  const std::vector<double>& little_freqs() const { return little_freqs_; }
+  const std::vector<double>& big_freqs() const { return big_freqs_; }
+
+  double little_freq_mhz(const SocConfig& c) const { return little_freqs_[c.little_freq_idx]; }
+  double big_freq_mhz(const SocConfig& c) const { return big_freqs_[c.big_freq_idx]; }
+
+  /// Bijection between configurations and [0, size).
+  std::size_t index_of(const SocConfig& c) const;
+  SocConfig config_at(std::size_t index) const;
+
+  /// True if every knob is within its legal range.
+  bool valid(const SocConfig& c) const;
+
+  /// All configurations (size() == 4940 entries).
+  std::vector<SocConfig> enumerate() const;
+
+  /// Configurations whose knob indices each differ by at most `radius` steps
+  /// from `c`, with at most `max_changed_knobs` knobs changed simultaneously.
+  /// Includes `c` itself.  This is the candidate set of the online-IL search.
+  std::vector<SocConfig> neighborhood(const SocConfig& c, int radius = 1,
+                                      int max_changed_knobs = 4) const;
+
+  /// Per-cluster joint sweeps: all (core count, frequency) pairs of one
+  /// cluster while the other cluster either stays at `c` or is parked in its
+  /// idle role (gated big cluster / one idle-speed little core).  A cluster's
+  /// core count and frequency form one logical decision (e.g. "enable the
+  /// big cluster at 1.3 GHz"), and single-knob moves cannot cross the energy
+  /// valley between cluster-off and cluster-on-at-speed; the exclusive
+  /// variants additionally make canonical "little-only"/"big-only" operating
+  /// points reachable in one move.  2*(4*13) + 2*(5*19) = 294 configs.
+  std::vector<SocConfig> cluster_sweeps(const SocConfig& c) const;
+
+  /// Number of levels per knob, in order (little cores, big cores, f_little,
+  /// f_big) — used to size policy heads.
+  std::vector<std::size_t> knob_cardinalities() const;
+
+  static std::string to_string(const SocConfig& c);
+
+ private:
+  std::vector<double> little_freqs_;
+  std::vector<double> big_freqs_;
+  std::size_t size_;
+};
+
+}  // namespace oal::soc

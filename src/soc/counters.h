@@ -1,0 +1,46 @@
+// Hardware performance counters collected per snippet (paper Table I).
+#pragma once
+
+#include "common/matrix.h"
+
+namespace oal::soc {
+
+/// One row of Table I: the system state observed at the end of each snippet.
+/// These are the only quantities runtime policies may read; ground-truth
+/// workload descriptors are never exposed to controllers.
+struct PerfCounters {
+  double instructions_retired = 0.0;
+  double cpu_cycles = 0.0;                 ///< total busy cycles, all cores
+  double branch_mispredictions = 0.0;      ///< per-core sum
+  double l2_cache_misses = 0.0;
+  double data_memory_accesses = 0.0;
+  double noncache_external_requests = 0.0; ///< external memory requests
+  double little_cluster_utilization = 0.0; ///< in [0, 1]
+  double big_cluster_utilization = 0.0;    ///< in [0, 1]
+  double total_power_w = 0.0;              ///< total chip power consumption
+  /// Average scheduler run-queue depth over the snippet (runnable software
+  /// threads).  Not a hardware counter, but an OS statistic every governor
+  /// can read; without it thread-level parallelism is unobservable whenever
+  /// only one core is active.
+  double avg_runnable_threads = 1.0;
+
+  /// Flattens to a feature vector (Table I order, plus run-queue depth).
+  common::Vec to_vec() const {
+    return {instructions_retired,     cpu_cycles,
+            branch_mispredictions,    l2_cache_misses,
+            data_memory_accesses,     noncache_external_requests,
+            little_cluster_utilization, big_cluster_utilization,
+            total_power_w,            avg_runnable_threads};
+  }
+  static constexpr std::size_t kDim = 10;
+};
+
+/// Result of executing one snippet at one configuration.
+struct SnippetResult {
+  double exec_time_s = 0.0;
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;
+  PerfCounters counters;
+};
+
+}  // namespace oal::soc

@@ -1,0 +1,39 @@
+// Workload snippet descriptor.
+//
+// Following DyPO (Gupta et al., TECS 2017) and the paper's Section IV-A1,
+// applications are segmented into *workload-conservative snippets*: each
+// snippet retires a fixed number of instructions, so its descriptors are
+// configuration-independent properties of the code, while execution time,
+// power, and counters depend on the chosen SoC configuration.
+#pragma once
+
+#include <cstdint>
+
+namespace oal::soc {
+
+struct SnippetDescriptor {
+  /// Instructions retired in this snippet (fixed per experiment, ~20M).
+  double instructions = 20e6;
+
+  /// Base (no-stall) cycles-per-instruction on a LITTLE (in-order) core.
+  double base_cpi_little = 1.6;
+  /// Base CPI on a big (out-of-order) core; smaller for ILP-rich code.
+  double base_cpi_big = 1.0;
+
+  /// L2 cache misses per kilo-instruction (memory intensity).
+  double l2_mpki = 1.0;
+  /// Branch mispredictions per kilo-instruction.
+  double branch_mpki = 2.0;
+  /// Data memory accesses per instruction.
+  double mem_access_per_inst = 0.3;
+  /// Fraction of instructions in parallelizable regions (Amdahl).
+  double parallel_fraction = 0.05;
+  /// Maximum software threads: the parallel region cannot use more cores
+  /// than this (e.g. blackscholes-2T vs -4T differ only here).
+  int max_threads = 8;
+
+  /// Application id this snippet came from (bookkeeping only).
+  std::uint32_t app_id = 0;
+};
+
+}  // namespace oal::soc

@@ -1,0 +1,72 @@
+#include "thermal/fixed_point.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oal::thermal {
+
+common::Vec LeakageModel::leakage(const common::Vec& temp_c) const {
+  if (temp_c.size() != p0_w.size() || p0_w.size() != k_per_c.size())
+    throw std::invalid_argument("LeakageModel: size mismatch");
+  common::Vec p(temp_c.size());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p[i] = std::max(p0_w[i] * (1.0 + k_per_c[i] * (temp_c[i] - t0_c)), 0.0);
+  return p;
+}
+
+FixedPointResult thermal_fixed_point(const RcThermalNetwork& net, const LeakageModel& leak,
+                                     const common::Vec& dynamic_power_w) {
+  const std::size_t n = net.num_nodes();
+  if (dynamic_power_w.size() != n || leak.p0_w.size() != n)
+    throw std::invalid_argument("thermal_fixed_point: size mismatch");
+
+  FixedPointResult res;
+  const common::Mat r = net.resistance_matrix();
+  // Loop gain matrix: R * diag(p0 * k) — how strongly a temperature rise
+  // feeds back into itself through leakage.
+  common::Mat gain(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) gain(i, j) = r(i, j) * leak.p0_w[j] * leak.k_per_c[j];
+  res.loop_gain = common::spectral_radius(gain);
+  res.exists = res.loop_gain < 1.0;
+  if (!res.exists) return res;
+
+  // dT = R (P_dyn + p0 (1 + k (T_amb + dT - t0)))
+  //  => (I - R diag(p0 k)) dT = R (P_dyn + p0 (1 + k (T_amb - t0)))
+  common::Mat lhs = common::Mat::identity(n) - gain;
+  common::Vec rhs_p(n);
+  for (std::size_t i = 0; i < n; ++i)
+    rhs_p[i] = dynamic_power_w[i] +
+               leak.p0_w[i] * (1.0 + leak.k_per_c[i] * (net.ambient_c() - leak.t0_c));
+  const common::Vec rhs = r * rhs_p;
+  const common::Vec dt = common::lu_solve(lhs, rhs);
+  res.temperature_c.resize(n);
+  for (std::size_t i = 0; i < n; ++i) res.temperature_c[i] = net.ambient_c() + dt[i];
+  const common::Vec p_leak = leak.leakage(res.temperature_c);
+  res.total_power_w.resize(n);
+  for (std::size_t i = 0; i < n; ++i) res.total_power_w[i] = dynamic_power_w[i] + p_leak[i];
+  return res;
+}
+
+std::vector<common::Vec> fixed_point_iteration(const RcThermalNetwork& net,
+                                               const LeakageModel& leak,
+                                               const common::Vec& dynamic_power_w,
+                                               std::size_t max_iters, double tol_c) {
+  std::vector<common::Vec> trajectory;
+  common::Vec temp(net.num_nodes(), net.ambient_c());
+  trajectory.push_back(temp);
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    const common::Vec p_leak = leak.leakage(temp);
+    common::Vec total(p_leak.size());
+    for (std::size_t i = 0; i < total.size(); ++i) total[i] = dynamic_power_w[i] + p_leak[i];
+    const common::Vec next = net.steady_state(total);
+    double delta = 0.0;
+    for (std::size_t i = 0; i < next.size(); ++i) delta = std::max(delta, std::abs(next[i] - temp[i]));
+    temp = next;
+    trajectory.push_back(temp);
+    if (delta < tol_c) break;
+  }
+  return trajectory;
+}
+
+}  // namespace oal::thermal

@@ -1,0 +1,48 @@
+// Power-temperature fixed-point analysis (Bhat et al., ACM TECS 2017; paper
+// Section III-A).
+//
+// Leakage power grows with temperature, and temperature grows with power:
+//     T* = T_amb + R (P_dyn + P_leak(T*)),   P_leak(T) = P_0 (1 + k (T - T_0)).
+// The *thermal fixed point* T* is the steady-state temperature under a given
+// average dynamic power.  This module derives:
+//   * existence & stability: the closed loop is a linear map with gain
+//     matrix R * diag(p0 * k); a unique stable fixed point exists iff its
+//     spectral radius is < 1 (otherwise thermal runaway);
+//   * the fixed point itself (closed form via linear solve);
+//   * a runtime iterative finder matching what firmware would run.
+#pragma once
+
+#include "common/matrix.h"
+#include "thermal/rc_network.h"
+
+namespace oal::thermal {
+
+/// Per-node leakage model P_leak_i(T_i) = p0_i * (1 + k_i * (T_i - t0_c)).
+struct LeakageModel {
+  common::Vec p0_w;    ///< leakage at reference temperature
+  common::Vec k_per_c; ///< relative leakage growth per degree
+  double t0_c = 25.0;
+
+  common::Vec leakage(const common::Vec& temp_c) const;
+};
+
+struct FixedPointResult {
+  bool exists = false;          ///< loop gain < 1 (no thermal runaway)
+  double loop_gain = 0.0;       ///< spectral radius of R diag(p0 k)
+  common::Vec temperature_c;    ///< fixed-point temperatures (if exists)
+  common::Vec total_power_w;    ///< dynamic + leakage at the fixed point
+};
+
+/// Closed-form fixed point: solve (G - diag(p0 k)) dT = P_dyn + P_leak(T_amb).
+FixedPointResult thermal_fixed_point(const RcThermalNetwork& net, const LeakageModel& leak,
+                                     const common::Vec& dynamic_power_w);
+
+/// Runtime finder: repeated steady-state evaluation with leakage refresh
+/// (what a firmware loop would do).  Returns the trajectory of iterates so
+/// convergence behaviour is observable.
+std::vector<common::Vec> fixed_point_iteration(const RcThermalNetwork& net,
+                                               const LeakageModel& leak,
+                                               const common::Vec& dynamic_power_w,
+                                               std::size_t max_iters = 50, double tol_c = 1e-6);
+
+}  // namespace oal::thermal

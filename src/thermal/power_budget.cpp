@@ -1,0 +1,92 @@
+#include "thermal/power_budget.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oal::thermal {
+
+namespace {
+
+double node_limit(const PowerBudgetConfig& cfg, std::size_t node) {
+  return node == cfg.skin_node ? cfg.t_max_skin_c : cfg.t_max_junction_c;
+}
+
+/// Max steady-state temperature violation margin at power scale s (deg C;
+/// positive = violates).
+double violation_at_scale(const RcThermalNetwork& net, const LeakageModel& leak,
+                          const common::Vec& shape_w, double s, const PowerBudgetConfig& cfg,
+                          std::size_t* worst_node) {
+  common::Vec dyn(shape_w.size());
+  for (std::size_t i = 0; i < dyn.size(); ++i) dyn[i] = s * shape_w[i];
+  const FixedPointResult fp = thermal_fixed_point(net, leak, dyn);
+  if (!fp.exists) return 1e9;  // runaway: treat as infinite violation
+  double worst = -1e9;
+  for (std::size_t i = 0; i < fp.temperature_c.size(); ++i) {
+    const double v = fp.temperature_c[i] - node_limit(cfg, i);
+    if (v > worst) {
+      worst = v;
+      if (worst_node != nullptr) *worst_node = i;
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+PowerBudgetResult max_sustainable_power(const RcThermalNetwork& net, const LeakageModel& leak,
+                                        const common::Vec& shape_w, const PowerBudgetConfig& cfg) {
+  if (shape_w.size() != net.num_nodes())
+    throw std::invalid_argument("max_sustainable_power: shape size mismatch");
+  double total_shape = 0.0;
+  for (double v : shape_w) total_shape += v;
+  if (total_shape <= 0.0) throw std::invalid_argument("max_sustainable_power: zero shape");
+
+  // Bisection on the scale.
+  double lo = 0.0, hi = 1.0;
+  std::size_t worst = 0;
+  while (violation_at_scale(net, leak, shape_w, hi, cfg, &worst) < 0.0 && hi < 1e4) hi *= 2.0;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (violation_at_scale(net, leak, shape_w, mid, cfg, &worst) < 0.0)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  PowerBudgetResult res;
+  res.scale = lo;
+  res.total_power_w = lo * total_shape;
+  (void)violation_at_scale(net, leak, shape_w, hi, cfg, &res.binding_node);
+  res.skin_bound = res.binding_node == cfg.skin_node;
+  return res;
+}
+
+double transient_power_headroom(const RcThermalNetwork& net, const LeakageModel& leak,
+                                const common::Vec& shape_w, double horizon_s,
+                                const PowerBudgetConfig& cfg) {
+  if (horizon_s <= 0.0) throw std::invalid_argument("transient_power_headroom: bad horizon");
+  auto violates = [&](double s) {
+    RcThermalNetwork sim = net;  // do not disturb the caller's state
+    // Simulate in 1 s ticks with leakage refreshed from the evolving temps.
+    double t = 0.0;
+    while (t < horizon_s) {
+      const double dt = std::min(1.0, horizon_s - t);
+      const common::Vec p_leak = leak.leakage(sim.temperatures());
+      common::Vec total(shape_w.size());
+      for (std::size_t i = 0; i < total.size(); ++i) total[i] = s * shape_w[i] + p_leak[i];
+      sim.step(total, dt);
+      for (std::size_t i = 0; i < sim.temperatures().size(); ++i)
+        if (sim.temperatures()[i] > node_limit(cfg, i)) return true;
+      t += dt;
+    }
+    return false;
+  };
+  double lo = 0.0, hi = 1.0;
+  while (!violates(hi) && hi < 1e4) hi *= 2.0;
+  for (int it = 0; it < 40; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (violates(mid) ? hi : lo) = mid;
+  }
+  return lo;
+}
+
+}  // namespace oal::thermal

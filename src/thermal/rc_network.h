@@ -1,0 +1,73 @@
+// Compact RC thermal network (paper Section III-A substrate).
+//
+// Die/package/skin thermals are modeled as a linear state-space system
+//     C dT/dt = -G (T - T_amb) + B P
+// with heat capacities C (diagonal), conductance matrix G (SPD, graph
+// Laplacian plus ambient legs), and power-injection matrix B.  This is the
+// standard compact model (HotSpot-style) behind the cited thermal papers:
+// temperature prediction, fixed-point analysis, and skin-temperature
+// estimation all run on top of it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace oal::thermal {
+
+struct ThermalNodeSpec {
+  std::string name;
+  double capacitance_j_per_k = 5.0;
+  double conductance_to_ambient_w_per_k = 0.05;
+};
+
+struct ThermalCoupling {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double conductance_w_per_k = 0.5;
+};
+
+class RcThermalNetwork {
+ public:
+  RcThermalNetwork(std::vector<ThermalNodeSpec> nodes, std::vector<ThermalCoupling> couplings,
+                   double ambient_c = 25.0);
+
+  /// Mobile-SoC default: big cluster, little cluster, GPU, PCB, skin.
+  static RcThermalNetwork mobile_soc(double ambient_c = 25.0);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const std::vector<ThermalNodeSpec>& nodes() const { return nodes_; }
+  double ambient_c() const { return ambient_c_; }
+
+  /// Current temperatures (deg C).
+  const common::Vec& temperatures() const { return temp_; }
+  void set_temperatures(common::Vec t);
+  void reset_to_ambient();
+
+  /// Advance by dt seconds under constant node powers (W).  Internally uses
+  /// sub-stepped forward Euler with a stability-bounded step.
+  void step(const common::Vec& power_w, double dt_s);
+
+  /// Steady-state temperatures for constant power: T = T_amb + G^{-1} P.
+  common::Vec steady_state(const common::Vec& power_w) const;
+
+  /// Continuous-time system matrix A = -C^{-1} G (for stability analysis).
+  common::Mat system_matrix() const;
+  /// Thermal resistance matrix R = G^{-1} (steady-state K/W).
+  common::Mat resistance_matrix() const;
+
+  /// Predicted temperatures after dt under constant power, without mutating
+  /// the network state.
+  common::Vec predict(const common::Vec& power_w, double dt_s) const;
+
+ private:
+  std::vector<ThermalNodeSpec> nodes_;
+  common::Mat g_;        // conductance (including ambient legs on diagonal)
+  common::Vec cap_;      // heat capacities
+  common::Vec temp_;     // state (deg C)
+  double ambient_c_;
+};
+
+}  // namespace oal::thermal

@@ -1,0 +1,189 @@
+#include "workloads/cpu_benchmarks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oal::workloads {
+
+std::string suite_name(Suite s) {
+  switch (s) {
+    case Suite::kMiBench: return "Mi-Bench";
+    case Suite::kCortex: return "Cortex";
+    case Suite::kParsec: return "PARSEC";
+  }
+  return "?";
+}
+
+namespace {
+
+// Descriptor builder with the fields that vary between apps.
+soc::SnippetDescriptor desc(double cpi_l, double cpi_b, double mpki, double bmpki, double mem_ai,
+                            double pf, int threads) {
+  soc::SnippetDescriptor d;
+  d.instructions = 20e6;
+  d.base_cpi_little = cpi_l;
+  d.base_cpi_big = cpi_b;
+  d.l2_mpki = mpki;
+  d.branch_mpki = bmpki;
+  d.mem_access_per_inst = mem_ai;
+  d.parallel_fraction = pf;
+  d.max_threads = threads;
+  return d;
+}
+
+Phase phase(soc::SnippetDescriptor mean, double sigma, double weight) {
+  return Phase{mean, sigma, weight};
+}
+
+std::vector<AppSpec> build_all() {
+  std::vector<AppSpec> apps;
+  auto add = [&](std::string name, Suite suite, std::vector<Phase> phases,
+                 std::size_t snippets) {
+    AppSpec a;
+    a.name = std::move(name);
+    a.suite = suite;
+    a.phases = std::move(phases);
+    a.default_snippets = snippets;
+    a.app_id = static_cast<std::uint32_t>(apps.size());
+    for (auto& p : a.phases) p.mean.app_id = a.app_id;
+    apps.push_back(std::move(a));
+  };
+
+  // ---- MiBench-like: serial, compute-bound, ILP-rich ----------------------
+  // BML (basicmath-large): FP-heavy loops, tiny working set.
+  add("BML", Suite::kMiBench,
+      {phase(desc(1.55, 0.85, 0.35, 1.8, 0.28, 0.04, 1), 0.04, 0.6),
+       phase(desc(1.45, 0.80, 0.50, 2.2, 0.30, 0.04, 1), 0.04, 0.4)},
+      240);
+  // Dijkstra: pointer chasing on a modest graph.
+  add("Dijkstra", Suite::kMiBench,
+      {phase(desc(1.80, 1.10, 2.10, 4.5, 0.34, 0.05, 1), 0.05, 1.0)}, 220);
+  // FFT: dense FP butterflies, strided access.
+  add("FFT", Suite::kMiBench,
+      {phase(desc(1.40, 0.75, 1.20, 1.2, 0.32, 0.06, 1), 0.04, 0.5),
+       phase(desc(1.50, 0.82, 1.60, 1.4, 0.33, 0.06, 1), 0.04, 0.5)},
+      240);
+  // Patricia: trie lookups, branchy.
+  add("Patricia", Suite::kMiBench,
+      {phase(desc(1.85, 1.15, 2.40, 5.5, 0.36, 0.04, 1), 0.05, 1.0)}, 220);
+  // Qsort: comparison sort, mispredict heavy.
+  add("Qsort", Suite::kMiBench,
+      {phase(desc(1.70, 1.00, 1.50, 6.0, 0.35, 0.05, 1), 0.05, 1.0)}, 220);
+  // SHA: pure integer rounds, near-zero misses.
+  add("SHA", Suite::kMiBench,
+      {phase(desc(1.35, 0.70, 0.15, 1.0, 0.25, 0.03, 1), 0.03, 1.0)}, 240);
+  // Blowfish: table-driven cipher.
+  add("Blowfish", Suite::kMiBench,
+      {phase(desc(1.40, 0.74, 0.30, 1.5, 0.30, 0.03, 1), 0.03, 1.0)}, 240);
+  // Stringsearch: short loops, heavy branching.
+  add("Stringsearch", Suite::kMiBench,
+      {phase(desc(1.60, 0.95, 0.80, 7.0, 0.30, 0.03, 1), 0.05, 1.0)}, 220);
+  // ADPCM: streaming codec, trivially cached.
+  add("ADPCM", Suite::kMiBench,
+      {phase(desc(1.30, 0.68, 0.10, 1.2, 0.26, 0.03, 1), 0.03, 1.0)}, 240);
+  // AES: rounds + key schedule phases.
+  add("AES", Suite::kMiBench,
+      {phase(desc(1.42, 0.76, 0.40, 1.6, 0.29, 0.04, 1), 0.04, 0.7),
+       phase(desc(1.38, 0.72, 0.25, 1.3, 0.27, 0.04, 1), 0.04, 0.3)},
+      240);
+
+  // ---- Cortex-like: irregular, memory-dominated ----------------------------
+  // Kmeans: repeated sweeps over a large dataset; assignment phase is
+  // memory-bound, update phase slightly lighter.
+  // CortexSuite kernels are single-threaded ML/vision codes: serial,
+  // memory-dominated, with a moderate big-core advantage.  Their optimal
+  // big-core frequency varies with memory intensity (more misses -> lower
+  // knee), which is what makes the Fig. 3 big-frequency accuracy metric
+  // non-trivial during the online phase.
+  add("Kmeans", Suite::kCortex,
+      {phase(desc(2.10, 1.10, 9.5, 3.0, 0.45, 0.05, 1), 0.06, 0.7),
+       phase(desc(1.95, 1.02, 6.5, 2.5, 0.42, 0.05, 1), 0.06, 0.3)},
+      400);
+  // Spectral: sparse-matrix-ish FP with indirect access.
+  add("Spectral", Suite::kCortex,
+      {phase(desc(1.95, 1.00, 6.0, 2.2, 0.40, 0.04, 1), 0.06, 1.0)}, 400);
+  // MotionEst: block matching; blocked access, moderate reuse.
+  add("MotionEst", Suite::kCortex,
+      {phase(desc(1.90, 0.98, 3.2, 4.0, 0.38, 0.04, 1), 0.06, 1.0)}, 400);
+  // PCA: covariance accumulation over a matrix that misses in L2.
+  add("PCA", Suite::kCortex,
+      {phase(desc(2.20, 1.15, 11.0, 2.0, 0.48, 0.05, 1), 0.06, 1.0)}, 400);
+
+  // ---- PARSEC-like: multi-threaded FP kernels ------------------------------
+  add("Blkschls-2T", Suite::kParsec,
+      {phase(desc(1.45, 0.80, 0.80, 1.5, 0.30, 0.92, 2), 0.04, 1.0)}, 450);
+  add("Blkschls-4T", Suite::kParsec,
+      {phase(desc(1.45, 0.80, 0.90, 1.5, 0.30, 0.95, 4), 0.04, 1.0)}, 450);
+  return apps;
+}
+
+}  // namespace
+
+const std::vector<AppSpec>& CpuBenchmarks::all() {
+  static const std::vector<AppSpec> apps = build_all();
+  return apps;
+}
+
+const AppSpec& CpuBenchmarks::by_name(const std::string& name) {
+  for (const auto& a : all())
+    if (a.name == name) return a;
+  throw std::invalid_argument("CpuBenchmarks::by_name: unknown app " + name);
+}
+
+std::vector<AppSpec> CpuBenchmarks::of_suite(Suite s) {
+  std::vector<AppSpec> out;
+  for (const auto& a : all())
+    if (a.suite == s) out.push_back(a);
+  return out;
+}
+
+std::vector<soc::SnippetDescriptor> CpuBenchmarks::trace(const AppSpec& app, std::size_t n,
+                                                         common::Rng& rng) {
+  if (app.phases.empty()) throw std::invalid_argument("CpuBenchmarks::trace: app has no phases");
+  double total_w = 0.0;
+  for (const auto& p : app.phases) total_w += p.weight;
+
+  std::vector<soc::SnippetDescriptor> out;
+  out.reserve(n);
+  // AR(1) multiplicative wander per descriptor field, shared across phases so
+  // phase transitions are sharp but intra-phase behaviour is persistent.
+  constexpr double kRho = 0.85;
+  double wander[5] = {0, 0, 0, 0, 0};  // log-space offsets
+  for (const auto& p : app.phases) {
+    const auto phase_len = static_cast<std::size_t>(
+        std::round(static_cast<double>(n) * p.weight / total_w));
+    for (std::size_t i = 0; i < phase_len && out.size() < n; ++i) {
+      for (double& w : wander) w = kRho * w + rng.normal(0.0, p.rel_sigma);
+      soc::SnippetDescriptor d = p.mean;
+      d.base_cpi_little *= std::exp(wander[0]);
+      d.base_cpi_big *= std::exp(wander[0]);  // CPIs move together (same code)
+      d.l2_mpki *= std::exp(wander[1]);
+      d.branch_mpki *= std::exp(wander[2]);
+      d.mem_access_per_inst *= std::exp(wander[3]);
+      d.parallel_fraction = std::clamp(d.parallel_fraction * std::exp(0.5 * wander[4]), 0.0, 0.98);
+      out.push_back(d);
+    }
+  }
+  while (out.size() < n) out.push_back(out.back());
+  return out;
+}
+
+std::vector<soc::SnippetDescriptor> CpuBenchmarks::trace(const AppSpec& app, common::Rng& rng) {
+  return trace(app, app.default_snippets, rng);
+}
+
+std::vector<soc::SnippetDescriptor> CpuBenchmarks::sequence(const std::vector<AppSpec>& apps,
+                                                            common::Rng& rng,
+                                                            std::vector<std::size_t>* boundaries) {
+  std::vector<soc::SnippetDescriptor> out;
+  if (boundaries != nullptr) boundaries->clear();
+  for (const auto& app : apps) {
+    if (boundaries != nullptr) boundaries->push_back(out.size());
+    const auto t = trace(app, rng);
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  return out;
+}
+
+}  // namespace oal::workloads

@@ -1,0 +1,67 @@
+// Synthetic CPU benchmark suite.
+//
+// Substitutes for MiBench / CortexSuite / PARSEC in the IL/RL experiments
+// (paper Table II, Figs. 3-4).  Each of the 16 named applications is a
+// phase-structured generator of workload-conservative snippets.  Suites are
+// given deliberately different descriptor statistics so that the
+// *distribution shift* the paper's argument rests on is present:
+//
+//   MiBench-like : serial, compute-bound, ILP-rich (big-core friendly).
+//   Cortex-like  : irregular, memory-dominated, weak big-core advantage.
+//   PARSEC-like  : multi-threaded floating-point kernels (2T / 4T).
+//
+// A policy trained only on the MiBench region of counter space mispredicts
+// the optimal configuration in the other regions — reproducing Table II.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "soc/snippet.h"
+
+namespace oal::workloads {
+
+enum class Suite { kMiBench, kCortex, kParsec };
+
+std::string suite_name(Suite s);
+
+/// One execution phase: snippets wander around `mean` with relative
+/// AR(1)-correlated noise of magnitude `rel_sigma`.
+struct Phase {
+  soc::SnippetDescriptor mean;
+  double rel_sigma = 0.05;
+  double weight = 1.0;  ///< fraction of the app spent in this phase
+};
+
+struct AppSpec {
+  std::string name;
+  Suite suite = Suite::kMiBench;
+  std::vector<Phase> phases;
+  std::size_t default_snippets = 240;
+  std::uint32_t app_id = 0;
+};
+
+class CpuBenchmarks {
+ public:
+  /// All 16 applications in the paper's Fig. 4 order.
+  static const std::vector<AppSpec>& all();
+  static const AppSpec& by_name(const std::string& name);
+  static std::vector<AppSpec> of_suite(Suite s);
+
+  /// Generates a snippet trace for an app: phases in order, each taking its
+  /// weight share of n snippets, with AR(1) wandering inside each phase.
+  static std::vector<soc::SnippetDescriptor> trace(const AppSpec& app, std::size_t n,
+                                                   common::Rng& rng);
+  static std::vector<soc::SnippetDescriptor> trace(const AppSpec& app, common::Rng& rng);
+
+  /// Concatenates traces of several apps (the "sequence of applications"
+  /// protocol of Fig. 3); returns per-snippet descriptors and fills
+  /// `boundaries` with the first snippet index of each app.
+  static std::vector<soc::SnippetDescriptor> sequence(const std::vector<AppSpec>& apps,
+                                                      common::Rng& rng,
+                                                      std::vector<std::size_t>* boundaries = nullptr);
+};
+
+}  // namespace oal::workloads

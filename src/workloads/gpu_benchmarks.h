@@ -1,0 +1,45 @@
+// Synthetic graphics workloads.
+//
+// Substitutes for the ten commercial games/benchmarks of the ENMPC study
+// (Fig. 5) and the Nenamark2 trace of the frame-time-prediction study
+// (Fig. 2).  Each workload generates a frame stream whose render work
+// follows slow scene drift (sinusoidal content envelope) plus abrupt scene
+// changes, spanning intensities from far-below GPU capacity (SharkDash — the
+// paper's 58 % savings case) to near capacity (AngryBirds — the 5 % case).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gpu/frame.h"
+
+namespace oal::workloads {
+
+struct GpuWorkloadSpec {
+  std::string name;
+  double mean_render_cycles = 20e6;  ///< per frame
+  double mean_mem_bytes = 12e6;
+  double mean_cpu_cycles = 6e6;
+  double scene_amplitude = 0.25;     ///< relative sinusoidal content swing
+  double scene_period_frames = 240;  ///< frames per content cycle
+  double frame_jitter = 0.05;        ///< relative per-frame noise
+  double scene_cut_prob = 0.004;     ///< per-frame probability of a hard cut
+  std::uint32_t id = 0;
+};
+
+class GpuBenchmarks {
+ public:
+  /// The ten Fig. 5 workloads, in the paper's order.
+  static const std::vector<GpuWorkloadSpec>& fig5_suite();
+  static const GpuWorkloadSpec& by_name(const std::string& name);
+
+  static std::vector<gpu::FrameDescriptor> trace(const GpuWorkloadSpec& spec,
+                                                 std::size_t num_frames, common::Rng& rng);
+
+  /// Nenamark2-like trace for Fig. 2 (moderate load, strong scene dynamics).
+  static std::vector<gpu::FrameDescriptor> nenamark2(std::size_t num_frames, common::Rng& rng);
+};
+
+}  // namespace oal::workloads

@@ -1,0 +1,205 @@
+// Tests for DRM controllers: governors, RL baselines and online-IL.
+#include <gtest/gtest.h>
+
+#include "core/governors.h"
+#include "core/online_il.h"
+#include "core/rl_controller.h"
+#include "core/runner.h"
+#include "workloads/cpu_benchmarks.h"
+
+namespace oal::core {
+namespace {
+
+soc::SnippetResult run_once(soc::BigLittlePlatform& plat, const soc::SocConfig& c) {
+  common::Rng rng(1);
+  const auto trace =
+      workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("FFT"), 1, rng);
+  return plat.execute(trace[0], c);
+}
+
+TEST(ApplyRlAction, AllActionsStayValid) {
+  soc::ConfigSpace space;
+  const soc::SocConfig corner{1, 0, 0, 0};
+  const soc::SocConfig center{2, 2, 6, 9};
+  for (std::size_t a = 0; a < kNumRlActions; ++a) {
+    EXPECT_TRUE(space.valid(apply_rl_action(space, corner, a)));
+    EXPECT_TRUE(space.valid(apply_rl_action(space, center, a)));
+  }
+}
+
+TEST(ApplyRlAction, MovesSingleKnob) {
+  soc::ConfigSpace space;
+  const soc::SocConfig c{2, 2, 6, 9};
+  EXPECT_EQ(apply_rl_action(space, c, 0), c);                      // hold
+  EXPECT_EQ(apply_rl_action(space, c, 1).num_little, 3);           // +little
+  EXPECT_EQ(apply_rl_action(space, c, 4).num_big, 1);              // -big
+  EXPECT_EQ(apply_rl_action(space, c, 7).big_freq_idx, 10);        // +f_big
+}
+
+TEST(Governors, PerformancePinsMax) {
+  soc::BigLittlePlatform plat;
+  PerformanceGovernor gov(plat.space());
+  const auto next = gov.step(run_once(plat, {2, 2, 5, 5}), {2, 2, 5, 5});
+  EXPECT_EQ(next, (soc::SocConfig{4, 4, 12, 18}));
+}
+
+TEST(Governors, PowersavePinsMin) {
+  soc::BigLittlePlatform plat;
+  PowersaveGovernor gov;
+  const auto next = gov.step(run_once(plat, {2, 2, 5, 5}), {2, 2, 5, 5});
+  EXPECT_EQ(next, (soc::SocConfig{4, 4, 0, 0}));
+}
+
+TEST(Governors, OndemandJumpsToMaxUnderLoad) {
+  soc::BigLittlePlatform plat;
+  OndemandGovernor gov(plat.space());
+  soc::SnippetResult r = run_once(plat, {4, 4, 5, 5});
+  r.counters.little_cluster_utilization = 0.99;
+  r.counters.big_cluster_utilization = 0.99;
+  const auto next = gov.step(r, {4, 4, 5, 5});
+  EXPECT_EQ(next.little_freq_idx, 12);
+  EXPECT_EQ(next.big_freq_idx, 18);
+}
+
+TEST(Governors, OndemandScalesDownWhenIdle) {
+  soc::BigLittlePlatform plat;
+  OndemandGovernor gov(plat.space());
+  soc::SnippetResult r = run_once(plat, {4, 4, 10, 15});
+  r.counters.little_cluster_utilization = 0.10;
+  r.counters.big_cluster_utilization = 0.10;
+  const auto next = gov.step(r, {4, 4, 10, 15});
+  EXPECT_LT(next.little_freq_idx, 10);
+  EXPECT_LT(next.big_freq_idx, 15);
+}
+
+TEST(Governors, InteractiveRampsAndDecays) {
+  soc::BigLittlePlatform plat;
+  InteractiveGovernor gov(plat.space());
+  soc::SnippetResult busy = run_once(plat, {4, 4, 5, 5});
+  busy.counters.little_cluster_utilization = 0.95;
+  busy.counters.big_cluster_utilization = 0.95;
+  const auto up = gov.step(busy, {4, 4, 5, 5});
+  EXPECT_GT(up.little_freq_idx, 5);
+  soc::SnippetResult idle = busy;
+  idle.counters.little_cluster_utilization = 0.1;
+  idle.counters.big_cluster_utilization = 0.1;
+  const auto down = gov.step(idle, {4, 4, 5, 5});
+  EXPECT_EQ(down.little_freq_idx, 4);
+}
+
+TEST(Governors, StaticHolds) {
+  soc::BigLittlePlatform plat;
+  StaticController ctl({3, 1, 2, 2});
+  EXPECT_EQ(ctl.step(run_once(plat, {4, 4, 0, 0}), {4, 4, 0, 0}), (soc::SocConfig{3, 1, 2, 2}));
+}
+
+TEST(QLearningController, ProducesValidConfigsAndLearnsStates) {
+  soc::BigLittlePlatform plat;
+  QLearningController ctl(plat.space());
+  ctl.begin_run({2, 2, 6, 9});
+  common::Rng rng(2);
+  const auto trace =
+      workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("Qsort"), 50, rng);
+  soc::SocConfig c{2, 2, 6, 9};
+  for (const auto& s : trace) {
+    const auto r = plat.execute(s, c);
+    c = ctl.step(r, c);
+    EXPECT_TRUE(plat.space().valid(c));
+  }
+  EXPECT_GT(ctl.table_states(), 1u);
+  EXPECT_GT(ctl.storage_bytes(), 0u);
+}
+
+TEST(DqnController, ProducesValidConfigs) {
+  soc::BigLittlePlatform plat;
+  ml::DqnConfig cfg;
+  cfg.min_replay = 8;
+  cfg.batch_size = 4;
+  DqnController ctl(plat.space(), cfg);
+  ctl.begin_run({2, 2, 6, 9});
+  common::Rng rng(3);
+  const auto trace =
+      workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("AES"), 30, rng);
+  soc::SocConfig c{2, 2, 6, 9};
+  for (const auto& s : trace) {
+    const auto r = plat.execute(s, c);
+    c = ctl.step(r, c);
+    EXPECT_TRUE(plat.space().valid(c));
+  }
+}
+
+class OnlineIlFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    common::Rng rng(5);
+    const auto apps = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
+    data_ = collect_offline_data(plat_, apps, Objective::kEnergy, 10, 4, rng);
+    policy_.train_offline(data_.policy, rng);
+    models_.bootstrap(data_.model_samples);
+  }
+  soc::BigLittlePlatform plat_;
+  IlPolicy policy_{soc::ConfigSpace{}};
+  OnlineSocModels models_{soc::ConfigSpace{}};
+  OfflineData data_;
+};
+
+TEST_F(OnlineIlFixture, StepsProduceValidConfigsAndPolicyDecisions) {
+  OnlineIlController ctl(plat_.space(), policy_, models_);
+  common::Rng rng(6);
+  const auto trace =
+      workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("Kmeans"), 40, rng);
+  soc::SocConfig c{4, 4, 8, 10};
+  for (const auto& s : trace) {
+    const auto r = plat_.execute(s, c);
+    c = ctl.step(r, c);
+    EXPECT_TRUE(plat_.space().valid(c));
+    ASSERT_TRUE(ctl.last_policy_decision().has_value());
+    EXPECT_TRUE(plat_.space().valid(*ctl.last_policy_decision()));
+  }
+}
+
+TEST_F(OnlineIlFixture, PolicyUpdatesFireAtBufferCapacity) {
+  OnlineIlConfig cfg;
+  cfg.buffer_capacity = 10;
+  cfg.update_epochs = 2;
+  OnlineIlController ctl(plat_.space(), policy_, models_, cfg);
+  common::Rng rng(7);
+  const auto trace =
+      workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("PCA"), 35, rng);
+  soc::SocConfig c{4, 4, 8, 10};
+  for (const auto& s : trace) c = ctl.step(plat_.execute(s, c), c);
+  EXPECT_EQ(ctl.policy_updates(), 3u);   // 35 steps / 10 per buffer
+  EXPECT_EQ(ctl.buffer_fill(), 5u);
+}
+
+TEST_F(OnlineIlFixture, ExplorationDecaysAndReArmsOnWorkloadChange) {
+  OnlineIlConfig cfg;
+  cfg.explore_init = 0.2;
+  cfg.explore_min = 0.01;
+  cfg.explore_decay = 0.9;
+  OnlineIlController ctl(plat_.space(), policy_, models_, cfg);
+  common::Rng rng(8);
+  const auto a = workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("SHA"), 60, rng);
+  soc::SocConfig c{4, 4, 8, 10};
+  for (const auto& s : a) c = ctl.step(plat_.execute(s, c), c);
+  const double decayed = ctl.exploration_rate();
+  EXPECT_LT(decayed, 0.05);
+  // Sudden switch to a very different workload: innovation spike re-arms it.
+  const auto b = workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("PCA"), 3, rng);
+  for (const auto& s : b) c = ctl.step(plat_.execute(s, c), c);
+  EXPECT_GT(ctl.exploration_rate(), decayed);
+}
+
+TEST_F(OnlineIlFixture, OfflineControllerIsPurePolicy) {
+  OfflineIlController ctl(plat_.space(), policy_);
+  common::Rng rng(9);
+  const auto trace =
+      workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("BML"), 5, rng);
+  soc::SocConfig c{4, 4, 8, 10};
+  const auto r = plat_.execute(trace[0], c);
+  const auto next = ctl.step(r, c);
+  EXPECT_EQ(next, *ctl.last_policy_decision());
+}
+
+}  // namespace
+}  // namespace oal::core

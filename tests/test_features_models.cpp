@@ -1,0 +1,188 @@
+// Tests for feature extraction and the online power/performance models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/features.h"
+#include "core/models.h"
+#include "core/oracle.h"
+#include "soc/platform.h"
+#include "workloads/cpu_benchmarks.h"
+
+namespace oal::core {
+namespace {
+
+soc::SnippetDescriptor sample_snippet() {
+  soc::SnippetDescriptor s;
+  s.instructions = 20e6;
+  s.base_cpi_little = 1.7;
+  s.base_cpi_big = 1.0;
+  s.l2_mpki = 4.0;
+  s.branch_mpki = 3.0;
+  s.parallel_fraction = 0.3;
+  s.max_threads = 4;
+  return s;
+}
+
+TEST(WorkloadFeatures, RatesMatchDescriptors) {
+  soc::BigLittlePlatform plat;
+  const auto s = sample_snippet();
+  const soc::SocConfig c{2, 2, 8, 10};
+  const auto r = plat.execute_ideal(s, c);
+  const WorkloadFeatures w = workload_features(r.counters, c);
+  EXPECT_NEAR(w.mpki, s.l2_mpki, 0.01);
+  EXPECT_NEAR(w.bmpki, s.branch_mpki, 0.01);
+  EXPECT_NEAR(w.mem_ai, s.mem_access_per_inst, 0.01);
+  EXPECT_GT(w.cpi_obs, 0.0);
+  EXPECT_GE(w.pf_proxy, 0.0);
+  EXPECT_LE(w.pf_proxy, 1.0);
+  EXPECT_GE(w.runnable, 1.0);
+}
+
+TEST(WorkloadFeatures, ParallelismVisibleThroughRunnable) {
+  soc::BigLittlePlatform plat;
+  auto par = sample_snippet();
+  par.parallel_fraction = 0.9;
+  auto ser = sample_snippet();
+  ser.parallel_fraction = 0.0;
+  ser.max_threads = 1;
+  const soc::SocConfig one_core{1, 0, 8, 0};
+  const auto wp = workload_features(plat.execute_ideal(par, one_core).counters, one_core);
+  const auto ws = workload_features(plat.execute_ideal(ser, one_core).counters, one_core);
+  EXPECT_GT(wp.runnable, ws.runnable + 1.0);
+}
+
+TEST(FeatureExtractor, PolicyFeatureDimension) {
+  soc::BigLittlePlatform plat;
+  const FeatureExtractor fx(plat.space());
+  const auto r = plat.execute_ideal(sample_snippet(), {2, 2, 8, 10});
+  const auto f = fx.policy_features(r.counters, {2, 2, 8, 10});
+  EXPECT_EQ(f.size(), fx.policy_dim());
+}
+
+TEST(FeatureExtractor, ModelFeatureDimension) {
+  soc::BigLittlePlatform plat;
+  const FeatureExtractor fx(plat.space());
+  const WorkloadFeatures w;
+  EXPECT_EQ(fx.model_features(w, {1, 0, 0, 0}).size(), fx.model_dim());
+  EXPECT_EQ(fx.model_features(w, {4, 4, 12, 18}).size(), fx.model_dim());
+}
+
+TEST(FeatureExtractor, BigKnobsInertWhenClusterOff) {
+  soc::BigLittlePlatform plat;
+  const FeatureExtractor fx(plat.space());
+  WorkloadFeatures w;
+  w.mpki = 3.0;
+  const auto a = fx.model_features(w, {2, 0, 5, 3});
+  const auto b = fx.model_features(w, {2, 0, 5, 15});
+  // With the big cluster gated, its frequency must not change any feature.
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+class ModelFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    common::Rng rng(11);
+    const auto apps = workloads::CpuBenchmarks::all();  // train on everything
+    data_ = collect_offline_data(plat_, apps, Objective::kEnergy, 10, 5, rng);
+    models_.bootstrap(data_.model_samples);
+  }
+  soc::BigLittlePlatform plat_;
+  OnlineSocModels models_{plat_.space()};
+  OfflineData data_;
+};
+
+TEST_F(ModelFixture, BootstrapPredictsInDistribution) {
+  // On the training distribution the bootstrapped models should predict
+  // time within ~30% and power within ~25% on most samples.  (The offline
+  // fit is a global linear-in-features model over all 4940 configurations;
+  // the online RLS updates are what sharpen it around the operating point —
+  // covered by OnlineUpdatesReduceErrorOnNewWorkload below.)
+  common::Rng rng(12);
+  int good_t = 0, good_p = 0, total = 0;
+  for (std::size_t i = 0; i < data_.model_samples.size(); i += 13) {
+    const auto& s = data_.model_samples[i];
+    const double tp = models_.predict_time_s(s.workload, s.config, s.instructions);
+    const double pp = models_.predict_power_w(s.workload, s.config);
+    good_t += std::abs(tp - s.time_s) / s.time_s < 0.30;
+    good_p += std::abs(pp - s.power_w) / s.power_w < 0.25;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(good_t) / total, 0.75);
+  EXPECT_GT(static_cast<double>(good_p) / total, 0.8);
+}
+
+TEST_F(ModelFixture, OnlineUpdatesReduceErrorOnNewWorkload) {
+  // Synthetic workload far from anything in training.
+  soc::SnippetDescriptor s;
+  s.instructions = 20e6;
+  s.base_cpi_little = 2.6;
+  s.base_cpi_big = 2.1;
+  s.l2_mpki = 16.0;
+  s.branch_mpki = 8.0;
+  s.parallel_fraction = 0.5;
+  s.max_threads = 4;
+  const soc::SocConfig c{3, 1, 10, 8};
+  soc::BigLittlePlatform plat;
+  double first_err = -1.0, last_err = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    const auto r = plat.execute_ideal(s, c);
+    const auto w = workload_features(r.counters, c);
+    const double pred = models_.predict_time_s(w, c, s.instructions);
+    const double err = std::abs(pred - r.exec_time_s) / r.exec_time_s;
+    if (first_err < 0.0) first_err = err;
+    last_err = err;
+    models_.update(ModelSample{w, c, r.exec_time_s, 20e6, r.avg_power_w});
+  }
+  EXPECT_LT(last_err, 0.05);
+  EXPECT_LE(last_err, first_err + 1e-9);
+}
+
+TEST_F(ModelFixture, CandidateRankingMatchesGroundTruthLocally) {
+  // The models' purpose: rank a local neighborhood like ground truth does.
+  soc::BigLittlePlatform plat;
+  common::Rng rng(13);
+  const auto& app = workloads::CpuBenchmarks::by_name("FFT");
+  const auto trace = workloads::CpuBenchmarks::trace(app, 5, rng);
+  const soc::SocConfig current{2, 1, 8, 10};
+  const auto r = plat.execute_ideal(trace[2], current);
+  const auto w = workload_features(r.counters, current);
+  const auto cands = plat.space().neighborhood(current, 1, 2);
+  // Find predicted and true argmin.
+  double best_pred = 1e300, best_true = 1e300;
+  soc::SocConfig cp, ct;
+  for (const auto& c : cands) {
+    const double pe = models_.predict_energy_j(w, c, trace[2].instructions);
+    const double te = plat.execute_ideal(trace[2], c).energy_j;
+    if (pe < best_pred) { best_pred = pe; cp = c; }
+    if (te < best_true) { best_true = te; ct = c; }
+  }
+  // The config the models pick must be within 5% of the truly best energy.
+  const double chosen_true_e = plat.execute_ideal(trace[2], cp).energy_j;
+  EXPECT_LT(chosen_true_e / best_true, 1.05);
+}
+
+TEST_F(ModelFixture, LogCostMonotoneWithEnergy) {
+  const auto& s = data_.model_samples.front();
+  const soc::SocConfig a{1, 0, 0, 0};
+  const soc::SocConfig b{4, 4, 12, 18};
+  const double ea = models_.predict_energy_j(s.workload, a, 20e6);
+  const double eb = models_.predict_energy_j(s.workload, b, 20e6);
+  const double ca = models_.predict_log_cost(s.workload, a);
+  const double cb = models_.predict_log_cost(s.workload, b);
+  EXPECT_EQ(ea < eb, ca < cb);
+}
+
+TEST(OnlineSocModels, RejectsBadSamples) {
+  soc::BigLittlePlatform plat;
+  OnlineSocModels m(plat.space());
+  EXPECT_THROW(m.bootstrap({}), std::invalid_argument);
+  ModelSample s;
+  s.time_s = 0.0;
+  s.instructions = 1.0;
+  s.power_w = 1.0;
+  EXPECT_THROW(m.update(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oal::core

@@ -1,0 +1,182 @@
+// Tests for the NoC substrate: mesh/routing, analytical model, simulator and
+// SVR-corrected model.
+#include <gtest/gtest.h>
+
+#include "noc/svr_model.h"
+
+namespace oal::noc {
+namespace {
+
+TEST(Mesh, TopologyCounts) {
+  Mesh m(4, 3);
+  EXPECT_EQ(m.num_nodes(), 12u);
+  // Bidirectional links: 2 * (3*(cols-1)*rows... ) -> 2*(3*3 + 4*2) = 34
+  EXPECT_EQ(m.num_links(), 2u * ((4 - 1) * 3 + 4 * (3 - 1)));
+  EXPECT_THROW(Mesh(1, 1), std::invalid_argument);
+}
+
+TEST(Mesh, XyRouteGoesXThenY) {
+  Mesh m(4, 4);
+  const auto route = m.xy_route(m.node(0, 0), m.node(2, 3));
+  EXPECT_EQ(route.size(), 5u);  // 2 X hops + 3 Y hops
+  // First hops move in X.
+  const Link& first = m.links()[route[0]];
+  EXPECT_EQ(m.y_of(first.from), m.y_of(first.to));
+}
+
+TEST(Mesh, RouteEmptyForSelf) {
+  Mesh m(3, 3);
+  EXPECT_TRUE(m.xy_route(4, 4).empty());
+}
+
+TEST(Mesh, HopCountIsManhattan) {
+  Mesh m(5, 5);
+  EXPECT_EQ(m.hop_count(m.node(0, 0), m.node(4, 4)), 8u);
+  EXPECT_EQ(m.hop_count(m.node(2, 2), m.node(2, 2)), 0u);
+  EXPECT_EQ(m.xy_route(m.node(0, 0), m.node(4, 4)).size(),
+            m.hop_count(m.node(0, 0), m.node(4, 4)));
+}
+
+TEST(Mesh, LinkIndexRejectsNonAdjacent) {
+  Mesh m(3, 3);
+  EXPECT_THROW(m.link_index(0, 2), std::invalid_argument);
+  EXPECT_NO_THROW(m.link_index(0, 1));
+}
+
+TEST(Traffic, UniformRates) {
+  const auto t = TrafficMatrix::uniform(9, 0.09);
+  double row = 0.0;
+  for (std::size_t d = 0; d < 9; ++d) row += t.rate(0, d);
+  EXPECT_NEAR(row, 0.09, 1e-12);
+  EXPECT_DOUBLE_EQ(t.rate(3, 3), 0.0);
+  EXPECT_NEAR(t.total_rate(), 9 * 0.09, 1e-9);
+}
+
+TEST(Traffic, HotspotConcentrates) {
+  const auto t = TrafficMatrix::hotspot(9, 4, 0.1, 0.5);
+  EXPECT_GT(t.rate(0, 4), t.rate(0, 1));
+}
+
+TEST(Traffic, BitComplementIsPermutation) {
+  const auto t = TrafficMatrix::bit_complement(4, 4, 0.1);
+  for (std::size_t s = 0; s < 16; ++s) {
+    int dsts = 0;
+    for (std::size_t d = 0; d < 16; ++d) dsts += t.rate(s, d) > 0.0;
+    EXPECT_EQ(dsts, 1);
+  }
+}
+
+TEST(Analytical, LatencyGrowsWithLoad) {
+  Mesh m(4, 4);
+  AnalyticalNocModel model(m);
+  const auto lo = model.evaluate(TrafficMatrix::uniform(16, 0.01));
+  const auto hi = model.evaluate(TrafficMatrix::uniform(16, 0.08));
+  EXPECT_GT(hi.avg_latency_cycles, lo.avg_latency_cycles);
+  EXPECT_GT(hi.avg_channel_waiting_cycles, lo.avg_channel_waiting_cycles);
+  EXPECT_GT(hi.max_link_utilization, lo.max_link_utilization);
+}
+
+TEST(Analytical, ZeroLoadLatencyIsHopsTimesHopCost) {
+  Mesh m(4, 4);
+  NocParams p;
+  AnalyticalNocModel model(m, p);
+  // Single flow at negligible rate between adjacent nodes.
+  TrafficMatrix t(16);
+  t.rate(0, 1) = 1e-9;
+  const auto r = model.evaluate(t);
+  EXPECT_NEAR(r.avg_latency_cycles, p.router_delay_cycles + p.packet_service_cycles, 1e-3);
+}
+
+TEST(Analytical, DetectsSaturation) {
+  Mesh m(4, 4);
+  AnalyticalNocModel model(m);
+  const auto r = model.evaluate(TrafficMatrix::uniform(16, 0.5));
+  EXPECT_TRUE(r.saturated);
+}
+
+TEST(Simulator, MatchesAnalyticalAtLowLoad) {
+  Mesh m(4, 4);
+  AnalyticalNocModel model(m);
+  NocSimulator sim(m);
+  const auto t = TrafficMatrix::uniform(16, 0.01);
+  SimConfig cfg;
+  cfg.seed = 3;
+  const auto s = sim.simulate(t, cfg);
+  const auto a = model.evaluate(t);
+  EXPECT_NEAR(a.avg_latency_cycles, s.avg_latency_cycles, 0.15 * s.avg_latency_cycles);
+  EXPECT_NEAR(s.delivered_rate, t.total_rate(), 0.1 * t.total_rate());
+}
+
+TEST(Simulator, LatencyGrowsWithLoad) {
+  Mesh m(4, 4);
+  NocSimulator sim(m);
+  SimConfig cfg;
+  const auto lo = sim.simulate(TrafficMatrix::uniform(16, 0.01), cfg);
+  const auto hi = sim.simulate(TrafficMatrix::uniform(16, 0.06), cfg);
+  EXPECT_GT(hi.avg_latency_cycles, lo.avg_latency_cycles);
+  EXPECT_GE(hi.p95_latency_cycles, hi.avg_latency_cycles);
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  Mesh m(4, 4);
+  NocSimulator sim(m);
+  SimConfig cfg;
+  cfg.seed = 5;
+  const auto a = sim.simulate(TrafficMatrix::uniform(16, 0.02), cfg);
+  const auto b = sim.simulate(TrafficMatrix::uniform(16, 0.02), cfg);
+  EXPECT_DOUBLE_EQ(a.avg_latency_cycles, b.avg_latency_cycles);
+  EXPECT_EQ(a.packets_measured, b.packets_measured);
+}
+
+class SvrFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (double r : {0.005, 0.015, 0.025, 0.035}) {
+      traffics_.push_back(TrafficMatrix::uniform(16, r));
+      traffics_.push_back(TrafficMatrix::transpose(4, 4, r));
+      traffics_.push_back(TrafficMatrix::hotspot(16, 5, r));
+    }
+    NocSimulator sim(mesh_);
+    for (std::size_t i = 0; i < traffics_.size(); ++i) {
+      SimConfig cfg;
+      cfg.seed = 50 + i;
+      cfg.measure_cycles = 30000.0;
+      lat_.push_back(sim.simulate(traffics_[i], cfg).avg_latency_cycles);
+    }
+  }
+  Mesh mesh_{4, 4};
+  std::vector<TrafficMatrix> traffics_;
+  std::vector<double> lat_;
+};
+
+TEST_F(SvrFixture, CorrectionImprovesOnAnalytical) {
+  SvrNocModel model(mesh_);
+  model.fit(traffics_, lat_);
+  double err_svr = 0.0, err_ana = 0.0;
+  for (std::size_t i = 0; i < traffics_.size(); ++i) {
+    err_svr += std::abs(model.predict(traffics_[i]) - lat_[i]);
+    err_ana += std::abs(model.analytical(traffics_[i]) - lat_[i]);
+  }
+  EXPECT_LE(err_svr, err_ana);
+}
+
+TEST_F(SvrFixture, OnlineResidualTracksShift) {
+  SvrNocModel model(mesh_);
+  model.fit(traffics_, lat_);
+  // Pretend the platform drifted: every measured latency is 20% higher.
+  const auto& t0 = traffics_[2];
+  const double shifted = model.predict(t0) * 1.2;
+  const double before = std::abs(model.predict(t0) - shifted);
+  for (int i = 0; i < 10; ++i) model.update(t0, shifted);
+  const double after = std::abs(model.predict(t0) - shifted);
+  EXPECT_LT(after, before * 0.3);
+}
+
+TEST_F(SvrFixture, UsageErrors) {
+  SvrNocModel model(mesh_);
+  EXPECT_THROW(model.predict(traffics_[0]), std::logic_error);
+  EXPECT_THROW(model.fit({}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oal::noc

@@ -1,0 +1,138 @@
+// Tests for Oracle construction, label encoding, dataset collection and the
+// offline IL policy.
+#include <gtest/gtest.h>
+
+#include "core/il_policy.h"
+#include "core/oracle.h"
+#include "soc/platform.h"
+#include "workloads/cpu_benchmarks.h"
+
+namespace oal::core {
+namespace {
+
+TEST(LabelEncoding, RoundTripsAllKnobs) {
+  soc::ConfigSpace space;
+  for (std::size_t i = 0; i < space.size(); i += 101) {
+    const soc::SocConfig c = space.config_at(i);
+    EXPECT_EQ(config_of(labels_of(c)), c);
+  }
+  EXPECT_THROW(config_of({1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Oracle, MatchesExhaustivePlatformSearch) {
+  soc::BigLittlePlatform plat;
+  common::Rng rng(1);
+  const auto& app = workloads::CpuBenchmarks::by_name("SHA");
+  const auto trace = workloads::CpuBenchmarks::trace(app, 3, rng);
+  const soc::SocConfig via_oracle = oracle_config(plat, trace[0], Objective::kEnergy);
+  const soc::SocConfig via_platform = plat.best_energy_config(trace[0]);
+  EXPECT_EQ(via_oracle, via_platform);
+}
+
+TEST(Oracle, ObjectivesDiffer) {
+  // EDP weighs delay more than energy: its optimum must be at least as fast.
+  soc::BigLittlePlatform plat;
+  common::Rng rng(2);
+  const auto& app = workloads::CpuBenchmarks::by_name("Kmeans");
+  const auto trace = workloads::CpuBenchmarks::trace(app, 2, rng);
+  const auto c_e = oracle_config(plat, trace[0], Objective::kEnergy);
+  const auto c_edp = oracle_config(plat, trace[0], Objective::kEdp);
+  const double t_e = plat.execute_ideal(trace[0], c_e).exec_time_s;
+  const double t_edp = plat.execute_ideal(trace[0], c_edp).exec_time_s;
+  EXPECT_LE(t_edp, t_e + 1e-12);
+}
+
+TEST(Oracle, CostIsMinimal) {
+  soc::BigLittlePlatform plat;
+  common::Rng rng(3);
+  const auto trace =
+      workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("FFT"), 2, rng);
+  const double c = oracle_cost(plat, trace[0], Objective::kEnergy);
+  for (std::size_t i = 0; i < plat.space().size(); i += 199) {
+    const auto r = plat.execute_ideal(trace[0], plat.space().config_at(i));
+    EXPECT_LE(c, objective_cost(r, Objective::kEnergy) + 1e-12);
+  }
+}
+
+TEST(ObjectiveCost, PerfPerWattIsNegatedThroughput) {
+  soc::SnippetResult r;
+  r.energy_j = 2.0;
+  r.counters.instructions_retired = 10.0;
+  EXPECT_DOUBLE_EQ(objective_cost(r, Objective::kPerfPerWatt), -5.0);
+  r.energy_j = 0.0;
+  EXPECT_THROW(objective_cost(r, Objective::kPerfPerWatt), std::invalid_argument);
+}
+
+class OfflineIlFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    common::Rng rng(7);
+    const auto apps = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
+    data_ = collect_offline_data(plat_, apps, Objective::kEnergy, 15, 4, rng);
+  }
+  soc::BigLittlePlatform plat_;
+  OfflineData data_;
+};
+
+TEST_F(OfflineIlFixture, DatasetShape) {
+  // 10 apps x 15 snippets x (1 oracle + 4 random) observations.
+  EXPECT_EQ(data_.policy.states.size(), 10u * 15u * 5u);
+  EXPECT_EQ(data_.policy.states.size(), data_.policy.labels.size());
+  EXPECT_EQ(data_.model_samples.size(), data_.policy.states.size());
+  for (const auto& s : data_.policy.states) EXPECT_EQ(s.size(), 12u);
+  for (const auto& l : data_.policy.labels) EXPECT_TRUE(plat_.space().valid(l));
+}
+
+TEST_F(OfflineIlFixture, PolicyLearnsTrainingDistribution) {
+  common::Rng rng(8);
+  IlPolicy policy(plat_.space());
+  policy.train_offline(data_.policy, rng);
+  EXPECT_TRUE(policy.trained());
+  // In-distribution decisions should match the Oracle labels almost always.
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < data_.policy.states.size(); i += 3) {
+    hits += policy.decide(data_.policy.states[i]) == data_.policy.labels[i];
+  }
+  const double acc =
+      static_cast<double>(hits) / static_cast<double>((data_.policy.states.size() + 2) / 3);
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST_F(OfflineIlFixture, PolicyFitsFirmwareBudget) {
+  IlPolicy policy(plat_.space());
+  // Paper: policy + training buffer below 20 KB.
+  EXPECT_LT(policy.storage_bytes(), 20u * 1024u);
+}
+
+TEST_F(OfflineIlFixture, IncrementalTrainingMovesPolicy) {
+  common::Rng rng(9);
+  IlPolicy policy(plat_.space());
+  policy.train_offline(data_.policy, rng);
+  // Build a tiny runtime dataset pointing all states to one fixed label.
+  PolicyDataset ds;
+  const soc::SocConfig target{4, 0, 12, 0};
+  for (std::size_t i = 0; i < 100; ++i) {
+    ds.states.push_back(data_.policy.states[i]);
+    ds.labels.push_back(target);
+  }
+  policy.train_incremental(ds, 30, rng);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < 100; ++i) hits += policy.decide(ds.states[i]) == target;
+  EXPECT_GT(hits, 80u);
+}
+
+TEST(IlPolicy, UntrainedUseThrows) {
+  soc::ConfigSpace space;
+  IlPolicy policy(space);
+  EXPECT_THROW(policy.decide(common::Vec(12, 0.0)), std::logic_error);
+  PolicyDataset empty;
+  common::Rng rng(1);
+  EXPECT_THROW(policy.train_offline(empty, rng), std::invalid_argument);
+  PolicyDataset ds;
+  ds.states.push_back(common::Vec(12, 0.0));
+  ds.labels.push_back(soc::SocConfig{1, 0, 0, 0});
+  EXPECT_THROW(policy.train_incremental(ds, 1, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace oal::core

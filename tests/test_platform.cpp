@@ -1,0 +1,201 @@
+// Tests for the analytic big.LITTLE platform model: physical sanity of the
+// performance/power surfaces and of the generated Table-I counters.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "soc/platform.h"
+
+namespace oal::soc {
+namespace {
+
+SnippetDescriptor compute_bound() {
+  SnippetDescriptor s;
+  s.instructions = 20e6;
+  s.base_cpi_little = 1.5;
+  s.base_cpi_big = 0.8;
+  s.l2_mpki = 0.2;
+  s.branch_mpki = 1.0;
+  s.parallel_fraction = 0.05;
+  s.max_threads = 1;
+  return s;
+}
+
+SnippetDescriptor memory_bound() {
+  SnippetDescriptor s = compute_bound();
+  s.l2_mpki = 10.0;
+  s.base_cpi_big = 1.1;
+  s.base_cpi_little = 2.0;
+  return s;
+}
+
+SnippetDescriptor parallel_workload() {
+  SnippetDescriptor s = compute_bound();
+  s.parallel_fraction = 0.95;
+  s.max_threads = 4;
+  return s;
+}
+
+TEST(Platform, VoltageCurvesMonotone) {
+  BigLittlePlatform p;
+  EXPECT_LT(p.voltage_little(200), p.voltage_little(800));
+  EXPECT_LT(p.voltage_little(800), p.voltage_little(1400));
+  EXPECT_LT(p.voltage_big(200), p.voltage_big(2000));
+  EXPECT_NEAR(p.voltage_little(200), p.params().v_min_little, 1e-12);
+  EXPECT_NEAR(p.voltage_big(2000), p.params().v_max_big, 1e-12);
+}
+
+TEST(Platform, HigherFrequencyIsFaster) {
+  BigLittlePlatform p;
+  const auto s = compute_bound();
+  const auto slow = p.execute_ideal(s, {1, 1, 0, 4});
+  const auto fast = p.execute_ideal(s, {1, 1, 0, 18});
+  EXPECT_LT(fast.exec_time_s, slow.exec_time_s);
+}
+
+TEST(Platform, HigherFrequencyDrawsMorePower) {
+  BigLittlePlatform p;
+  const auto s = compute_bound();
+  const auto slow = p.execute_ideal(s, {1, 1, 0, 4});
+  const auto fast = p.execute_ideal(s, {1, 1, 0, 18});
+  EXPECT_GT(fast.avg_power_w, slow.avg_power_w);
+}
+
+TEST(Platform, BigCoreFasterThanLittleForIlpCode) {
+  BigLittlePlatform p;
+  const auto s = compute_bound();
+  const auto little = p.execute_ideal(s, {1, 0, 12, 0});   // L1@1400, big off
+  const auto big = p.execute_ideal(s, {1, 1, 0, 12});      // B1@1400
+  EXPECT_LT(big.exec_time_s, little.exec_time_s);
+}
+
+TEST(Platform, MemoryWallCapsFrequencyScaling) {
+  // For memory-bound code, doubling frequency must yield far less than 2x
+  // speedup; for compute-bound code it should be close to 2x.
+  BigLittlePlatform p;
+  const SocConfig f1{1, 1, 0, 8};   // big @ 1000
+  const SocConfig f2{1, 1, 0, 18};  // big @ 2000
+  const double su_compute = p.execute_ideal(compute_bound(), f1).exec_time_s /
+                            p.execute_ideal(compute_bound(), f2).exec_time_s;
+  const double su_memory = p.execute_ideal(memory_bound(), f1).exec_time_s /
+                           p.execute_ideal(memory_bound(), f2).exec_time_s;
+  EXPECT_GT(su_compute, 1.8);
+  EXPECT_LT(su_memory, su_compute - 0.2);
+}
+
+TEST(Platform, ParallelWorkloadScalesWithCores) {
+  BigLittlePlatform p;
+  const auto s = parallel_workload();
+  const auto one = p.execute_ideal(s, {1, 0, 12, 0});
+  const auto four = p.execute_ideal(s, {4, 0, 12, 0});
+  const double speedup = one.exec_time_s / four.exec_time_s;
+  EXPECT_GT(speedup, 2.5);
+  EXPECT_LT(speedup, 4.0);  // sync overhead forbids ideal scaling
+}
+
+TEST(Platform, SerialWorkloadGainsNothingFromCores) {
+  BigLittlePlatform p;
+  auto s = compute_bound();
+  s.parallel_fraction = 0.0;
+  const auto one = p.execute_ideal(s, {1, 0, 12, 0});
+  const auto four = p.execute_ideal(s, {4, 0, 12, 0});
+  EXPECT_NEAR(one.exec_time_s, four.exec_time_s, one.exec_time_s * 0.01);
+  // But idle cores still leak: more power at 4 cores.
+  EXPECT_GT(four.avg_power_w, one.avg_power_w);
+}
+
+TEST(Platform, ThreadLimitCapsParallelSpeedup) {
+  BigLittlePlatform p;
+  auto s = parallel_workload();
+  s.max_threads = 2;
+  const auto two = p.execute_ideal(s, {2, 0, 12, 0});
+  const auto four = p.execute_ideal(s, {4, 0, 12, 0});
+  // Extra cores beyond the thread count must not speed things up.
+  EXPECT_NEAR(two.exec_time_s, four.exec_time_s, two.exec_time_s * 0.02);
+}
+
+TEST(Platform, EnergyEqualsPowerTimesTime) {
+  BigLittlePlatform p;
+  const auto r = p.execute_ideal(compute_bound(), {2, 1, 5, 9});
+  EXPECT_NEAR(r.energy_j, r.avg_power_w * r.exec_time_s, 1e-12);
+}
+
+TEST(Platform, CountersMatchDescriptors) {
+  BigLittlePlatform p;
+  const auto s = memory_bound();
+  const auto r = p.execute_ideal(s, {2, 1, 5, 9});
+  const PerfCounters& k = r.counters;
+  EXPECT_DOUBLE_EQ(k.instructions_retired, s.instructions);
+  EXPECT_NEAR(k.l2_cache_misses, s.l2_mpki / 1000.0 * s.instructions, 1.0);
+  EXPECT_NEAR(k.branch_mispredictions, s.branch_mpki / 1000.0 * s.instructions, 1.0);
+  EXPECT_NEAR(k.data_memory_accesses, s.mem_access_per_inst * s.instructions, 1.0);
+  EXPECT_GT(k.noncache_external_requests, k.l2_cache_misses);  // writebacks
+  EXPECT_GE(k.little_cluster_utilization, 0.0);
+  EXPECT_LE(k.little_cluster_utilization, 1.0);
+  EXPECT_GE(k.big_cluster_utilization, 0.0);
+  EXPECT_LE(k.big_cluster_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(k.total_power_w, r.avg_power_w);
+}
+
+TEST(Platform, RunnableThreadsReflectsParallelism) {
+  BigLittlePlatform p;
+  const auto serial = p.execute_ideal(compute_bound(), {1, 0, 12, 0});
+  EXPECT_NEAR(serial.counters.avg_runnable_threads, 1.0, 0.2);
+  // Parallel workload on ONE core: run queue must still reveal the waiting
+  // threads (this is what makes core-count decisions observable at all).
+  const auto par = p.execute_ideal(parallel_workload(), {1, 0, 12, 0});
+  EXPECT_GT(par.counters.avg_runnable_threads, 3.0);
+}
+
+TEST(Platform, BigClusterOffDrawsNoBigPower) {
+  BigLittlePlatform p;
+  const auto s = compute_bound();
+  const auto off = p.execute_ideal(s, {1, 0, 6, 18});
+  const auto on = p.execute_ideal(s, {1, 1, 6, 18});
+  EXPECT_GT(on.avg_power_w, off.avg_power_w + 0.1);
+  // Big frequency is irrelevant when the cluster is gated.
+  const auto off_lo = p.execute_ideal(s, {1, 0, 6, 0});
+  EXPECT_NEAR(off.avg_power_w, off_lo.avg_power_w, 1e-12);
+  EXPECT_NEAR(off.exec_time_s, off_lo.exec_time_s, 1e-12);
+}
+
+TEST(Platform, ExecuteAddsBoundedNoise) {
+  BigLittlePlatform p({}, 123);
+  const auto s = compute_bound();
+  const SocConfig c{2, 2, 8, 10};
+  const auto ideal = p.execute_ideal(s, c);
+  common::RunningStats rel;
+  for (int i = 0; i < 200; ++i) {
+    const auto noisy = p.execute(s, c);
+    rel.add(noisy.counters.total_power_w / ideal.counters.total_power_w);
+  }
+  EXPECT_NEAR(rel.mean(), 1.0, 0.01);
+  EXPECT_LT(rel.stddev(), 0.05);
+}
+
+TEST(Platform, ExecuteIdealIsDeterministic) {
+  BigLittlePlatform p;
+  const auto s = memory_bound();
+  const SocConfig c{3, 2, 4, 7};
+  const auto a = p.execute_ideal(s, c);
+  const auto b = p.execute_ideal(s, c);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_DOUBLE_EQ(a.exec_time_s, b.exec_time_s);
+}
+
+TEST(Platform, InvalidConfigThrows) {
+  BigLittlePlatform p;
+  EXPECT_THROW(p.execute_ideal(compute_bound(), {0, 0, 0, 0}), std::invalid_argument);
+}
+
+TEST(Platform, BestEnergyConfigBeatsArbitraryConfigs) {
+  BigLittlePlatform p;
+  const auto s = memory_bound();
+  const SocConfig best = p.best_energy_config(s);
+  const double e_best = p.execute_ideal(s, best).energy_j;
+  for (std::size_t i = 0; i < p.space().size(); i += 97) {
+    EXPECT_LE(e_best, p.execute_ideal(s, p.space().config_at(i)).energy_j + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace oal::soc

@@ -1,0 +1,213 @@
+// Tests for the thermal substrate: RC network physics, fixed-point analysis,
+// skin estimation, sensor selection and power budgeting.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "thermal/fixed_point.h"
+#include "thermal/power_budget.h"
+#include "thermal/rc_network.h"
+#include "thermal/skin_estimator.h"
+
+namespace oal::thermal {
+namespace {
+
+LeakageModel default_leak() {
+  LeakageModel l;
+  l.p0_w = {0.35, 0.08, 0.25, 0.0, 0.0};
+  l.k_per_c = {0.025, 0.02, 0.025, 0.0, 0.0};
+  l.t0_c = 25.0;
+  return l;
+}
+
+TEST(RcNetwork, StartsAtAmbient) {
+  auto net = RcThermalNetwork::mobile_soc(25.0);
+  for (double t : net.temperatures()) EXPECT_DOUBLE_EQ(t, 25.0);
+  EXPECT_EQ(net.num_nodes(), 5u);
+}
+
+TEST(RcNetwork, HeatsUnderPowerAndCoolsWithoutIt) {
+  auto net = RcThermalNetwork::mobile_soc();
+  net.step({3.0, 0.5, 1.0, 0.0, 0.0}, 180.0);
+  const double hot = net.temperatures()[0];
+  EXPECT_GT(hot, 30.0);
+  net.step({0.0, 0.0, 0.0, 0.0, 0.0}, 1500.0);
+  EXPECT_LT(net.temperatures()[0], hot);
+  EXPECT_NEAR(net.temperatures()[0], 25.0, 2.0);  // cooled nearly to ambient
+}
+
+TEST(RcNetwork, ConvergesToSteadyState) {
+  auto net = RcThermalNetwork::mobile_soc();
+  const common::Vec p{2.0, 0.4, 1.2, 0.0, 0.0};
+  const common::Vec ss = net.steady_state(p);
+  net.step(p, 5000.0);
+  for (std::size_t i = 0; i < ss.size(); ++i) EXPECT_NEAR(net.temperatures()[i], ss[i], 0.3);
+}
+
+TEST(RcNetwork, SteadyStateSuperposition) {
+  // Linear system: steady state of a+b equals sum of responses above ambient.
+  auto net = RcThermalNetwork::mobile_soc();
+  const common::Vec pa{1.0, 0.0, 0.0, 0.0, 0.0};
+  const common::Vec pb{0.0, 0.0, 2.0, 0.0, 0.0};
+  common::Vec pab(5);
+  for (int i = 0; i < 5; ++i) pab[i] = pa[i] + pb[i];
+  const auto ta = net.steady_state(pa);
+  const auto tb = net.steady_state(pb);
+  const auto tab = net.steady_state(pab);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(tab[i] - net.ambient_c(), (ta[i] - 25.0) + (tb[i] - 25.0), 1e-9);
+}
+
+TEST(RcNetwork, HeatSpreadsToNeighbors) {
+  auto net = RcThermalNetwork::mobile_soc();
+  net.step({4.0, 0.0, 0.0, 0.0, 0.0}, 60.0);
+  // Heating only the big cluster must raise every node above ambient, with
+  // the big cluster hottest and the skin slowest/coolest.
+  const auto& t = net.temperatures();
+  for (double v : t) EXPECT_GT(v, 25.0);
+  EXPECT_GT(t[0], t[1]);
+  EXPECT_GT(t[0], t[4]);
+}
+
+TEST(RcNetwork, SystemMatrixIsStable) {
+  auto net = RcThermalNetwork::mobile_soc();
+  const auto ev = common::eigenvalues(net.system_matrix());
+  for (double re : ev.real) EXPECT_LT(re, 0.0);  // all modes decay
+}
+
+TEST(RcNetwork, PredictDoesNotMutate) {
+  auto net = RcThermalNetwork::mobile_soc();
+  const auto before = net.temperatures();
+  const auto pred = net.predict({3.0, 0.5, 1.0, 0.0, 0.0}, 10.0);
+  EXPECT_EQ(net.temperatures(), before);
+  EXPECT_GT(pred[0], before[0]);
+}
+
+TEST(RcNetwork, InvalidInputsThrow) {
+  auto net = RcThermalNetwork::mobile_soc();
+  EXPECT_THROW(net.step({1.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(net.step(common::Vec(5, 0.0), -1.0), std::invalid_argument);
+  EXPECT_THROW(RcThermalNetwork({}, {}), std::invalid_argument);
+}
+
+TEST(FixedPoint, ExistsAtModerateLeakage) {
+  auto net = RcThermalNetwork::mobile_soc();
+  const auto fp = thermal_fixed_point(net, default_leak(), {2.0, 0.4, 1.0, 0.0, 0.0});
+  EXPECT_TRUE(fp.exists);
+  EXPECT_LT(fp.loop_gain, 1.0);
+  EXPECT_GT(fp.temperature_c[0], 25.0);
+  // Fixed point is self-consistent: steady state of total power returns it.
+  const auto check = net.steady_state(fp.total_power_w);
+  for (std::size_t i = 0; i < check.size(); ++i) EXPECT_NEAR(check[i], fp.temperature_c[i], 1e-6);
+}
+
+TEST(FixedPoint, RunawayDetectedAtHighLeakage) {
+  auto net = RcThermalNetwork::mobile_soc();
+  LeakageModel hot = default_leak();
+  hot.p0_w = {3.5, 0.8, 2.5, 0.0, 0.0};
+  hot.k_per_c = {0.12, 0.1, 0.12, 0.0, 0.0};
+  const auto fp = thermal_fixed_point(net, hot, {3.0, 0.8, 2.0, 0.0, 0.0});
+  EXPECT_FALSE(fp.exists);
+  EXPECT_GE(fp.loop_gain, 1.0);
+}
+
+TEST(FixedPoint, IterationConvergesToClosedForm) {
+  auto net = RcThermalNetwork::mobile_soc();
+  const common::Vec dyn{2.5, 0.5, 1.5, 0.0, 0.0};
+  const auto fp = thermal_fixed_point(net, default_leak(), dyn);
+  const auto traj = fixed_point_iteration(net, default_leak(), dyn);
+  ASSERT_TRUE(fp.exists);
+  ASSERT_GE(traj.size(), 2u);
+  const auto& last = traj.back();
+  for (std::size_t i = 0; i < last.size(); ++i) EXPECT_NEAR(last[i], fp.temperature_c[i], 1e-3);
+}
+
+TEST(FixedPoint, MorePowerMeansHotterFixedPoint) {
+  auto net = RcThermalNetwork::mobile_soc();
+  const auto lo = thermal_fixed_point(net, default_leak(), {1.0, 0.2, 0.5, 0.0, 0.0});
+  const auto hi = thermal_fixed_point(net, default_leak(), {3.0, 0.6, 2.0, 0.0, 0.0});
+  ASSERT_TRUE(lo.exists && hi.exists);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_GT(hi.temperature_c[i], lo.temperature_c[i]);
+}
+
+TEST(SkinEstimator, RecoversSkinFromInternalSensors) {
+  auto net = RcThermalNetwork::mobile_soc();
+  SensorArray sensors({0, 1, 2, 3}, 0.15, 33);
+  common::Rng rng(3);
+  std::vector<common::Vec> readings;
+  std::vector<double> skin;
+  common::Vec p(5, 0.0);
+  for (int i = 0; i < 600; ++i) {
+    if (i % 50 == 0)
+      p = {rng.uniform(0.2, 4.0), rng.uniform(0.1, 1.0), rng.uniform(0.1, 2.5), 0.0, 0.0};
+    net.step(p, 1.0);
+    readings.push_back(sensors.read(net.temperatures()));
+    skin.push_back(net.temperatures()[4]);
+  }
+  SkinTemperatureEstimator est(4);
+  est.fit({readings.begin(), readings.begin() + 400}, {skin.begin(), skin.begin() + 400});
+  std::vector<double> pred, truth;
+  for (std::size_t i = 400; i < readings.size(); ++i) {
+    pred.push_back(est.estimate(readings[i]));
+    truth.push_back(skin[i]);
+  }
+  EXPECT_LT(common::rmse(truth, pred), 0.6);
+}
+
+TEST(SkinEstimator, OnlineUpdateTracksBiasDrift) {
+  SkinTemperatureEstimator est(1);
+  // True relation: skin = 0.5 * sensor + 10.
+  for (int i = 0; i < 200; ++i) {
+    const double s = 30.0 + (i % 17);
+    est.update({s}, 0.5 * s + 10.0);
+  }
+  EXPECT_NEAR(est.estimate({40.0}), 30.0, 0.5);
+  // Drifted relation (aged device): estimator follows.
+  for (int i = 0; i < 400; ++i) {
+    const double s = 30.0 + (i % 17);
+    est.update({s}, 0.5 * s + 13.0);
+  }
+  EXPECT_NEAR(est.estimate({40.0}), 33.0, 1.0);
+}
+
+TEST(SensorSelection, PicksInformativeSensorsFirst) {
+  common::Rng rng(5);
+  // Sensor 2 is the skin-adjacent one (highly informative); sensor 0 is pure noise.
+  std::vector<common::Vec> readings;
+  std::vector<double> skin;
+  for (int i = 0; i < 300; ++i) {
+    const double true_skin = rng.uniform(30.0, 42.0);
+    readings.push_back({rng.uniform(0.0, 100.0),              // noise
+                        true_skin * 0.2 + rng.normal(20, 2),  // weak
+                        true_skin * 0.9 + rng.normal(3, 0.1), // strong
+                        rng.uniform(0.0, 1.0)});              // noise
+    skin.push_back(true_skin);
+  }
+  const auto order = greedy_sensor_selection(readings, skin, 2);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2u);
+}
+
+TEST(PowerBudget, SustainableScaleRespectsLimits) {
+  auto net = RcThermalNetwork::mobile_soc();
+  const common::Vec shape{0.55, 0.1, 0.35, 0.0, 0.0};
+  const auto budget = max_sustainable_power(net, default_leak(), shape);
+  EXPECT_GT(budget.total_power_w, 0.0);
+  // At the budget, the fixed point must be within limits (with tolerance).
+  common::Vec dyn(5, 0.0);
+  for (int i = 0; i < 5; ++i) dyn[i] = budget.scale * shape[i];
+  const auto fp = thermal_fixed_point(net, default_leak(), dyn);
+  ASSERT_TRUE(fp.exists);
+  EXPECT_LE(fp.temperature_c[0], 85.0 + 0.1);
+  EXPECT_LE(fp.temperature_c[4], 45.0 + 0.1);
+}
+
+TEST(PowerBudget, TransientHeadroomExceedsSustainable) {
+  auto net = RcThermalNetwork::mobile_soc();
+  const common::Vec shape{0.55, 0.1, 0.35, 0.0, 0.0};
+  const auto sustained = max_sustainable_power(net, default_leak(), shape);
+  const double burst_scale = transient_power_headroom(net, default_leak(), shape, 5.0);
+  EXPECT_GT(burst_scale, sustained.scale);
+}
+
+}  // namespace
+}  // namespace oal::thermal

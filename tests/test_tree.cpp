@@ -1,0 +1,147 @@
+// Tests for CART regression and classification trees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "ml/tree.h"
+
+namespace oal::ml {
+namespace {
+
+using common::Rng;
+using common::Vec;
+
+TEST(RegressionTree, FitsPiecewiseConstant) {
+  std::vector<Vec> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    const double t = i / 100.0;
+    x.push_back({t});
+    y.push_back(t < 0.5 ? 1.0 : 5.0);
+  }
+  RegressionTree tree;
+  tree.fit(x, y);
+  EXPECT_NEAR(tree.predict({0.2}), 1.0, 1e-9);
+  EXPECT_NEAR(tree.predict({0.8}), 5.0, 1e-9);
+}
+
+TEST(RegressionTree, ApproximatesSmoothFunction) {
+  Rng rng(1);
+  std::vector<Vec> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double t = rng.uniform(0, 1);
+    x.push_back({t});
+    y.push_back(std::sin(6.0 * t));
+  }
+  TreeConfig cfg;
+  cfg.max_depth = 8;
+  cfg.min_samples_leaf = 2;
+  cfg.min_samples_split = 4;
+  RegressionTree tree(cfg);
+  tree.fit(x, y);
+  std::vector<double> pred, actual;
+  Rng test_rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const double t = test_rng.uniform(0.02, 0.98);
+    pred.push_back(tree.predict({t}));
+    actual.push_back(std::sin(6.0 * t));
+  }
+  EXPECT_LT(common::rmse(actual, pred), 0.12);
+}
+
+TEST(RegressionTree, RespectsMaxDepth) {
+  Rng rng(3);
+  std::vector<Vec> x;
+  std::vector<double> y;
+  for (int i = 0; i < 256; ++i) {
+    x.push_back({rng.uniform(0, 1)});
+    y.push_back(rng.uniform(0, 1));
+  }
+  TreeConfig cfg;
+  cfg.max_depth = 3;
+  cfg.min_samples_leaf = 1;
+  cfg.min_samples_split = 2;
+  RegressionTree tree(cfg);
+  tree.fit(x, y);
+  EXPECT_LE(tree.depth(), 3u);
+  EXPECT_LE(tree.num_leaves(), 8u);
+}
+
+TEST(RegressionTree, MultiFeatureSplitSelection) {
+  // Only feature 1 is predictive; the tree must split on it.
+  Rng rng(4);
+  std::vector<Vec> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double noise = rng.uniform(0, 1), signal = rng.uniform(0, 1);
+    x.push_back({noise, signal});
+    y.push_back(signal > 0.5 ? 10.0 : -10.0);
+  }
+  RegressionTree tree;
+  tree.fit(x, y);
+  EXPECT_NEAR(tree.predict({0.1, 0.9}), 10.0, 0.5);
+  EXPECT_NEAR(tree.predict({0.9, 0.1}), -10.0, 0.5);
+}
+
+TEST(RegressionTree, PredictBeforeFitThrows) {
+  RegressionTree tree;
+  EXPECT_THROW(tree.predict({1.0}), std::logic_error);
+  EXPECT_THROW(tree.fit({}, {}), std::invalid_argument);
+}
+
+TEST(ClassificationTree, LearnsAxisAlignedClasses) {
+  std::vector<Vec> x;
+  std::vector<std::size_t> y;
+  for (int i = 0; i < 100; ++i) {
+    const double t = i / 100.0;
+    x.push_back({t});
+    y.push_back(t < 0.3 ? 0u : t < 0.7 ? 1u : 2u);
+  }
+  ClassificationTree tree;
+  tree.fit(x, y, 3);
+  EXPECT_EQ(tree.predict({0.1}), 0u);
+  EXPECT_EQ(tree.predict({0.5}), 1u);
+  EXPECT_EQ(tree.predict({0.9}), 2u);
+}
+
+TEST(ClassificationTree, PureNodeStopsEarly) {
+  std::vector<Vec> x{{0.0}, {1.0}, {2.0}, {3.0}};
+  std::vector<std::size_t> y{1, 1, 1, 1};
+  ClassificationTree tree;
+  tree.fit(x, y, 2);
+  EXPECT_EQ(tree.predict({-5.0}), 1u);
+  EXPECT_EQ(tree.predict({10.0}), 1u);
+}
+
+TEST(ClassificationTree, TwoDimensionalCheckerQuadrants) {
+  Rng rng(5);
+  std::vector<Vec> x;
+  std::vector<std::size_t> y;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+    x.push_back({a, b});
+    y.push_back((a > 0 ? 1u : 0u) + (b > 0 ? 2u : 0u));
+  }
+  ClassificationTree tree;
+  tree.fit(x, y, 4);
+  int correct = 0, total = 0;
+  Rng test_rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const double a = test_rng.uniform(-1, 1), b = test_rng.uniform(-1, 1);
+    if (std::abs(a) < 0.05 || std::abs(b) < 0.05) continue;
+    correct += tree.predict({a, b}) == (a > 0 ? 1u : 0u) + (b > 0 ? 2u : 0u);
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.95);
+}
+
+TEST(ClassificationTree, LabelOutOfRangeThrows) {
+  ClassificationTree tree;
+  EXPECT_THROW(tree.fit({{0.0}}, {5}, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oal::ml

@@ -1,0 +1,151 @@
+// Tests for the synthetic CPU and GPU benchmark generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/stats.h"
+#include "workloads/cpu_benchmarks.h"
+#include "workloads/gpu_benchmarks.h"
+
+namespace oal::workloads {
+namespace {
+
+TEST(CpuBenchmarks, SixteenAppsInPaperOrder) {
+  const auto& all = CpuBenchmarks::all();
+  ASSERT_EQ(all.size(), 16u);
+  EXPECT_EQ(all.front().name, "BML");
+  EXPECT_EQ(all.back().name, "Blkschls-4T");
+  EXPECT_EQ(CpuBenchmarks::of_suite(Suite::kMiBench).size(), 10u);
+  EXPECT_EQ(CpuBenchmarks::of_suite(Suite::kCortex).size(), 4u);
+  EXPECT_EQ(CpuBenchmarks::of_suite(Suite::kParsec).size(), 2u);
+}
+
+TEST(CpuBenchmarks, AppIdsUniqueAndStable) {
+  std::set<std::uint32_t> ids;
+  for (const auto& a : CpuBenchmarks::all()) ids.insert(a.app_id);
+  EXPECT_EQ(ids.size(), 16u);
+  EXPECT_EQ(CpuBenchmarks::by_name("Kmeans").suite, Suite::kCortex);
+  EXPECT_THROW(CpuBenchmarks::by_name("nope"), std::invalid_argument);
+}
+
+TEST(CpuBenchmarks, TraceLengthAndAppId) {
+  common::Rng rng(1);
+  const auto& app = CpuBenchmarks::by_name("FFT");
+  const auto t = CpuBenchmarks::trace(app, 100, rng);
+  ASSERT_EQ(t.size(), 100u);
+  for (const auto& s : t) EXPECT_EQ(s.app_id, app.app_id);
+}
+
+TEST(CpuBenchmarks, TraceIsDeterministicGivenSeed) {
+  const auto& app = CpuBenchmarks::by_name("Qsort");
+  common::Rng r1(9), r2(9);
+  const auto a = CpuBenchmarks::trace(app, 50, r1);
+  const auto b = CpuBenchmarks::trace(app, 50, r2);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a[i].l2_mpki, b[i].l2_mpki);
+    EXPECT_DOUBLE_EQ(a[i].base_cpi_little, b[i].base_cpi_little);
+  }
+}
+
+TEST(CpuBenchmarks, SnippetsVaryButStayNearPhaseMean) {
+  common::Rng rng(2);
+  const auto& app = CpuBenchmarks::by_name("Kmeans");
+  const auto t = CpuBenchmarks::trace(app, 200, rng);
+  std::vector<double> mpki;
+  for (const auto& s : t) mpki.push_back(s.l2_mpki);
+  EXPECT_GT(common::stddev(mpki), 0.05);          // not constant
+  EXPECT_GT(common::mean(mpki), 4.0);             // stays memory-bound
+  EXPECT_LT(common::mean(mpki), 14.0);
+}
+
+TEST(CpuBenchmarks, SuiteDistributionShiftExists) {
+  // The premise of Table II: MiBench occupies a different region of
+  // descriptor space than Cortex (memory intensity) and PARSEC (parallelism).
+  common::Rng rng(3);
+  auto suite_mean_mpki = [&](Suite s) {
+    double total = 0.0;
+    int n = 0;
+    for (const auto& app : CpuBenchmarks::of_suite(s)) {
+      for (const auto& snip : CpuBenchmarks::trace(app, 40, rng)) {
+        total += snip.l2_mpki;
+        ++n;
+      }
+    }
+    return total / n;
+  };
+  EXPECT_LT(suite_mean_mpki(Suite::kMiBench), 3.0);
+  EXPECT_GT(suite_mean_mpki(Suite::kCortex), 4.0);
+
+  for (const auto& app : CpuBenchmarks::of_suite(Suite::kParsec)) {
+    for (const auto& snip : CpuBenchmarks::trace(app, 20, rng))
+      EXPECT_GT(snip.parallel_fraction, 0.8);
+  }
+  for (const auto& app : CpuBenchmarks::of_suite(Suite::kMiBench)) {
+    for (const auto& snip : CpuBenchmarks::trace(app, 20, rng))
+      EXPECT_LT(snip.parallel_fraction, 0.2);
+  }
+}
+
+TEST(CpuBenchmarks, ThreadCountsDistinguishParsecVariants) {
+  EXPECT_EQ(CpuBenchmarks::by_name("Blkschls-2T").phases[0].mean.max_threads, 2);
+  EXPECT_EQ(CpuBenchmarks::by_name("Blkschls-4T").phases[0].mean.max_threads, 4);
+}
+
+TEST(CpuBenchmarks, SequenceConcatenatesWithBoundaries) {
+  common::Rng rng(4);
+  const std::vector<AppSpec> apps{CpuBenchmarks::by_name("SHA"),
+                                  CpuBenchmarks::by_name("Kmeans")};
+  std::vector<std::size_t> bounds;
+  const auto seq = CpuBenchmarks::sequence(apps, rng, &bounds);
+  ASSERT_EQ(bounds.size(), 2u);
+  EXPECT_EQ(bounds[0], 0u);
+  EXPECT_EQ(bounds[1], apps[0].default_snippets);
+  EXPECT_EQ(seq.size(), apps[0].default_snippets + apps[1].default_snippets);
+  EXPECT_EQ(seq[bounds[1]].app_id, apps[1].app_id);
+}
+
+TEST(GpuBenchmarks, TenFig5Workloads) {
+  const auto& suite = GpuBenchmarks::fig5_suite();
+  ASSERT_EQ(suite.size(), 10u);
+  EXPECT_EQ(suite[1].name, "AngryBirds");
+  EXPECT_EQ(suite[7].name, "SharkDash");
+  // Intensity ordering that drives the Fig. 5 savings spread.
+  EXPECT_GT(GpuBenchmarks::by_name("AngryBirds").mean_render_cycles,
+            GpuBenchmarks::by_name("SharkDash").mean_render_cycles * 5.0);
+  EXPECT_THROW(GpuBenchmarks::by_name("nope"), std::invalid_argument);
+}
+
+TEST(GpuBenchmarks, TraceStatistics) {
+  common::Rng rng(5);
+  const auto& spec = GpuBenchmarks::by_name("EpicCitadel");
+  const auto frames = GpuBenchmarks::trace(spec, 600, rng);
+  ASSERT_EQ(frames.size(), 600u);
+  std::vector<double> cycles;
+  for (const auto& f : frames) {
+    EXPECT_GT(f.render_cycles, 0.0);
+    EXPECT_GT(f.mem_bytes, 0.0);
+    EXPECT_EQ(f.workload_id, spec.id);
+    cycles.push_back(f.render_cycles);
+  }
+  const double m = common::mean(cycles);
+  EXPECT_NEAR(m, spec.mean_render_cycles, spec.mean_render_cycles * 0.25);
+  EXPECT_GT(common::stddev(cycles) / m, 0.05);  // scene dynamics present
+}
+
+TEST(GpuBenchmarks, Nenamark2HasStrongDynamics) {
+  common::Rng rng(6);
+  const auto frames = GpuBenchmarks::nenamark2(800, rng);
+  std::vector<double> cycles;
+  for (const auto& f : frames) cycles.push_back(f.render_cycles);
+  EXPECT_GT(common::stddev(cycles) / common::mean(cycles), 0.15);
+}
+
+TEST(GpuBenchmarks, DeterministicTraces) {
+  common::Rng r1(7), r2(7);
+  const auto a = GpuBenchmarks::nenamark2(50, r1);
+  const auto b = GpuBenchmarks::nenamark2(50, r2);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a[i].render_cycles, b[i].render_cycles);
+}
+
+}  // namespace
+}  // namespace oal::workloads
