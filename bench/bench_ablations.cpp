@@ -5,14 +5,22 @@
 //     + exploration) — why each ingredient is needed.
 //  C. NMPC vs explicit NMPC: identical-task energy and decision overhead.
 //  D. Fixed forgetting factors vs STAFF for the Fig. 2 predictor.
+//
+// Sections A and B are one parallel ExperimentEngine batch (the per-arm
+// offline collection + training runs inside each scenario's controller
+// factory, i.e. on the pool).  Sections C and D fan their arms out through
+// the engine's generic map().
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <memory>
 
 #include "common/stats.h"
 #include "common/table.h"
+#include "core/experiment.h"
 #include "core/nmpc.h"
 #include "core/online_il.h"
-#include "core/runner.h"
+#include "core/scenario_factories.h"
 #include "workloads/cpu_benchmarks.h"
 #include "workloads/gpu_benchmarks.h"
 
@@ -27,29 +35,26 @@ struct OnlineArmResult {
   std::size_t buffer_bytes = 0;
 };
 
-OnlineArmResult run_online_arm(const OnlineIlConfig& cfg) {
-  soc::BigLittlePlatform plat;
-  common::Rng rng(7);
-  const auto mibench = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
-  const auto off = collect_offline_data(plat, mibench, Objective::kEnergy, 40, 6, rng);
-  common::Rng il_rng(5);
-  IlPolicy policy(plat.space());
-  policy.train_offline(off.policy, il_rng);
-  OnlineSocModels models(plat.space());
-  models.bootstrap(off.model_samples);
-
+/// Builds the online-IL arm scenario for one OnlineIlConfig.  The factory
+/// reproduces the per-arm protocol: offline collection on MiBench, policy
+/// training, model bootstrap — all per scenario, all on the worker.
+Scenario online_arm_scenario(const std::string& id, const OnlineIlConfig& cfg) {
+  Scenario s;
+  s.id = id;
+  common::Rng seq_rng(99);
   std::vector<workloads::AppSpec> apps;
   for (const auto& a : workloads::CpuBenchmarks::of_suite(workloads::Suite::kCortex))
     apps.push_back(a);
   for (const auto& a : workloads::CpuBenchmarks::of_suite(workloads::Suite::kParsec))
     apps.push_back(a);
-  common::Rng seq_rng(99);
-  const auto seq = workloads::CpuBenchmarks::sequence(apps, seq_rng);
+  s.trace = workloads::CpuBenchmarks::sequence(apps, seq_rng);
+  s.make_controller = online_il_collect_factory(
+      workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench), /*snippets_per_app=*/40,
+      /*configs_per_snippet=*/6, /*collect_seed=*/7, /*train_seed=*/5, cfg);
+  return s;
+}
 
-  OnlineIlController ctl(plat.space(), policy, models, cfg);
-  DrmRunner runner(plat);
-  const auto res = runner.run(seq, ctl, {4, 4, 8, 10});
-
+OnlineArmResult summarize_arm(const RunResult& res, const OnlineIlConfig& cfg) {
   OnlineArmResult out;
   out.energy_ratio = res.energy_ratio();
   const std::size_t tail = res.records.size() / 4;
@@ -67,13 +72,49 @@ OnlineArmResult run_online_arm(const OnlineIlConfig& cfg) {
 }  // namespace
 
 int main() {
+  ExperimentEngine engine;
+
+  // ---- Sections A + B: one batch of online-IL configuration ablations ----
+  struct CandidateVariant {
+    const char* name;
+    bool sweeps;
+    double explore;
+  };
+  const CandidateVariant variants[] = {{"neighborhood only", false, 0.0},
+                                       {"+ cluster sweeps", true, 0.0},
+                                       {"+ exploration (full)", true, 0.15}};
+
+  std::vector<Scenario> batch;
+  std::map<std::string, OnlineIlConfig> configs;
+  for (std::size_t buf : {50u, 100u, 400u}) {
+    OnlineIlConfig cfg;
+    cfg.buffer_capacity = buf;
+    const std::string id = "ablate/buffer/" + std::to_string(buf);
+    configs[id] = cfg;
+    batch.push_back(online_arm_scenario(id, cfg));
+  }
+  for (std::size_t v = 0; v < 3; ++v) {
+    OnlineIlConfig cfg;
+    cfg.include_cluster_sweeps = variants[v].sweeps;
+    cfg.explore_init = variants[v].explore;
+    if (variants[v].explore == 0.0) {
+      cfg.explore_min = 0.0;
+      cfg.innovation_reset_threshold = 1e9;  // never re-arm
+    }
+    const std::string id = "ablate/candidates/" + std::to_string(v);
+    configs[id] = cfg;
+    batch.push_back(online_arm_scenario(id, cfg));
+  }
+
+  std::map<std::string, OnlineArmResult> arm;
+  for (const auto& r : engine.run_batch(batch))
+    arm.emplace(r.id, summarize_arm(r.run, configs.at(r.id)));
+
   std::puts("=== A. Aggregation-buffer size (paper setting: 100) ===");
   {
     common::Table t({"Buffer", "Energy/Oracle", "Tail E/Oracle", "Buffer bytes"});
     for (std::size_t buf : {50u, 100u, 400u}) {
-      OnlineIlConfig cfg;
-      cfg.buffer_capacity = buf;
-      const auto r = run_online_arm(cfg);
+      const auto& r = arm.at("ablate/buffer/" + std::to_string(buf));
       t.add_row({std::to_string(buf), common::Table::fmt(r.energy_ratio, 3),
                  common::Table::fmt(r.tail_ratio, 3), std::to_string(r.buffer_bytes)});
     }
@@ -85,23 +126,9 @@ int main() {
   std::puts("=== B. Candidate-set construction ===");
   {
     common::Table t({"Variant", "Energy/Oracle", "Tail E/Oracle"});
-    struct V {
-      const char* name;
-      bool sweeps;
-      double explore;
-    };
-    for (const V v : {V{"neighborhood only", false, 0.0},
-                      V{"+ cluster sweeps", true, 0.0},
-                      V{"+ exploration (full)", true, 0.15}}) {
-      OnlineIlConfig cfg;
-      cfg.include_cluster_sweeps = v.sweeps;
-      cfg.explore_init = v.explore;
-      if (v.explore == 0.0) {
-        cfg.explore_min = 0.0;
-        cfg.innovation_reset_threshold = 1e9;  // never re-arm
-      }
-      const auto r = run_online_arm(cfg);
-      t.add_row({v.name, common::Table::fmt(r.energy_ratio, 3),
+    for (std::size_t v = 0; v < 3; ++v) {
+      const auto& r = arm.at("ablate/candidates/" + std::to_string(v));
+      t.add_row({variants[v].name, common::Table::fmt(r.energy_ratio, 3),
                  common::Table::fmt(r.tail_ratio, 3)});
     }
     t.print(std::cout);
@@ -111,13 +138,16 @@ int main() {
 
   std::puts("=== C. Implicit NMPC vs explicit NMPC ===");
   {
-    gpu::GpuPlatform plat;
     const double fps = 30.0;
-    GpuRunner runner(plat, fps);
-    const gpu::GpuConfig init{9, plat.params().max_slices};
-    common::Table t({"Workload", "NMPC GPU J", "ENMPC GPU J", "delta (%)", "NMPC evals",
-                     "ENMPC evals"});
-    for (const char* name : {"EpicCitadel", "SharkDash", "GFXBench-trex"}) {
+    struct CArm {
+      std::string name;
+      GpuRunResult nmpc, enmpc;
+    };
+    const std::vector<std::string> names{"EpicCitadel", "SharkDash", "GFXBench-trex"};
+    const auto arms = engine.map(names, [fps](const std::string& name, std::size_t) {
+      gpu::GpuPlatform plat;
+      GpuRunner runner(plat, fps);
+      const gpu::GpuConfig init{9, plat.params().max_slices};
       const auto& spec = workloads::GpuBenchmarks::by_name(name);
       common::Rng trng(1000 + spec.id);
       const auto trace = workloads::GpuBenchmarks::trace(spec, 1200, trng);
@@ -128,18 +158,24 @@ int main() {
       NmpcConfig cfg;
       cfg.fps_target = fps;
       NmpcGpuController nmpc(plat, m1, cfg);
-      const auto rn = runner.run(trace, nmpc, init);
+      CArm out{name, {}, {}};
+      out.nmpc = runner.run(trace, nmpc, init);
 
       GpuOnlineModels m2(plat);
       common::Rng b2(7);
       bootstrap_gpu_models(plat, m2, 1.0 / fps, 400, b2);
       ExplicitNmpcGpuController enmpc(plat, m2, cfg, 1500);
-      const auto re = runner.run(trace, enmpc, init);
+      out.enmpc = runner.run(trace, enmpc, init);
+      return out;
+    });
 
-      t.add_row({name, common::Table::fmt(rn.gpu_energy_j, 2),
-                 common::Table::fmt(re.gpu_energy_j, 2),
-                 common::Table::fmt(100.0 * (re.gpu_energy_j / rn.gpu_energy_j - 1.0), 1),
-                 std::to_string(rn.decision_evals), std::to_string(re.decision_evals)});
+    common::Table t({"Workload", "NMPC GPU J", "ENMPC GPU J", "delta (%)", "NMPC evals",
+                     "ENMPC evals"});
+    for (const auto& a : arms) {
+      t.add_row({a.name, common::Table::fmt(a.nmpc.gpu_energy_j, 2),
+                 common::Table::fmt(a.enmpc.gpu_energy_j, 2),
+                 common::Table::fmt(100.0 * (a.enmpc.gpu_energy_j / a.nmpc.gpu_energy_j - 1.0), 1),
+                 std::to_string(a.nmpc.decision_evals), std::to_string(a.enmpc.decision_evals)});
     }
     t.print(std::cout);
     std::puts("The explicit law gives up little energy while cutting slow-tick model");
@@ -148,13 +184,24 @@ int main() {
 
   std::puts("=== D. Forgetting factor for the Fig. 2 predictor ===");
   {
-    gpu::GpuPlatform plat;
     const double period = 1.0 / 30.0;
-    common::Table t({"Predictor", "MAPE (%)"});
-    auto run_arm = [&](ml::StaffConfig scfg, const std::string& label) {
+    struct DArm {
+      std::string label;
+      ml::StaffConfig cfg;
+    };
+    std::vector<DArm> arms;
+    for (double lambda : {0.90, 0.98, 0.999}) {
+      ml::StaffConfig s;
+      s.lambda_min = s.lambda_max = s.lambda_init = lambda;
+      arms.push_back({"fixed lambda = " + common::Table::fmt(lambda, 3), s});
+    }
+    arms.push_back({"STAFF (adaptive)", ml::StaffConfig{}});
+
+    const auto mapes = engine.map(arms, [period](const DArm& d, std::size_t) {
+      gpu::GpuPlatform plat;
       common::Rng rng(5);
       const auto trace = workloads::GpuBenchmarks::nenamark2(1000, rng);
-      StaffFrameTimePredictor pred(plat, scfg);
+      StaffFrameTimePredictor pred(plat, d.cfg);
       GpuWorkloadState w;
       std::vector<double> a, p;
       for (std::size_t i = 0; i < trace.size(); ++i) {
@@ -167,14 +214,12 @@ int main() {
         pred.update(w, c, r);
         w.observe(r, 2.0 / (1.0 + plat.params().slice_sync_overhead));
       }
-      t.add_row({label, common::Table::fmt(common::mape(a, p), 2)});
-    };
-    for (double lambda : {0.90, 0.98, 0.999}) {
-      ml::StaffConfig s;
-      s.lambda_min = s.lambda_max = s.lambda_init = lambda;
-      run_arm(s, "fixed lambda = " + common::Table::fmt(lambda, 3));
-    }
-    run_arm(ml::StaffConfig{}, "STAFF (adaptive)");
+      return common::mape(a, p);
+    });
+
+    common::Table t({"Predictor", "MAPE (%)"});
+    for (std::size_t i = 0; i < arms.size(); ++i)
+      t.add_row({arms[i].label, common::Table::fmt(mapes[i], 2)});
     t.print(std::cout);
     std::puts("Adaptive forgetting matches the best hand-tuned fixed factor without tuning.");
   }

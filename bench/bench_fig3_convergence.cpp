@@ -6,13 +6,20 @@
 // sequence); RL does not converge over the whole 150 s sequence.
 // Accuracy here counts a decision as correct when the chosen big-cluster
 // OPP is within one 100 MHz step of the Oracle's.
+//
+// The IL and RL arms are independent ExperimentEngine scenarios sharing the
+// same trace and offline dataset; each arm trains its own policy copy and
+// the RL arm pre-trains through the Scenario warmup trace.
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <memory>
 
 #include "common/table.h"
+#include "core/experiment.h"
 #include "core/online_il.h"
 #include "core/rl_controller.h"
-#include "core/runner.h"
+#include "core/scenario_factories.h"
 #include "workloads/cpu_benchmarks.h"
 
 using namespace oal;
@@ -36,36 +43,41 @@ int main() {
   common::Rng rng(7);
 
   const auto mibench = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
-  const auto off = collect_offline_data(plat, mibench, Objective::kEnergy, 40, 6, rng);
+  const auto off = std::make_shared<OfflineData>(
+      collect_offline_data(plat, mibench, Objective::kEnergy, 40, 6, rng));
 
   common::Rng seq_rng(99);
   const auto seq = workloads::CpuBenchmarks::sequence(online_sequence_apps(), seq_rng);
   std::printf("Online sequence: %zu snippets (Cortex + PARSEC), offline training: MiBench\n",
               seq.size());
 
-  DrmRunner runner(plat);
-  const soc::SocConfig init{4, 4, 8, 10};
+  auto il_updates = std::make_shared<std::size_t>(0);
 
-  // --- Online-IL arm ---------------------------------------------------------
-  common::Rng il_rng(5);
-  IlPolicy policy(plat.space());
-  policy.train_offline(off.policy, il_rng);
-  OnlineSocModels models(plat.space());
-  models.bootstrap(off.model_samples);
-  OnlineIlController il(plat.space(), policy, models);
-  const auto res_il = runner.run(seq, il, init);
+  Scenario il;
+  il.id = "fig3/il";
+  il.trace = seq;
+  il.make_controller = online_il_factory(off, /*train_seed=*/5);
+  il.on_complete = [il_updates](DrmController& ctl, const RunResult&) {
+    *il_updates = dynamic_cast<OnlineIlController&>(ctl).policy_updates();
+  };
 
-  // --- RL arm (pre-trained offline on MiBench, adapting online) --------------
-  QLearningController rl(plat.space());
+  Scenario rl;
+  rl.id = "fig3/rl";
+  rl.trace = seq;
   {
     common::Rng pre_rng(11);
-    const auto pre = workloads::CpuBenchmarks::sequence(mibench, pre_rng);
-    RunnerOptions fast;
-    fast.compute_oracle = false;
-    DrmRunner pre_runner(plat, fast);
-    (void)pre_runner.run(pre, rl, init);
+    rl.warmup = workloads::CpuBenchmarks::sequence(mibench, pre_rng);
   }
-  const auto res_rl = runner.run(seq, rl, init);
+  rl.make_controller = [](ScenarioContext& ctx) {
+    return ControllerInstance{std::make_unique<QLearningController>(ctx.platform.space()),
+                              nullptr};
+  };
+
+  ExperimentEngine engine;
+  std::map<std::string, RunResult> res;
+  for (auto& r : engine.run_batch({il, rl})) res.emplace(r.id, std::move(r.run));
+  const RunResult& res_il = res.at("fig3/il");
+  const RunResult& res_rl = res.at("fig3/rl");
 
   std::puts("\n=== Fig. 3: accuracy w.r.t. Oracle (big-core frequency, +/-1 OPP) ===");
   common::Table t({"Time (s)", "Online-IL accuracy (%)", "RL accuracy (%)"});
@@ -87,10 +99,10 @@ int main() {
     }
   }
   const double total = res_il.records.back().start_time_s;
-  std::printf("\nOnline-IL converged (>=90%% window) at t = %.1f s (%.1f%% of the %.1f s sequence)\n",
+  std::printf("\nOnline-IL converged (>=90%% window) at t = %.1f s (%.1f%% of %.1f s)\n",
               conv_time, 100.0 * conv_time / total, total);
   std::printf("Paper: ~6 s, about 4%% of the sequence; RL never converges.\n");
   std::printf("Policy updates: %zu (buffer of 100 decisions per update, <20 KB storage)\n",
-              il.policy_updates());
+              *il_updates);
   return 0;
 }

@@ -5,12 +5,19 @@
 //
 // Paper values: ~1.00-1.01 on MiBench, 1.09-1.76 on Cortex, 1.47-1.86 on
 // PARSEC — the offline policy fails to generalize across suites.
+//
+// The nine per-app evaluations are independent scenarios executed in
+// parallel by ExperimentEngine; the offline policy is trained once and
+// shared read-only across scenarios (OfflineIlController never mutates it).
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <memory>
 
 #include "common/table.h"
+#include "core/experiment.h"
 #include "core/online_il.h"
-#include "core/runner.h"
+#include "core/scenario_factories.h"
 #include "workloads/cpu_benchmarks.h"
 
 using namespace oal;
@@ -26,20 +33,17 @@ int main() {
   t1.add_row({"Data Memory Access", "Avg Runnable Threads (OS)"});
   t1.print(std::cout);
 
+  // Offline phase: Oracle construction + IL training on MiBench only.
   soc::BigLittlePlatform plat;
   common::Rng rng(7);
-
-  // Offline phase: Oracle construction + IL training on MiBench only.
   const auto mibench = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
   const auto off = collect_offline_data(plat, mibench, Objective::kEnergy,
                                         /*snippets_per_app=*/40, /*configs_per_snippet=*/6, rng);
-  IlPolicy policy(plat.space());
-  policy.train_offline(off.policy, rng);
+  auto policy = std::make_shared<IlPolicy>(plat.space());
+  policy->train_offline(off.policy, rng);
   std::printf("\nOffline IL policy: %zu params, %zu bytes (paper budget: <20 KB)\n",
-              policy.num_params(), policy.storage_bytes());
+              policy->num_params(), policy->storage_bytes());
 
-  std::puts("\n=== Table II: normalized energy of the offline-only IL policy ===");
-  common::Table t2({"Suite", "Benchmark", "Normalized energy (this repro)", "Paper"});
   struct Row {
     const char* name;
     const char* paper;
@@ -47,15 +51,28 @@ int main() {
   const Row rows[] = {{"BML", "1.00"},       {"Dijkstra", "1.01"}, {"FFT", "1.00"},
                       {"Qsort", "1.00"},     {"MotionEst", "1.13"}, {"Spectral", "1.09"},
                       {"Kmeans", "1.76"},    {"Blkschls-2T", "1.86"}, {"Blkschls-4T", "1.47"}};
-  DrmRunner runner(plat);
-  const soc::SocConfig init{4, 4, 8, 10};
-  for (const auto& row : rows) {
+
+  std::vector<Scenario> batch;
+  for (const Row& row : rows) {
     const auto& app = workloads::CpuBenchmarks::by_name(row.name);
-    const auto trace = workloads::CpuBenchmarks::trace(app, 80, rng);
-    OfflineIlController ctl(plat.space(), policy);
-    const auto res = runner.run(trace, ctl, init);
+    Scenario s;
+    s.id = row.name;
+    common::Rng trace_rng(300 + app.app_id);
+    s.trace = workloads::CpuBenchmarks::trace(app, 80, trace_rng);
+    s.make_controller = offline_il_factory(policy);
+    batch.push_back(std::move(s));
+  }
+
+  ExperimentEngine engine;
+  std::map<std::string, RunResult> by_id;
+  for (auto& r : engine.run_batch(batch)) by_id.emplace(r.id, std::move(r.run));
+
+  std::puts("\n=== Table II: normalized energy of the offline-only IL policy ===");
+  common::Table t2({"Suite", "Benchmark", "Normalized energy (this repro)", "Paper"});
+  for (const Row& row : rows) {
+    const auto& app = workloads::CpuBenchmarks::by_name(row.name);
     t2.add_row({workloads::suite_name(app.suite), row.name,
-                common::Table::fmt(res.energy_ratio(), 2), row.paper});
+                common::Table::fmt(by_id.at(row.name).energy_ratio(), 2), row.paper});
   }
   t2.print(std::cout);
   std::puts("\nShape check: MiBench ~1.0 (training suite); Cortex and PARSEC");

@@ -1,13 +1,19 @@
 // Governor shoot-out on the mobile SoC: the Linux-style heuristics the paper
 // motivates against (ondemand, interactive, performance, powersave) vs the
 // learned online-IL controller, all normalized to the Oracle.
+//
+// Each governor is a named scenario in a ScenarioRegistry; the whole
+// shoot-out is one parallel ExperimentEngine batch over the same sequence.
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <memory>
 
 #include "common/table.h"
 #include "core/governors.h"
 #include "core/online_il.h"
-#include "core/runner.h"
+#include "core/scenario_factories.h"
+#include "core/scenario_registry.h"
 #include "workloads/cpu_benchmarks.h"
 
 using namespace oal;
@@ -17,11 +23,8 @@ int main() {
   soc::BigLittlePlatform plat;
   common::Rng rng(7);
   const auto mibench = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
-  const auto off = collect_offline_data(plat, mibench, Objective::kEnergy, 30, 6, rng);
-  IlPolicy policy(plat.space());
-  policy.train_offline(off.policy, rng);
-  OnlineSocModels models(plat.space());
-  models.bootstrap(off.model_samples);
+  const auto off = std::make_shared<OfflineData>(
+      collect_offline_data(plat, mibench, Objective::kEnergy, 30, 6, rng));
 
   // A mixed-suite sequence (one app from each suite).
   std::vector<workloads::AppSpec> apps{workloads::CpuBenchmarks::by_name("FFT"),
@@ -31,27 +34,47 @@ int main() {
   const auto seq = workloads::CpuBenchmarks::sequence(apps, seq_rng);
   std::printf("Workload: FFT -> Kmeans -> Blkschls-4T, %zu snippets\n\n", seq.size());
 
-  DrmRunner runner(plat);
-  const soc::SocConfig init{4, 4, 8, 10};
-  common::Table t({"Controller", "Energy (J)", "E/Oracle", "Time (s)"});
-
-  auto report = [&](DrmController& ctl) {
-    const auto res = runner.run(seq, ctl, init);
-    t.add_row({ctl.name(), common::Table::fmt(res.total_energy_j(), 2),
-               common::Table::fmt(res.energy_ratio(), 2),
-               common::Table::fmt(res.total_time_s(), 1)});
+  ScenarioRegistry registry;
+  const auto add_governor = [&registry, &seq](const std::string& name, ControllerFactory make) {
+    registry.add("governors/" + name, [seq, make] {
+      Scenario s;
+      s.trace = seq;
+      s.make_controller = make;
+      return s;
+    });
   };
+  add_governor("1-performance", [](ScenarioContext& ctx) {
+    return ControllerInstance{std::make_unique<PerformanceGovernor>(ctx.platform.space()),
+                              nullptr};
+  });
+  add_governor("2-powersave", [](ScenarioContext&) {
+    return ControllerInstance{std::make_unique<PowersaveGovernor>(), nullptr};
+  });
+  add_governor("3-ondemand", [](ScenarioContext& ctx) {
+    return ControllerInstance{std::make_unique<OndemandGovernor>(ctx.platform.space()), nullptr};
+  });
+  add_governor("4-interactive", [](ScenarioContext& ctx) {
+    return ControllerInstance{std::make_unique<InteractiveGovernor>(ctx.platform.space()),
+                              nullptr};
+  });
+  add_governor("5-online-il", online_il_factory(off, /*train_seed=*/7));
 
-  PerformanceGovernor perf(plat.space());
-  report(perf);
-  PowersaveGovernor save;
-  report(save);
-  OndemandGovernor ondemand(plat.space());
-  report(ondemand);
-  InteractiveGovernor interactive(plat.space());
-  report(interactive);
-  OnlineIlController il(plat.space(), policy, models);
-  report(il);
+  // Harvest the display name of each controller as its scenario runs.  Each
+  // on_complete writes its own pre-inserted map slot — no shared mutation.
+  auto names = std::make_shared<std::map<std::string, std::string>>();
+  std::vector<Scenario> batch = registry.build_batch("governors/");
+  for (Scenario& s : batch) {
+    std::string* slot = &(*names)[s.id];
+    s.on_complete = [slot](DrmController& ctl, const RunResult&) { *slot = ctl.name(); };
+  }
+
+  ExperimentEngine engine;
+  common::Table t({"Controller", "Energy (J)", "E/Oracle", "Time (s)"});
+  for (const auto& r : engine.run_batch(batch)) {
+    t.add_row({names->at(r.id), common::Table::fmt(r.run.total_energy_j(), 2),
+               common::Table::fmt(r.run.energy_ratio(), 2),
+               common::Table::fmt(r.run.total_time_s(), 1)});
+  }
 
   t.print(std::cout);
   std::puts("\nThe heuristics 'leave considerable room for improvement' (paper Sec. I);");

@@ -1,59 +1,88 @@
 // NoC design-space exploration with the analytical + SVR-corrected latency
 // models (paper Section III-C's motivating use case: models are fast enough
 // to sweep design points that simulation cannot cover).
+//
+// Every design point — analytical sweep cells, SVR training simulations,
+// verification simulations — is an independent task fanned out through
+// ExperimentEngine::map, so the sweep scales with cores while keeping the
+// exact output of a serial run (each task owns its seed and writes its own
+// result slot).
 #include <cstdio>
 #include <iostream>
 
 #include "common/table.h"
+#include "core/experiment.h"
 #include "noc/svr_model.h"
 
 using namespace oal;
 using namespace oal::noc;
+using oal::core::ExperimentEngine;
 
 int main() {
+  ExperimentEngine engine;
+
   std::puts("Sweep: mesh size x injection rate, uniform traffic, model-predicted latency\n");
-  common::Table t({"Mesh", "Rate/node", "Analytical (cycles)", "Max rho", "Saturated?"});
-  for (const std::size_t dim : {4u, 6u, 8u}) {
-    const Mesh mesh(dim, dim);
+  struct SweepPoint {
+    std::size_t dim;
+    double rate;
+  };
+  std::vector<SweepPoint> points;
+  for (const std::size_t dim : {4u, 6u, 8u})
+    for (double rate : {0.01, 0.02, 0.04, 0.08}) points.push_back({dim, rate});
+
+  const auto sweep = engine.map(points, [](const SweepPoint& p, std::size_t) {
+    const Mesh mesh(p.dim, p.dim);
     const AnalyticalNocModel model(mesh);
-    for (double rate : {0.01, 0.02, 0.04, 0.08}) {
-      const auto r = model.evaluate(TrafficMatrix::uniform(mesh.num_nodes(), rate));
-      t.add_row({std::to_string(dim) + "x" + std::to_string(dim), common::Table::fmt(rate, 2),
-                 common::Table::fmt(r.avg_latency_cycles, 1),
-                 common::Table::fmt(r.max_link_utilization, 2), r.saturated ? "YES" : "no"});
-    }
+    return model.evaluate(TrafficMatrix::uniform(mesh.num_nodes(), p.rate));
+  });
+
+  common::Table t({"Mesh", "Rate/node", "Analytical (cycles)", "Max rho", "Saturated?"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& r = sweep[i];
+    t.add_row({std::to_string(points[i].dim) + "x" + std::to_string(points[i].dim),
+               common::Table::fmt(points[i].rate, 2), common::Table::fmt(r.avg_latency_cycles, 1),
+               common::Table::fmt(r.max_link_utilization, 2), r.saturated ? "YES" : "no"});
   }
   t.print(std::cout);
 
   // Calibrated exploration: train the SVR correction on a handful of
   // simulations of the candidate fabric, then sweep with the hybrid model.
+  // The 18 training simulations are the expensive part — they run in
+  // parallel, each with its own seed.
   std::puts("\nCalibrated 8x8 sweep (SVR-corrected, trained on 18 simulations):");
   const Mesh mesh(8, 8);
   const NocSimulator sim(mesh);
   std::vector<TrafficMatrix> train;
-  std::vector<double> lat;
   for (double r : {0.004, 0.010, 0.016, 0.022, 0.028, 0.034}) {
     train.push_back(TrafficMatrix::uniform(mesh.num_nodes(), r));
     train.push_back(TrafficMatrix::transpose(8, 8, r * 0.8));
     train.push_back(TrafficMatrix::hotspot(mesh.num_nodes(), 27, r * 0.7));
   }
-  for (std::size_t i = 0; i < train.size(); ++i) {
+  const auto lat = engine.map(train, [&sim](const TrafficMatrix& tm, std::size_t i) {
     SimConfig cfg;
     cfg.seed = 60 + i;
     cfg.measure_cycles = 40000.0;
-    lat.push_back(sim.simulate(train[i], cfg).avg_latency_cycles);
-  }
+    return sim.simulate(tm, cfg).avg_latency_cycles;
+  });
   SvrNocModel hybrid(mesh);
   hybrid.fit(train, lat);
 
-  common::Table t2({"Traffic", "Rate/node", "Hybrid model (cycles)", "Simulated (cycles)"});
-  for (double rate : {0.008, 0.018, 0.030}) {
+  const std::vector<double> rates{0.008, 0.018, 0.030};
+  struct VerifyRow {
+    double predicted, simulated;
+  };
+  const auto verify = engine.map(rates, [&sim, &hybrid, &mesh](double rate, std::size_t) {
     const auto tm = TrafficMatrix::uniform(mesh.num_nodes(), rate);
     SimConfig cfg;
     cfg.seed = 777;
-    t2.add_row({"uniform", common::Table::fmt(rate, 3),
-                common::Table::fmt(hybrid.predict(tm), 1),
-                common::Table::fmt(sim.simulate(tm, cfg).avg_latency_cycles, 1)});
+    return VerifyRow{hybrid.predict(tm), sim.simulate(tm, cfg).avg_latency_cycles};
+  });
+
+  common::Table t2({"Traffic", "Rate/node", "Hybrid model (cycles)", "Simulated (cycles)"});
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    t2.add_row({"uniform", common::Table::fmt(rates[i], 3),
+                common::Table::fmt(verify[i].predicted, 1),
+                common::Table::fmt(verify[i].simulated, 1)});
   }
   t2.print(std::cout);
   std::puts("\nThe hybrid model evaluates in microseconds; each simulation point costs");

@@ -1,0 +1,9 @@
+// Shared math constants (std::numbers needs C++20; this repo builds as
+// C++17).
+#pragma once
+
+namespace oal::common {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace oal::common

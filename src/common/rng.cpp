@@ -1,8 +1,9 @@
 #include "common/rng.h"
 
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
+
+#include "common/constants.h"
 
 namespace oal::common {
 
@@ -59,7 +60,7 @@ double Rng::normal() {
   if (u1 < 1e-300) u1 = 1e-300;
   const double u2 = uniform();
   const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * std::numbers::pi * u2;
+  const double theta = 2.0 * kPi * u2;
   cached_normal_ = r * std::sin(theta);
   has_cached_normal_ = true;
   return r * std::cos(theta);

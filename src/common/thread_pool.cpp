@@ -1,0 +1,122 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+
+namespace oal::common {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  queues_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (stop_) throw std::logic_error("ThreadPool::submit: pool is shutting down");
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  // queued_ rises only after the task is visible in its deque, so a worker
+  // woken by the predicate always finds work (no busy re-wait window).
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    ++queued_;
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t worker_index, std::function<void()>& task) {
+  // Own queue first, newest task (LIFO: better locality for recursive splits).
+  {
+    WorkerQueue& q = *queues_[worker_index];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal the oldest task from a sibling.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    WorkerQueue& q = *queues_[(worker_index + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(worker_index, task)) {
+      {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        --queued_;
+      }
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+void ThreadPool::run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  struct Batch {
+    std::atomic<std::size_t> remaining;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::vector<std::exception_ptr> errors;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->remaining.store(n);
+  batch->errors.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([batch, &fn, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        batch->errors[i] = std::current_exception();
+      }
+      if (batch->remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(batch->mutex);
+        batch->done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done_cv.wait(lock, [&] { return batch->remaining.load() == 0; });
+  for (std::size_t i = 0; i < n; ++i)
+    if (batch->errors[i]) std::rethrow_exception(batch->errors[i]);
+}
+
+}  // namespace oal::common

@@ -1,0 +1,76 @@
+// Work-stealing thread pool.
+//
+// Fixed set of workers, one task deque per worker: submitters deal tasks
+// round-robin, a worker pops its own deque LIFO (cache-warm) and steals FIFO
+// from its siblings when empty.  The pool itself is *stateless with respect
+// to tasks* — all per-task state lives in the closures, which is what lets
+// ExperimentEngine guarantee parallel == serial results (each scenario owns
+// its platform, controller, and Rng stream; the pool only schedules).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace oal::common {
+
+class ThreadPool {
+ public:
+  /// num_threads == 0 picks std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task.  Tasks may not themselves block on the pool.
+  void submit(std::function<void()> task);
+
+  /// Runs fn(0) .. fn(n-1) on the pool and blocks until all complete.  If a
+  /// call throws, the exception with the *lowest index* is rethrown after
+  /// every task has finished — deterministic regardless of scheduling.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Deterministic parallel map: out[i] = fn(items[i], i), order-independent.
+  template <typename T, typename F>
+  auto parallel_map(const std::vector<T>& items, F&& fn)
+      -> std::vector<decltype(fn(items.front(), std::size_t{0}))> {
+    using R = decltype(fn(items.front(), std::size_t{0}));
+    // std::vector<bool> packs bits: concurrent writes to adjacent elements
+    // would race on the shared word.  Return e.g. char/int instead.
+    static_assert(!std::is_same_v<R, bool>, "parallel_map cannot return bool");
+    std::vector<R> out(items.size());
+    run_indexed(items.size(), [&](std::size_t i) { out[i] = fn(items[i], i); });
+    return out;
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  bool try_pop(std::size_t worker_index, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  /// Tasks pushed but not yet taken, guarded by wake_mutex_.  Signed: a
+  /// steal can land between a task's push and its deferred ++queued_, making
+  /// the count transiently -1.
+  long long queued_ = 0;
+  bool stop_ = false;
+  std::size_t next_queue_ = 0;  ///< round-robin submit cursor (guarded by wake_mutex_)
+};
+
+}  // namespace oal::common

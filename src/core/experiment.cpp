@@ -1,0 +1,56 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace oal::core {
+
+ExperimentEngine::ExperimentEngine(Options opts) : pool_(opts.num_threads) {}
+
+ScenarioResult ExperimentEngine::run_scenario(const Scenario& s) {
+  if (!s.make_controller)
+    throw std::invalid_argument("ExperimentEngine: scenario '" + s.id + "' has no factory");
+
+  soc::BigLittlePlatform platform(s.platform, s.platform_noise_seed);
+  common::Rng rng(s.seed);
+  ScenarioContext ctx{s, platform, rng};
+  ControllerInstance instance = s.make_controller(ctx);
+  if (!instance.controller)
+    throw std::invalid_argument("ExperimentEngine: factory for '" + s.id +
+                                "' returned no controller");
+
+  if (!s.warmup.empty()) {
+    RunnerOptions warm;
+    warm.objective = s.objective;
+    warm.compute_oracle = false;
+    DrmRunner warm_runner(platform, warm);
+    (void)warm_runner.run(s.warmup, *instance.controller, s.initial);
+  }
+
+  RunnerOptions opts;
+  opts.objective = s.objective;
+  opts.compute_oracle = s.compute_oracle;
+  DrmRunner runner(platform, opts);
+  ScenarioResult result{s.id, runner.run(s.trace, *instance.controller, s.initial)};
+  if (s.on_complete) s.on_complete(*instance.controller, result.run);
+  return result;
+}
+
+std::vector<ScenarioResult> ExperimentEngine::run_batch(const std::vector<Scenario>& batch) {
+  std::unordered_set<std::string> ids;
+  for (const Scenario& s : batch) {
+    if (s.id.empty()) throw std::invalid_argument("ExperimentEngine: scenario with empty id");
+    if (!ids.insert(s.id).second)
+      throw std::invalid_argument("ExperimentEngine: duplicate scenario id '" + s.id + "'");
+  }
+
+  std::vector<ScenarioResult> results(batch.size());
+  pool_.run_indexed(batch.size(), [&](std::size_t i) { results[i] = run_scenario(batch[i]); });
+
+  std::sort(results.begin(), results.end(),
+            [](const ScenarioResult& a, const ScenarioResult& b) { return a.id < b.id; });
+  return results;
+}
+
+}  // namespace oal::core

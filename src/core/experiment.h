@@ -1,0 +1,117 @@
+// Parallel experiment engine.
+//
+// Every bench and example in this repo boils down to "run a controller over
+// a workload trace on a platform and report metrics against the Oracle" —
+// repeated across controllers, workloads, seeds, and ablation arms.  A
+// Scenario captures one such run as data: (platform config x workload trace
+// x controller factory x seed x objective).  ExperimentEngine executes
+// batches of scenarios on a work-stealing thread pool and aggregates the
+// RunResults deterministically:
+//
+//  * Each scenario owns a private BigLittlePlatform (constructed from the
+//    scenario's PlatformParams + noise seed) and a private common::Rng
+//    stream seeded from Scenario::seed.  No state is shared between
+//    scenarios, so a parallel batch is bitwise-identical to a serial one.
+//  * Results are returned sorted by scenario id, independent of scheduling.
+//  * If a controller factory (or run) throws, the exception of the
+//    lowest-index scenario is rethrown after the batch drains.
+//
+// Controller factories run *inside* the worker, so expensive per-scenario
+// setup (offline data collection, policy training, RL pre-training) is
+// parallelized along with the runs.  Factories may capture shared immutable
+// artifacts (e.g. an offline dataset behind a shared_ptr) but must copy
+// anything the controller mutates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/controller.h"
+#include "core/objectives.h"
+#include "core/runner.h"
+#include "soc/platform.h"
+
+namespace oal::core {
+
+struct Scenario;
+
+/// Scenario-private execution state handed to the controller factory.
+struct ScenarioContext {
+  const Scenario& scenario;
+  soc::BigLittlePlatform& platform;  ///< this scenario's platform instance
+  common::Rng& rng;                  ///< this scenario's deterministic stream
+};
+
+/// A controller plus whatever collaborators it references (policy, models);
+/// `deps` keeps those alive for the duration of the run.
+struct ControllerInstance {
+  std::unique_ptr<DrmController> controller;
+  std::shared_ptr<const void> deps;
+};
+
+using ControllerFactory = std::function<ControllerInstance(ScenarioContext&)>;
+
+struct Scenario {
+  std::string id;  ///< unique within a batch; results are ordered by id
+  soc::PlatformParams platform;
+  std::uint64_t platform_noise_seed = 2020;
+  std::vector<soc::SnippetDescriptor> trace;
+  /// Optional unrecorded prefix (no Oracle): e.g. RL pre-training.
+  std::vector<soc::SnippetDescriptor> warmup;
+  ControllerFactory make_controller;
+  soc::SocConfig initial{4, 4, 8, 10};
+  /// Seeds ScenarioContext::rng, the scenario-private stream handed to the
+  /// controller factory.  It influences a run only insofar as the factory
+  /// draws from it; the stock factories in scenario_factories.h use their
+  /// own fixed seeds (paper-protocol fidelity) and ignore it.
+  std::uint64_t seed = 0;
+  Objective objective = Objective::kEnergy;
+  bool compute_oracle = true;
+  /// Runs in the worker after the trace, while the controller is still
+  /// alive — the place to harvest controller statistics (policy updates,
+  /// table sizes).  Must touch scenario-local state only.
+  std::function<void(DrmController&, const RunResult&)> on_complete;
+};
+
+struct ScenarioResult {
+  std::string id;
+  RunResult run;
+};
+
+struct ExperimentOptions {
+  /// Worker count: 0 = hardware concurrency, 1 = serial execution (the
+  /// reference order the determinism tests compare against).
+  std::size_t num_threads = 0;
+};
+
+class ExperimentEngine {
+ public:
+  using Options = ExperimentOptions;
+
+  explicit ExperimentEngine(Options opts = Options());
+
+  /// Executes the batch in parallel; returns results sorted by scenario id.
+  /// Throws std::invalid_argument on empty/duplicate ids or a null factory.
+  std::vector<ScenarioResult> run_batch(const std::vector<Scenario>& batch);
+
+  /// Deterministic parallel map over arbitrary items (for sweeps that are
+  /// not DRM runs, e.g. NoC design points): out[i] = fn(items[i], i).
+  template <typename T, typename F>
+  auto map(const std::vector<T>& items, F&& fn) {
+    return pool_.parallel_map(items, std::forward<F>(fn));
+  }
+
+  common::ThreadPool& pool() { return pool_; }
+
+  /// Executes one scenario in the calling thread (the serial building block).
+  static ScenarioResult run_scenario(const Scenario& s);
+
+ private:
+  common::ThreadPool pool_;
+};
+
+}  // namespace oal::core

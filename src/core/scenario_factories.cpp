@@ -1,0 +1,56 @@
+#include "core/scenario_factories.h"
+
+namespace oal::core {
+
+namespace {
+
+/// Per-scenario copies of the offline artifacts the controller adapts.
+struct OnlineIlDeps {
+  IlPolicy policy;
+  OnlineSocModels models;
+  explicit OnlineIlDeps(const soc::ConfigSpace& space) : policy(space), models(space) {}
+};
+
+ControllerInstance make_online_il(ScenarioContext& ctx, const OfflineData& off,
+                                  std::uint64_t train_seed, const OnlineIlConfig& cfg) {
+  auto deps = std::make_shared<OnlineIlDeps>(ctx.platform.space());
+  common::Rng train_rng(train_seed);
+  deps->policy.train_offline(off.policy, train_rng);
+  deps->models.bootstrap(off.model_samples);
+  auto ctl = std::make_unique<OnlineIlController>(ctx.platform.space(), deps->policy,
+                                                  deps->models, cfg);
+  return ControllerInstance{std::move(ctl), deps};
+}
+
+}  // namespace
+
+ControllerFactory offline_il_factory(std::shared_ptr<const IlPolicy> policy) {
+  return [policy](ScenarioContext& ctx) {
+    return ControllerInstance{
+        std::make_unique<OfflineIlController>(ctx.platform.space(), *policy), policy};
+  };
+}
+
+ControllerFactory online_il_factory(std::shared_ptr<const OfflineData> off,
+                                    std::uint64_t train_seed, OnlineIlConfig cfg) {
+  return [off, train_seed, cfg](ScenarioContext& ctx) {
+    return make_online_il(ctx, *off, train_seed, cfg);
+  };
+}
+
+ControllerFactory online_il_collect_factory(std::vector<workloads::AppSpec> offline_apps,
+                                            std::size_t snippets_per_app,
+                                            std::size_t configs_per_snippet,
+                                            std::uint64_t collect_seed, std::uint64_t train_seed,
+                                            OnlineIlConfig cfg) {
+  return [offline_apps = std::move(offline_apps), snippets_per_app, configs_per_snippet,
+          collect_seed, train_seed, cfg](ScenarioContext& ctx) {
+    common::Rng collect_rng(collect_seed);
+    const OfflineData off =
+        collect_offline_data(ctx.platform, offline_apps, ctx.scenario.objective,
+                             snippets_per_app, configs_per_snippet, collect_rng);
+    return make_online_il(ctx, off, train_seed, cfg);
+  };
+}
+
+}  // namespace oal::core

@@ -1,0 +1,40 @@
+// Stock controller factories for ExperimentEngine scenarios.
+//
+// Benches and examples share the same handful of controller setups (frozen
+// offline-IL policy, adaptive online-IL with per-scenario artifact copies,
+// per-arm offline collection); keeping them here means a change to the
+// setup protocol lands everywhere at once instead of in four hand-synced
+// lambdas.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/online_il.h"
+#include "workloads/cpu_benchmarks.h"
+
+namespace oal::core {
+
+/// Frozen offline policy, shared read-only across scenarios
+/// (OfflineIlController never mutates it).
+ControllerFactory offline_il_factory(std::shared_ptr<const IlPolicy> policy);
+
+/// Adaptive online-IL from a shared offline dataset: each scenario trains
+/// its own policy copy (seeded by train_seed) and bootstraps its own models
+/// — the controller mutates both in place.
+ControllerFactory online_il_factory(std::shared_ptr<const OfflineData> off,
+                                    std::uint64_t train_seed, OnlineIlConfig cfg = {});
+
+/// Like online_il_factory, but the offline dataset is also collected inside
+/// the factory on the scenario's own platform, labeled by the scenario's
+/// objective (the per-arm ablation protocol, where collection noise is part
+/// of the arm).
+ControllerFactory online_il_collect_factory(std::vector<workloads::AppSpec> offline_apps,
+                                            std::size_t snippets_per_app,
+                                            std::size_t configs_per_snippet,
+                                            std::uint64_t collect_seed, std::uint64_t train_seed,
+                                            OnlineIlConfig cfg = {});
+
+}  // namespace oal::core

@@ -1,0 +1,36 @@
+#include "core/scenario_registry.h"
+
+#include <stdexcept>
+
+namespace oal::core {
+
+void ScenarioRegistry::add(const std::string& name, Builder builder) {
+  if (name.empty()) throw std::invalid_argument("ScenarioRegistry::add: empty name");
+  if (!builder) throw std::invalid_argument("ScenarioRegistry::add: null builder for " + name);
+  if (!builders_.emplace(name, std::move(builder)).second)
+    throw std::invalid_argument("ScenarioRegistry::add: duplicate name " + name);
+}
+
+std::vector<std::string> ScenarioRegistry::names(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [name, builder] : builders_)
+    if (name.compare(0, prefix.size(), prefix) == 0) out.push_back(name);
+  return out;
+}
+
+Scenario ScenarioRegistry::build(const std::string& name) const {
+  const auto it = builders_.find(name);
+  if (it == builders_.end())
+    throw std::invalid_argument("ScenarioRegistry::build: unknown scenario " + name);
+  Scenario s = it->second();
+  s.id = name;
+  return s;
+}
+
+std::vector<Scenario> ScenarioRegistry::build_batch(const std::string& prefix) const {
+  std::vector<Scenario> out;
+  for (const std::string& name : names(prefix)) out.push_back(build(name));
+  return out;
+}
+
+}  // namespace oal::core

@@ -1,0 +1,46 @@
+// Named scenario catalog.
+//
+// Benches and examples describe their experiment arms as named Scenario
+// builders ("fig4/offline/FFT/il", "governors/ondemand", ...) registered
+// here, then hand a prefix-selected batch to ExperimentEngine.  Names use
+// '/'-separated segments so one registry can hold several scenario families
+// and a batch can be cut by family prefix; the builder runs lazily at
+// build() time so registering a large catalog stays free.  Built scenarios
+// get their registry name as Scenario::id, which is also the deterministic
+// result order of ExperimentEngine::run_batch.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace oal::core {
+
+class ScenarioRegistry {
+ public:
+  using Builder = std::function<Scenario()>;
+
+  /// Registers a builder under a unique name (throws on duplicates).
+  void add(const std::string& name, Builder builder);
+
+  bool contains(const std::string& name) const { return builders_.count(name) != 0; }
+  std::size_t size() const { return builders_.size(); }
+
+  /// All registered names with the given prefix, lexicographically sorted.
+  std::vector<std::string> names(const std::string& prefix = "") const;
+
+  /// Builds one scenario; its id is set to the registry name.
+  Scenario build(const std::string& name) const;
+
+  /// Builds every scenario whose name starts with `prefix`, in name order —
+  /// ready to pass to ExperimentEngine::run_batch.
+  std::vector<Scenario> build_batch(const std::string& prefix = "") const;
+
+ private:
+  std::map<std::string, Builder> builders_;
+};
+
+}  // namespace oal::core

@@ -26,7 +26,11 @@ struct GpuConfig {
   int freq_idx = 0;   ///< index into GpuParams::freqs_mhz
   int num_slices = 1; ///< active slices, 1..max_slices
 
-  bool operator==(const GpuConfig&) const = default;
+  // Not `= default`: defaulted comparisons need C++20 and this builds as C++17.
+  bool operator==(const GpuConfig& o) const {
+    return freq_idx == o.freq_idx && num_slices == o.num_slices;
+  }
+  bool operator!=(const GpuConfig& o) const { return !(*this == o); }
 };
 
 struct GpuParams {

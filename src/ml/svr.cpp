@@ -1,9 +1,10 @@
 #include "ml/svr.h"
 
 #include <cmath>
-#include <numbers>
 #include <numeric>
 #include <stdexcept>
+
+#include "common/constants.h"
 
 namespace oal::ml {
 
@@ -67,7 +68,7 @@ RbfSampler::RbfSampler(std::size_t input_dim, std::size_t num_features, double g
   const double scale = std::sqrt(2.0 * gamma);
   for (std::size_t i = 0; i < num_features; ++i) {
     for (std::size_t j = 0; j < input_dim; ++j) projection_(i, j) = rng.normal(0.0, scale);
-    offsets_[i] = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    offsets_[i] = rng.uniform(0.0, 2.0 * common::kPi);
   }
 }
 

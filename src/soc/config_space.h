@@ -24,7 +24,12 @@ struct SocConfig {
   int little_freq_idx = 0; ///< index into ConfigSpace::little_freqs()
   int big_freq_idx = 0;    ///< index into ConfigSpace::big_freqs()
 
-  bool operator==(const SocConfig&) const = default;
+  // Not `= default`: defaulted comparisons need C++20 and this builds as C++17.
+  bool operator==(const SocConfig& o) const {
+    return num_little == o.num_little && num_big == o.num_big &&
+           little_freq_idx == o.little_freq_idx && big_freq_idx == o.big_freq_idx;
+  }
+  bool operator!=(const SocConfig& o) const { return !(*this == o); }
 };
 
 class ConfigSpace {

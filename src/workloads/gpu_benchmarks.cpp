@@ -1,8 +1,9 @@
 #include "workloads/gpu_benchmarks.h"
 
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
+
+#include "common/constants.h"
 
 namespace oal::workloads {
 
@@ -61,13 +62,13 @@ std::vector<gpu::FrameDescriptor> GpuBenchmarks::trace(const GpuWorkloadSpec& s,
   frames.reserve(num_frames);
   double cut_scale = 1.0;          // current scene intensity multiplier
   double jitter_state = 0.0;       // AR(1) per-frame jitter
-  const double phase0 = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double phase0 = rng.uniform(0.0, 2.0 * common::kPi);
   for (std::size_t i = 0; i < num_frames; ++i) {
     if (rng.bernoulli(s.scene_cut_prob)) cut_scale = rng.uniform(0.7, 1.4);
     jitter_state = 0.8 * jitter_state + rng.normal(0.0, s.frame_jitter);
     const double envelope =
         1.0 + s.scene_amplitude *
-                  std::sin(phase0 + 2.0 * std::numbers::pi * static_cast<double>(i) /
+                  std::sin(phase0 + 2.0 * common::kPi * static_cast<double>(i) /
                                         s.scene_period_frames);
     const double m = cut_scale * envelope * std::exp(jitter_state);
     gpu::FrameDescriptor f;

@@ -1,0 +1,271 @@
+// Tests for the parallel experiment engine: parallel == serial determinism,
+// id-ordered aggregation, empty batches, exception propagation, and the
+// underlying thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+#include "core/experiment.h"
+#include "core/governors.h"
+#include "core/online_il.h"
+#include "core/scenario_factories.h"
+#include "core/scenario_registry.h"
+#include "workloads/cpu_benchmarks.h"
+
+namespace oal::core {
+namespace {
+
+Scenario governor_scenario(const std::string& id, const std::string& app, std::uint64_t seed) {
+  Scenario s;
+  s.id = id;
+  common::Rng trace_rng(seed);
+  s.trace = workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name(app), 10, trace_rng);
+  s.seed = seed;
+  s.make_controller = [](ScenarioContext& ctx) {
+    return ControllerInstance{std::make_unique<OndemandGovernor>(ctx.platform.space()), nullptr};
+  };
+  return s;
+}
+
+/// A batch of >= 8 scenarios mixing apps, seeds, and controllers — including
+/// stateful Online-IL arms whose candidate search and exploration draw from
+/// per-scenario Rng streams.
+std::vector<Scenario> mixed_batch() {
+  std::vector<Scenario> batch;
+  const char* apps[] = {"SHA", "FFT", "Qsort", "Dijkstra", "Kmeans", "Spectral"};
+  for (int i = 0; i < 6; ++i)
+    batch.push_back(governor_scenario("gov/" + std::to_string(i), apps[i], 100 + i));
+  for (int i = 0; i < 2; ++i) {
+    Scenario s;
+    s.id = "il/" + std::to_string(i);
+    common::Rng trace_rng(200 + i);
+    s.trace =
+        workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("MotionEst"), 12,
+                                        trace_rng);
+    s.seed = 300 + i;
+    s.make_controller = [i](ScenarioContext& ctx) {
+      // Exercise the scenario-private stream: the controller's exploration
+      // seed comes from ctx.rng, so determinism across pool sizes covers it.
+      OnlineIlConfig cfg;
+      cfg.seed = ctx.rng.next_u64();
+      const std::vector<workloads::AppSpec> offline_apps{
+          workloads::CpuBenchmarks::by_name("SHA"), workloads::CpuBenchmarks::by_name("FFT")};
+      return online_il_collect_factory(offline_apps, /*snippets_per_app=*/6,
+                                       /*configs_per_snippet=*/3, /*collect_seed=*/7,
+                                       /*train_seed=*/5 + i, cfg)(ctx);
+    };
+    batch.push_back(std::move(s));
+  }
+  return batch;
+}
+
+TEST(ThreadPool, RunsAllIndexedTasks) {
+  common::ThreadPool pool(4);
+  std::vector<int> hits(100, 0);
+  pool.run_indexed(100, [&](std::size_t i) { hits[i] = static_cast<int>(i) + 1; });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(hits[i], i + 1);
+}
+
+TEST(ThreadPool, ParallelMapPreservesOrder) {
+  common::ThreadPool pool(3);
+  std::vector<int> items;
+  for (int i = 0; i < 64; ++i) items.push_back(i);
+  const auto out = pool.parallel_map(items, [](int v, std::size_t) { return v * v; });
+  ASSERT_EQ(out.size(), items.size());
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, RethrowsLowestIndexException) {
+  common::ThreadPool pool(4);
+  try {
+    pool.run_indexed(32, [](std::size_t i) {
+      if (i % 7 == 3) throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 3");  // lowest failing index, deterministically
+  }
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+  common::ThreadPool pool(2);
+  pool.run_indexed(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(Experiment, EmptyBatchYieldsEmptyResults) {
+  ExperimentEngine engine(ExperimentOptions{2});
+  EXPECT_TRUE(engine.run_batch({}).empty());
+}
+
+TEST(Experiment, ParallelMatchesSerialBitwise) {
+  const auto batch = mixed_batch();
+  ASSERT_GE(batch.size(), 8u);
+
+  ExperimentEngine serial(ExperimentOptions{1});
+  ExperimentEngine parallel(ExperimentOptions{4});
+  const auto rs = serial.run_batch(batch);
+  const auto rp = parallel.run_batch(batch);
+
+  ASSERT_EQ(rs.size(), batch.size());
+  ASSERT_EQ(rp.size(), batch.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_EQ(rs[i].id, rp[i].id);
+    // Bitwise-identical aggregates: the doubles must match exactly, not
+    // within a tolerance — scenarios own every byte of mutable state.
+    EXPECT_EQ(rs[i].run.energy_ratio(), rp[i].run.energy_ratio());
+    EXPECT_EQ(rs[i].run.total_energy_j(), rp[i].run.total_energy_j());
+    EXPECT_EQ(rs[i].run.total_time_s(), rp[i].run.total_time_s());
+    ASSERT_EQ(rs[i].run.records.size(), rp[i].run.records.size());
+    for (std::size_t k = 0; k < rs[i].run.records.size(); ++k) {
+      EXPECT_EQ(rs[i].run.records[k].energy_j, rp[i].run.records[k].energy_j);
+      EXPECT_EQ(rs[i].run.records[k].applied, rp[i].run.records[k].applied);
+      EXPECT_EQ(rs[i].run.records[k].oracle, rp[i].run.records[k].oracle);
+    }
+  }
+}
+
+TEST(Experiment, RepeatedParallelRunsAreIdentical) {
+  const auto batch = mixed_batch();
+  ExperimentEngine engine(ExperimentOptions{4});
+  const auto r1 = engine.run_batch(batch);
+  const auto r2 = engine.run_batch(batch);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t i = 0; i < r1.size(); ++i)
+    EXPECT_EQ(r1[i].run.energy_ratio(), r2[i].run.energy_ratio());
+}
+
+TEST(Experiment, ResultsOrderedByScenarioId) {
+  std::vector<Scenario> batch;
+  batch.push_back(governor_scenario("z", "SHA", 1));
+  batch.push_back(governor_scenario("a", "FFT", 2));
+  batch.push_back(governor_scenario("m", "Qsort", 3));
+  ExperimentEngine engine(ExperimentOptions{2});
+  const auto res = engine.run_batch(batch);
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_EQ(res[0].id, "a");
+  EXPECT_EQ(res[1].id, "m");
+  EXPECT_EQ(res[2].id, "z");
+}
+
+TEST(Experiment, ThrowingFactoryPropagates) {
+  auto batch = mixed_batch();
+  Scenario bad = governor_scenario("bad", "SHA", 9);
+  bad.make_controller = [](ScenarioContext&) -> ControllerInstance {
+    throw std::runtime_error("factory exploded");
+  };
+  batch.insert(batch.begin() + 2, std::move(bad));
+  ExperimentEngine engine(ExperimentOptions{4});
+  EXPECT_THROW(engine.run_batch(batch), std::runtime_error);
+}
+
+TEST(Experiment, NullFactoryAndBadIdsAreRejected) {
+  ExperimentEngine engine(ExperimentOptions{2});
+  {
+    Scenario s = governor_scenario("s", "SHA", 1);
+    s.make_controller = nullptr;
+    EXPECT_THROW(engine.run_batch({s}), std::invalid_argument);
+  }
+  {
+    Scenario s = governor_scenario("", "SHA", 1);
+    EXPECT_THROW(engine.run_batch({s}), std::invalid_argument);
+  }
+  {
+    EXPECT_THROW(
+        engine.run_batch({governor_scenario("dup", "SHA", 1), governor_scenario("dup", "FFT", 2)}),
+        std::invalid_argument);
+  }
+}
+
+TEST(Experiment, WarmupRunsBeforeRecordedTrace) {
+  // A counting controller sees warmup + trace steps but the result only
+  // records the trace.
+  struct CountingController : DrmController {
+    std::shared_ptr<std::atomic<int>> steps;
+    explicit CountingController(std::shared_ptr<std::atomic<int>> s) : steps(std::move(s)) {}
+    std::string name() const override { return "counting"; }
+    soc::SocConfig step(const soc::SnippetResult&, const soc::SocConfig& executed) override {
+      ++*steps;
+      return executed;
+    }
+  };
+  auto steps = std::make_shared<std::atomic<int>>(0);
+  Scenario s = governor_scenario("warm", "SHA", 4);
+  common::Rng warm_rng(77);
+  s.warmup =
+      workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("FFT"), 5, warm_rng);
+  s.make_controller = [steps](ScenarioContext&) {
+    return ControllerInstance{std::make_unique<CountingController>(steps), nullptr};
+  };
+  ExperimentEngine engine(ExperimentOptions{1});
+  const auto res = engine.run_batch({s});
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].run.records.size(), 10u);
+  EXPECT_EQ(steps->load(), 15);  // 5 warmup + 10 recorded
+}
+
+TEST(Experiment, OnCompleteSeesLiveController) {
+  Scenario s = governor_scenario("hook", "SHA", 4);
+  auto name = std::make_shared<std::string>();
+  s.on_complete = [name](DrmController& ctl, const RunResult& run) {
+    *name = ctl.name();
+    EXPECT_EQ(run.records.size(), 10u);
+  };
+  ExperimentEngine engine(ExperimentOptions{2});
+  (void)engine.run_batch({s});
+  EXPECT_EQ(*name, "ondemand");
+}
+
+TEST(Experiment, MapIsDeterministicAcrossPoolSizes) {
+  ExperimentEngine serial(ExperimentOptions{1});
+  ExperimentEngine parallel(ExperimentOptions{4});
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 32; ++i) seeds.push_back(i);
+  const auto draw = [](std::uint64_t seed, std::size_t) {
+    common::Rng rng(seed);
+    double acc = 0.0;
+    for (int k = 0; k < 100; ++k) acc += rng.uniform();
+    return acc;
+  };
+  EXPECT_EQ(serial.map(seeds, draw), parallel.map(seeds, draw));
+}
+
+TEST(ScenarioRegistry, BuildsByPrefixInNameOrder) {
+  ScenarioRegistry reg;
+  reg.add("b/2", [] { return governor_scenario("", "SHA", 1); });
+  reg.add("a/1", [] { return governor_scenario("", "FFT", 2); });
+  reg.add("b/1", [] { return governor_scenario("", "Qsort", 3); });
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_TRUE(reg.contains("a/1"));
+  EXPECT_FALSE(reg.contains("c/1"));
+
+  const auto all = reg.names();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], "a/1");
+
+  const auto batch = reg.build_batch("b/");
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].id, "b/1");  // builder id overridden by registry name
+  EXPECT_EQ(batch[1].id, "b/2");
+
+  EXPECT_THROW(reg.build("missing"), std::invalid_argument);
+  EXPECT_THROW(reg.add("a/1", [] { return Scenario{}; }), std::invalid_argument);
+  EXPECT_THROW(reg.add("", [] { return Scenario{}; }), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, RegistryBatchRunsOnEngine) {
+  ScenarioRegistry reg;
+  reg.add("run/0", [] { return governor_scenario("", "SHA", 21); });
+  reg.add("run/1", [] { return governor_scenario("", "FFT", 22); });
+  ExperimentEngine engine(ExperimentOptions{2});
+  const auto res = engine.run_batch(reg.build_batch("run/"));
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0].id, "run/0");
+  EXPECT_GT(res[0].run.energy_ratio(), 0.0);
+  EXPECT_GT(res[1].run.energy_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace oal::core

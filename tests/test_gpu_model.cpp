@@ -129,7 +129,9 @@ TEST(GpuPlatform, BestConfigMeetsDeadlineAndMinimizesEnergy) {
   for (int s = 1; s <= 4; ++s) {
     for (int fi = 0; fi < 18; ++fi) {
       const auto r = gpu.render_ideal(f, {fi, s}, kPeriod30);
-      if (r.deadline_met) EXPECT_LE(rb.gpu_energy_j, r.gpu_energy_j + 1e-12);
+      if (r.deadline_met) {
+        EXPECT_LE(rb.gpu_energy_j, r.gpu_energy_j + 1e-12);
+      }
     }
   }
 }

@@ -63,7 +63,9 @@ TEST_P(PlatformProperties, FrequencyMonotoneInTimeAtFixedCores) {
     for (int fb = 0; fb < 19; fb += 3) {
       const soc::SocConfig c{2, nb, 6, fb};
       const double t = plat_.execute_ideal(s, c).exec_time_s;
-      if (nb > 0) EXPECT_LE(t, prev_t * (1.0 + 1e-9));
+      if (nb > 0) {
+        EXPECT_LE(t, prev_t * (1.0 + 1e-9));
+      }
       prev_t = t;
     }
   }
