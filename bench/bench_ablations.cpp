@@ -20,6 +20,7 @@
 #include "core/experiment.h"
 #include "core/nmpc.h"
 #include "core/online_il.h"
+#include "core/results_io.h"
 #include "core/scenario_factories.h"
 #include "workloads/cpu_benchmarks.h"
 #include "workloads/gpu_benchmarks.h"
@@ -38,7 +39,8 @@ struct OnlineArmResult {
 /// Builds the online-IL arm scenario for one OnlineIlConfig.  The factory
 /// reproduces the per-arm protocol: offline collection on MiBench, policy
 /// training, model bootstrap — all per scenario, all on the worker.
-Scenario online_arm_scenario(const std::string& id, const OnlineIlConfig& cfg) {
+Scenario online_arm_scenario(const std::string& id, const OnlineIlConfig& cfg,
+                             std::shared_ptr<OracleCache> cache) {
   Scenario s;
   s.id = id;
   common::Rng seq_rng(99);
@@ -48,9 +50,12 @@ Scenario online_arm_scenario(const std::string& id, const OnlineIlConfig& cfg) {
   for (const auto& a : workloads::CpuBenchmarks::of_suite(workloads::Suite::kParsec))
     apps.push_back(a);
   s.trace = workloads::CpuBenchmarks::sequence(apps, seq_rng);
+  s.oracle_cache = cache;
+  // Every arm collects over the same collect_seed trace, so the shared cache
+  // labels each offline snippet once instead of once per arm.
   s.make_controller = online_il_collect_factory(
       workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench), /*snippets_per_app=*/40,
-      /*configs_per_snippet=*/6, /*collect_seed=*/7, /*train_seed=*/5, cfg);
+      /*configs_per_snippet=*/6, /*collect_seed=*/7, /*train_seed=*/5, cfg, std::move(cache));
   return s;
 }
 
@@ -71,8 +76,10 @@ OnlineArmResult summarize_arm(const RunResult& res, const OnlineIlConfig& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   ExperimentEngine engine;
+  JsonlWriter json(json_path_arg(argc, argv));
+  auto cache = std::make_shared<OracleCache>();
 
   // ---- Sections A + B: one batch of online-IL configuration ablations ----
   struct CandidateVariant {
@@ -91,7 +98,7 @@ int main() {
     cfg.buffer_capacity = buf;
     const std::string id = "ablate/buffer/" + std::to_string(buf);
     configs[id] = cfg;
-    batch.push_back(online_arm_scenario(id, cfg));
+    batch.push_back(online_arm_scenario(id, cfg, cache));
   }
   for (std::size_t v = 0; v < 3; ++v) {
     OnlineIlConfig cfg;
@@ -103,12 +110,14 @@ int main() {
     }
     const std::string id = "ablate/candidates/" + std::to_string(v);
     configs[id] = cfg;
-    batch.push_back(online_arm_scenario(id, cfg));
+    batch.push_back(online_arm_scenario(id, cfg, cache));
   }
 
   std::map<std::string, OnlineArmResult> arm;
-  for (const auto& r : engine.run_batch(batch))
+  for (const auto& r : engine.run_batch(batch)) {
+    json.write_metrics("ablations", r.id, drm_metrics(r.run));
     arm.emplace(r.id, summarize_arm(r.run, configs.at(r.id)));
+  }
 
   std::puts("=== A. Aggregation-buffer size (paper setting: 100) ===");
   {
@@ -172,6 +181,13 @@ int main() {
     common::Table t({"Workload", "NMPC GPU J", "ENMPC GPU J", "delta (%)", "NMPC evals",
                      "ENMPC evals"});
     for (const auto& a : arms) {
+      json.write_metrics("ablations", "ablate/enmpc/" + a.name,
+                         {{"nmpc_gpu_energy_j", a.nmpc.gpu_energy_j},
+                          {"enmpc_gpu_energy_j", a.enmpc.gpu_energy_j},
+                          {"nmpc_evals", static_cast<double>(a.nmpc.decision_evals)},
+                          {"enmpc_evals", static_cast<double>(a.enmpc.decision_evals)}});
+    }
+    for (const auto& a : arms) {
       t.add_row({a.name, common::Table::fmt(a.nmpc.gpu_energy_j, 2),
                  common::Table::fmt(a.enmpc.gpu_energy_j, 2),
                  common::Table::fmt(100.0 * (a.enmpc.gpu_energy_j / a.nmpc.gpu_energy_j - 1.0), 1),
@@ -218,8 +234,11 @@ int main() {
     });
 
     common::Table t({"Predictor", "MAPE (%)"});
-    for (std::size_t i = 0; i < arms.size(); ++i)
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+      json.write_metrics("ablations", "ablate/staff/" + std::to_string(i),
+                         {{"mape_pct", mapes[i]}});
       t.add_row({arms[i].label, common::Table::fmt(mapes[i], 2)});
+    }
     t.print(std::cout);
     std::puts("Adaptive forgetting matches the best hand-tuned fixed factor without tuning.");
   }

@@ -3,51 +3,116 @@
 // online learning (RLS with stabilized adaptive forgetting factor and
 // online feature selection).
 //
+// The frame loop runs through ExperimentEngine as a GpuScenario: a
+// fixed-DVFS-schedule controller carries the STAFF predictor and logs
+// (measured, estimated) pairs, which on_complete harvests for the tables.
+//
 // Paper: "the estimated frame time closely follows the measured value at
 // different operating frequencies with less than 5% error."
+#include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "common/stats.h"
 #include "common/table.h"
+#include "core/domain.h"
 #include "core/gpu_models.h"
+#include "core/results_io.h"
 #include "workloads/gpu_benchmarks.h"
 
 using namespace oal;
 using namespace oal::core;
 
-int main() {
-  gpu::GpuPlatform plat;
-  common::Rng rng(5);
-  const auto trace = workloads::GpuBenchmarks::nenamark2(1200, rng);
-  const double period = 1.0 / 30.0;
+namespace {
 
-  // DVFS schedule: the governor steps through four operating points while
-  // the benchmark runs (mirrors the frequency changes visible in Fig. 2).
-  auto freq_at = [](std::size_t frame) { return 4 + 4 * static_cast<int>((frame / 200) % 4); };
+/// Replays a fixed DVFS schedule (the Fig. 2 frequency staircase) while a
+/// STAFF predictor estimates each upcoming frame's time; predictions are
+/// made before the frame renders, exactly as the original serial loop did.
+class StaffScheduleController : public GpuController {
+ public:
+  StaffScheduleController(const gpu::GpuPlatform& platform, std::size_t num_frames,
+                          std::size_t warmup)
+      : platform_(&platform), staff_(platform), num_frames_(num_frames), warmup_(warmup) {}
 
-  StaffFrameTimePredictor staff(plat);
-  GpuWorkloadState w;
-  std::vector<double> actual_ms, predicted_ms;
-  std::vector<double> freq_of_sample;
-  const std::size_t warmup = 50;
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    const gpu::GpuConfig c{freq_at(i), 2};
-    const auto r = plat.render(trace[i], c, period);
-    if (i >= warmup) {
-      predicted_ms.push_back(staff.predict_ms(w, c));
-      actual_ms.push_back(r.frame_time_s * 1e3);
-      freq_of_sample.push_back(plat.freq_mhz(c.freq_idx));
+  static int freq_at(std::size_t frame) { return 4 + 4 * static_cast<int>((frame / 200) % 4); }
+  static constexpr int kSlices = 2;
+
+  std::string name() const override { return "staff-schedule"; }
+
+  gpu::GpuConfig step(const gpu::FrameResult& result, const gpu::GpuConfig& current,
+                      std::size_t frame_index) override {
+    if (frame_index >= warmup_) {
+      actual_ms_.push_back(result.frame_time_s * 1e3);
+      freq_mhz_.push_back(platform_->freq_mhz(current.freq_idx));
     }
-    staff.update(w, c, r);
-    w.observe(r, 2.0 / (1.0 + plat.params().slice_sync_overhead));
+    staff_.update(w_, current, result);
+    w_.observe(result, 2.0 / (1.0 + platform_->params().slice_sync_overhead));
+    const gpu::GpuConfig next{freq_at(frame_index + 1), kSlices};
+    if (frame_index + 1 >= warmup_ && frame_index + 1 < num_frames_)
+      predicted_ms_.push_back(staff_.predict_ms(w_, next));
+    return next;
   }
+
+  const std::vector<double>& actual_ms() const { return actual_ms_; }
+  const std::vector<double>& predicted_ms() const { return predicted_ms_; }
+  const std::vector<double>& freq_mhz() const { return freq_mhz_; }
+  const StaffFrameTimePredictor& staff() const { return staff_; }
+
+ private:
+  const gpu::GpuPlatform* platform_;
+  StaffFrameTimePredictor staff_;
+  GpuWorkloadState w_;
+  std::size_t num_frames_;
+  std::size_t warmup_;
+  std::vector<double> actual_ms_, predicted_ms_, freq_mhz_;
+};
+
+struct Harvest {
+  std::vector<double> actual_ms, predicted_ms, freq_mhz;
+  double lambda = 0.0;
+  std::size_t num_active = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t num_frames = 1200;
+  const std::size_t warmup = 50;
+
+  GpuScenario s;
+  s.id = "fig2/nenamark2";
+  {
+    common::Rng rng(5);
+    s.trace = workloads::GpuBenchmarks::nenamark2(num_frames, rng);
+  }
+  s.initial = gpu::GpuConfig{StaffScheduleController::freq_at(0),
+                             StaffScheduleController::kSlices};
+  s.make_controller = [num_frames, warmup](GpuScenarioContext& ctx) {
+    return GpuControllerInstance{
+        std::make_unique<StaffScheduleController>(ctx.platform, num_frames, warmup), nullptr};
+  };
+  auto harvest = std::make_shared<Harvest>();
+  s.on_complete = [harvest](GpuController& ctl, const GpuRunResult&) {
+    auto& sched = dynamic_cast<StaffScheduleController&>(ctl);
+    harvest->actual_ms = sched.actual_ms();
+    harvest->predicted_ms = sched.predicted_ms();
+    harvest->freq_mhz = sched.freq_mhz();
+    harvest->lambda = sched.staff().model().lambda();
+    harvest->num_active = sched.staff().model().num_active();
+  };
+
+  ExperimentEngine engine;
+  const auto results = engine.run_any({s});
+  const auto& actual_ms = harvest->actual_ms;
+  const auto& predicted_ms = harvest->predicted_ms;
+  const gpu::GpuPlatform plat;  // frequency table for the segment report
 
   std::puts("=== Fig. 2: measured vs estimated frame time (Nenamark2-like) ===");
   common::Table series({"Frame", "GPU freq (MHz)", "Measured (ms)", "Estimated (ms)", "Err (%)"});
   for (std::size_t i = 0; i < actual_ms.size(); i += 60) {
     series.add_row(std::to_string(i + warmup),
-                   {freq_of_sample[i], actual_ms[i], predicted_ms[i],
+                   {harvest->freq_mhz[i], actual_ms[i], predicted_ms[i],
                     100.0 * std::abs(predicted_ms[i] - actual_ms[i]) / actual_ms[i]},
                    2);
   }
@@ -62,7 +127,7 @@ int main() {
   for (int fi : {4, 8, 12, 16}) {
     std::vector<double> a, p;
     for (std::size_t i = 0; i < actual_ms.size(); ++i) {
-      if (freq_of_sample[i] == plat.freq_mhz(fi)) {
+      if (harvest->freq_mhz[i] == plat.freq_mhz(fi)) {
         a.push_back(actual_ms[i]);
         p.push_back(predicted_ms[i]);
       }
@@ -71,7 +136,15 @@ int main() {
   }
   std::puts("");
   seg.print(std::cout);
-  std::printf("\nSTAFF state: lambda = %.4f, active features = %zu of 8\n",
-              staff.model().lambda(), staff.model().num_active());
+  std::printf("\nSTAFF state: lambda = %.4f, active features = %zu of 8\n", harvest->lambda,
+              harvest->num_active);
+
+  JsonlWriter json(json_path_arg(argc, argv));
+  if (json.enabled()) {
+    Metrics m = results[0].metrics();
+    m.emplace_back("mape_pct", overall_mape);
+    m.emplace_back("correlation", common::correlation(actual_ms, predicted_ms));
+    json.write_metrics("fig2_frame_prediction", results[0].id(), m);
+  }
   return overall_mape < 8.0 ? 0 : 1;
 }

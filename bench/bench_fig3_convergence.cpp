@@ -18,6 +18,7 @@
 #include "common/table.h"
 #include "core/experiment.h"
 #include "core/online_il.h"
+#include "core/results_io.h"
 #include "core/rl_controller.h"
 #include "core/scenario_factories.h"
 #include "workloads/cpu_benchmarks.h"
@@ -38,13 +39,16 @@ std::vector<workloads::AppSpec> online_sequence_apps() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   soc::BigLittlePlatform plat;
   common::Rng rng(7);
 
+  // Both arms evaluate the same trace, so the exhaustive Oracle search runs
+  // once per snippet instead of once per arm.
+  auto cache = std::make_shared<OracleCache>();
   const auto mibench = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
   const auto off = std::make_shared<OfflineData>(
-      collect_offline_data(plat, mibench, Objective::kEnergy, 40, 6, rng));
+      collect_offline_data(plat, mibench, Objective::kEnergy, 40, 6, rng, cache.get()));
 
   common::Rng seq_rng(99);
   const auto seq = workloads::CpuBenchmarks::sequence(online_sequence_apps(), seq_rng);
@@ -56,6 +60,7 @@ int main() {
   Scenario il;
   il.id = "fig3/il";
   il.trace = seq;
+  il.oracle_cache = cache;
   il.make_controller = online_il_factory(off, /*train_seed=*/5);
   il.on_complete = [il_updates](DrmController& ctl, const RunResult&) {
     *il_updates = dynamic_cast<OnlineIlController&>(ctl).policy_updates();
@@ -64,6 +69,7 @@ int main() {
   Scenario rl;
   rl.id = "fig3/rl";
   rl.trace = seq;
+  rl.oracle_cache = cache;
   {
     common::Rng pre_rng(11);
     rl.warmup = workloads::CpuBenchmarks::sequence(mibench, pre_rng);
@@ -74,8 +80,12 @@ int main() {
   };
 
   ExperimentEngine engine;
+  JsonlWriter json(json_path_arg(argc, argv));
   std::map<std::string, RunResult> res;
-  for (auto& r : engine.run_batch({il, rl})) res.emplace(r.id, std::move(r.run));
+  for (auto& r : engine.run_batch({il, rl})) {
+    json.write_metrics("fig3_convergence", r.id, drm_metrics(r.run));
+    res.emplace(r.id, std::move(r.run));
+  }
   const RunResult& res_il = res.at("fig3/il");
   const RunResult& res_rl = res.at("fig3/rl");
 

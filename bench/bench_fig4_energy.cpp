@@ -16,6 +16,7 @@
 
 #include "common/table.h"
 #include "core/online_il.h"
+#include "core/results_io.h"
 #include "core/rl_controller.h"
 #include "core/scenario_factories.h"
 #include "core/scenario_registry.h"
@@ -24,12 +25,15 @@
 using namespace oal;
 using namespace oal::core;
 
-int main() {
+int main(int argc, char** argv) {
   soc::BigLittlePlatform plat;
   common::Rng rng(7);
+  // Every trace below is evaluated by both an IL and an RL arm; the shared
+  // cache runs the exhaustive Oracle search once per snippet, not per arm.
+  auto cache = std::make_shared<OracleCache>();
   const auto mibench = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
   const auto off = std::make_shared<OfflineData>(
-      collect_offline_data(plat, mibench, Objective::kEnergy, 40, 6, rng));
+      collect_offline_data(plat, mibench, Objective::kEnergy, 40, 6, rng, cache.get()));
 
   // Frozen offline policy, shared read-only by every Offline-IL scenario.
   auto policy = std::make_shared<IlPolicy>(plat.space());
@@ -63,15 +67,17 @@ int main() {
   for (const auto& app : mibench) {
     common::Rng trace_rng(300 + app.app_id);
     const auto trace = workloads::CpuBenchmarks::trace(app, 80, trace_rng);
-    registry.add("fig4/offline/" + app.name + "/il", [policy, trace, app] {
+    registry.add("fig4/offline/" + app.name + "/il", [policy, trace, app, cache] {
       Scenario s;
       s.trace = trace;
+      s.oracle_cache = cache;
       s.make_controller = offline_il_factory(policy);
       return s;
     });
-    registry.add("fig4/offline/" + app.name + "/rl", [trace, app, make_rl] {
+    registry.add("fig4/offline/" + app.name + "/rl", [trace, app, make_rl, cache] {
       Scenario s;
       s.trace = trace;
+      s.oracle_cache = cache;
       s.make_controller = make_rl;
       return s;
     });
@@ -86,18 +92,20 @@ int main() {
   common::Rng seq_rng(99);
   const auto seq = workloads::CpuBenchmarks::sequence(online_apps, seq_rng);
 
-  registry.add("fig4/online/il", [off, seq] {
+  registry.add("fig4/online/il", [off, seq, cache] {
     Scenario s;
     s.trace = seq;
+    s.oracle_cache = cache;
     s.make_controller = online_il_factory(off, /*train_seed=*/5);
     return s;
   });
 
   auto rl_states = std::make_shared<std::size_t>(0);
   auto rl_bytes = std::make_shared<std::size_t>(0);
-  registry.add("fig4/online/rl", [seq, make_rl, rl_states, rl_bytes] {
+  registry.add("fig4/online/rl", [seq, make_rl, rl_states, rl_bytes, cache] {
     Scenario s;
     s.trace = seq;
+    s.oracle_cache = cache;
     s.make_controller = make_rl;
     s.on_complete = [rl_states, rl_bytes](DrmController& ctl, const RunResult&) {
       auto& rl = dynamic_cast<QLearningController&>(ctl);
@@ -108,9 +116,12 @@ int main() {
   });
 
   ExperimentEngine engine;
+  JsonlWriter json(json_path_arg(argc, argv));
   std::map<std::string, RunResult> res;
-  for (auto& r : engine.run_batch(registry.build_batch("fig4/")))
+  for (auto& r : engine.run_batch(registry.build_batch("fig4/"))) {
+    json.write_metrics("fig4_energy", r.id, drm_metrics(r.run));
     res.emplace(r.id, std::move(r.run));
+  }
 
   // "Steady" restricts online apps to their second half, after the paper's
   // few-second adaptation transient (Fig. 3) has passed.

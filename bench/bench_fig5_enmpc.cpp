@@ -3,24 +3,54 @@
 // the GPU alone, for the system package (PKG), and for package plus memory
 // (PKG+DRAM), across ten graphics workloads.
 //
+// The twenty arms (10 workloads x {baseline, ENMPC}) are GpuScenarios in one
+// parallel ExperimentEngine batch; each scenario owns its platform instance
+// and the ENMPC arms bootstrap + fit their explicit law on the worker.
+//
 // Paper: GPU savings range from 5% (AngryBirds) to 58% (SharkDash), average
 // ~25%; PKG and PKG+DRAM save ~15%; performance overhead is ~0.4%.
 #include <cstdio>
 #include <iostream>
+#include <map>
 
 #include "common/table.h"
-#include "core/nmpc.h"
+#include "core/domain.h"
+#include "core/results_io.h"
+#include "core/scenario_factories.h"
 #include "workloads/gpu_benchmarks.h"
 
 using namespace oal;
 using namespace oal::core;
 
-int main() {
-  gpu::GpuPlatform plat;
+int main(int argc, char** argv) {
   const double fps = 30.0;
-  GpuRunner runner(plat, fps);
-  const gpu::GpuConfig init{9, plat.params().max_slices};
   const std::size_t frames = 1800;  // 60 s at 30 FPS per workload
+  NmpcConfig cfg;
+  cfg.fps_target = fps;
+
+  std::vector<AnyScenario> batch;
+  for (const auto& spec : workloads::GpuBenchmarks::fig5_suite()) {
+    common::Rng trng(1000 + spec.id);
+    const auto trace = workloads::GpuBenchmarks::trace(spec, frames, trng);
+    for (const char* arm : {"baseline", "enmpc"}) {
+      GpuScenario s;
+      s.id = "fig5/" + spec.name + "/" + arm;
+      s.fps_target = fps;
+      s.trace = trace;
+      s.initial = gpu::GpuConfig{9, s.platform.max_slices};
+      s.make_controller = arm == std::string("baseline") ? gpu_baseline_factory()
+                                                         : gpu_enmpc_factory(cfg, 1500);
+      batch.push_back(std::move(s));
+    }
+  }
+
+  ExperimentEngine engine;
+  const auto results = engine.run_any(batch);
+  JsonlWriter json(json_path_arg(argc, argv));
+  json.write("fig5_enmpc", results);
+
+  std::map<std::string, const GpuRunResult*> by_id;
+  for (const auto& r : results) by_id.emplace(r.id(), &r.as<GpuRunResult>());
 
   std::puts("=== Fig. 5: energy savings of explicit NMPC vs baseline governor ===");
   common::Table t({"Workload", "GPU (%)", "PKG (%)", "PKG+DRAM (%)", "Miss base", "Miss ENMPC"});
@@ -28,20 +58,8 @@ int main() {
   double miss_base_total = 0.0, miss_enmpc_total = 0.0;
   int n = 0;
   for (const auto& spec : workloads::GpuBenchmarks::fig5_suite()) {
-    common::Rng trng(1000 + spec.id);
-    const auto trace = workloads::GpuBenchmarks::trace(spec, frames, trng);
-
-    BaselineGpuGovernor baseline(plat);
-    const auto rb = runner.run(trace, baseline, init);
-
-    GpuOnlineModels models(plat);
-    common::Rng boot_rng(7);
-    bootstrap_gpu_models(plat, models, 1.0 / fps, 400, boot_rng);
-    NmpcConfig cfg;
-    cfg.fps_target = fps;
-    ExplicitNmpcGpuController enmpc(plat, models, cfg, 1500);
-    const auto re = runner.run(trace, enmpc, init);
-
+    const GpuRunResult& rb = *by_id.at("fig5/" + spec.name + "/baseline");
+    const GpuRunResult& re = *by_id.at("fig5/" + spec.name + "/enmpc");
     const double g = 100.0 * (1.0 - re.gpu_energy_j / rb.gpu_energy_j);
     const double p = 100.0 * (1.0 - re.pkg_energy_j / rb.pkg_energy_j);
     const double d = 100.0 * (1.0 - re.pkg_dram_energy_j / rb.pkg_dram_energy_j);
@@ -56,7 +74,8 @@ int main() {
                common::Table::fmt(100.0 * re.miss_rate(), 2) + "%"});
   }
   t.add_row({"Average", common::Table::fmt(sum_gpu / n, 1), common::Table::fmt(sum_pkg / n, 1),
-             common::Table::fmt(sum_dram / n, 1), common::Table::fmt(100.0 * miss_base_total / n, 2) + "%",
+             common::Table::fmt(sum_dram / n, 1),
+             common::Table::fmt(100.0 * miss_base_total / n, 2) + "%",
              common::Table::fmt(100.0 * miss_enmpc_total / n, 2) + "%"});
   t.print(std::cout);
   std::puts("\nPaper: GPU 5%..58% (avg ~25%), PKG ~15%, PKG+DRAM ~15%, perf overhead ~0.4%.");

@@ -1,14 +1,24 @@
 // Section III-C artifacts: queueing-theoretic NoC latency model accuracy vs
 // the packet-level simulator, SVR correction (Qian-style), and the online
 // residual adaptation the survey calls for.
+//
+// Every simulator run is a NocScenario; one ExperimentEngine batch executes
+// all of them in parallel (accuracy sweep, SVR training/test measurements,
+// and the post-drift measurements), then the fits and adaptation run over
+// the gathered results.
+#include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <map>
 
 #include "common/stats.h"
 #include "common/table.h"
+#include "core/domain.h"
+#include "core/results_io.h"
 #include "noc/svr_model.h"
 
 using namespace oal;
+using namespace oal::core;
 using namespace oal::noc;
 
 namespace {
@@ -24,97 +34,128 @@ std::vector<TrafficMatrix> make_traffics(const Mesh& mesh, const std::vector<dou
   return out;
 }
 
+NocScenario sim_point(std::string id, const TrafficMatrix& tm, std::uint64_t seed,
+                      const NocParams& params, bool run_analytical) {
+  NocScenario s;
+  s.id = std::move(id);
+  s.params = params;
+  s.traffic = tm;
+  s.sim.seed = seed;
+  s.run_analytical = run_analytical;
+  return s;
+}
+
+std::string key3(const char* group, std::size_t a, std::size_t b) {
+  return std::string(group) + "/" + std::to_string(a) + "/" + std::to_string(b);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const Mesh mesh(8, 8);
   const NocParams params;
-  const AnalyticalNocModel analytical(mesh, params);
-  const NocSimulator sim(mesh, params);
+  NocParams drifted = params;
+  drifted.packet_service_cycles = 5.0;  // 25% slower links
 
+  const auto train_traffics = make_traffics(mesh, {0.004, 0.008, 0.012, 0.016, 0.020, 0.024});
+  const auto test_traffics = make_traffics(mesh, {0.006, 0.012, 0.018});
+  const double rates[] = {0.005, 0.010, 0.015, 0.020, 0.025};
+  const char* pattern_names[] = {"uniform", "transpose", "hotspot", "bit-compl"};
+
+  // ---- One batch: every simulator run in this bench ------------------------
+  std::vector<AnyScenario> batch;
+  for (std::size_t ri = 0; ri < 5; ++ri) {
+    const double rate = rates[ri];
+    const TrafficMatrix tms[] = {
+        TrafficMatrix::uniform(mesh.num_nodes(), rate),
+        TrafficMatrix::transpose(mesh.cols(), mesh.rows(), rate),
+        TrafficMatrix::hotspot(mesh.num_nodes(), 27, rate),
+        TrafficMatrix::bit_complement(mesh.cols(), mesh.rows(), rate),
+    };
+    for (std::size_t p = 0; p < 4; ++p)
+      batch.push_back(sim_point(key3("model", ri, p), tms[p],
+                                17 + static_cast<std::uint64_t>(rate * 1e4), params, true));
+  }
+  for (std::size_t i = 0; i < train_traffics.size(); ++i)
+    batch.push_back(sim_point(key3("svr/train", i, 0), train_traffics[i], 100 + i, params, false));
+  for (std::size_t i = 0; i < test_traffics.size(); ++i)
+    batch.push_back(sim_point(key3("svr/test", i, 0), test_traffics[i], 500 + i, params, false));
+  for (std::size_t i = 0; i < test_traffics.size(); ++i)
+    batch.push_back(sim_point(key3("drift/stale", i, 0), test_traffics[i], 900 + i, drifted,
+                              false));
+  for (std::size_t epoch = 0; epoch < 3; ++epoch)
+    for (std::size_t i = 0; i < test_traffics.size(); ++i)
+      batch.push_back(sim_point(key3("drift/adapt", epoch, i), test_traffics[i],
+                                1200 + 37 * epoch + i, drifted, false));
+  for (std::size_t i = 0; i < test_traffics.size(); ++i)
+    batch.push_back(sim_point(key3("drift/final", i, 0), test_traffics[i], 2100 + i, drifted,
+                              false));
+
+  ExperimentEngine engine;
+  const auto results = engine.run_any(batch);
+  JsonlWriter json(json_path_arg(argc, argv));
+  json.write("noc_latency", results);
+  std::map<std::string, const AnyResult*> by_id;
+  for (const auto& r : results) by_id.emplace(r.id(), &r);
+  const auto sim_latency = [&](const std::string& id) {
+    return by_id.at(id)->metric("sim_avg_latency_cycles");
+  };
+
+  // ---- Accuracy sweep ------------------------------------------------------
   std::puts("=== NoC latency: analytical model vs packet-level simulation ===");
   common::Table t({"Traffic", "Rate/node", "Sim (cycles)", "Analytical", "Err (%)", "Max rho"});
   std::vector<double> ana_err;
-  for (double rate : {0.005, 0.010, 0.015, 0.020, 0.025}) {
-    struct Case {
-      const char* name;
-      TrafficMatrix tm;
-    };
-    const Case cases[] = {
-        {"uniform", TrafficMatrix::uniform(mesh.num_nodes(), rate)},
-        {"transpose", TrafficMatrix::transpose(mesh.cols(), mesh.rows(), rate)},
-        {"hotspot", TrafficMatrix::hotspot(mesh.num_nodes(), 27, rate)},
-        {"bit-compl", TrafficMatrix::bit_complement(mesh.cols(), mesh.rows(), rate)},
-    };
-    for (const auto& c : cases) {
-      SimConfig sc;
-      sc.seed = 17 + static_cast<std::uint64_t>(rate * 1e4);
-      const auto s = sim.simulate(c.tm, sc);
-      const auto a = analytical.evaluate(c.tm);
-      const double err = 100.0 * std::abs(a.avg_latency_cycles - s.avg_latency_cycles) /
-                         s.avg_latency_cycles;
+  for (std::size_t ri = 0; ri < 5; ++ri) {
+    for (std::size_t p = 0; p < 4; ++p) {
+      const AnyResult& r = *by_id.at(key3("model", ri, p));
+      const double sim_lat = r.metric("sim_avg_latency_cycles");
+      const double ana_lat = r.metric("ana_avg_latency_cycles");
+      const double err = 100.0 * std::abs(ana_lat - sim_lat) / sim_lat;
       ana_err.push_back(err);
-      t.add_row({c.name, common::Table::fmt(rate, 3), common::Table::fmt(s.avg_latency_cycles, 1),
-                 common::Table::fmt(a.avg_latency_cycles, 1), common::Table::fmt(err, 1),
-                 common::Table::fmt(a.max_link_utilization, 2)});
+      t.add_row({pattern_names[p], common::Table::fmt(rates[ri], 3),
+                 common::Table::fmt(sim_lat, 1), common::Table::fmt(ana_lat, 1),
+                 common::Table::fmt(err, 1),
+                 common::Table::fmt(r.metric("ana_max_link_utilization"), 2)});
     }
   }
   t.print(std::cout);
   std::printf("Analytical model mean error: %.1f%%\n\n", common::mean(ana_err));
 
-  // ---- SVR correction --------------------------------------------------------
+  // ---- SVR correction ------------------------------------------------------
   std::puts("=== SVR-corrected model (Qian et al. construction) ===");
-  const auto train_traffics = make_traffics(mesh, {0.004, 0.008, 0.012, 0.016, 0.020, 0.024});
   std::vector<double> train_lat;
-  for (std::size_t i = 0; i < train_traffics.size(); ++i) {
-    SimConfig sc;
-    sc.seed = 100 + i;
-    train_lat.push_back(sim.simulate(train_traffics[i], sc).avg_latency_cycles);
-  }
+  for (std::size_t i = 0; i < train_traffics.size(); ++i)
+    train_lat.push_back(sim_latency(key3("svr/train", i, 0)));
   SvrNocModel svr(mesh, params);
   svr.fit(train_traffics, train_lat);
 
-  const auto test_traffics = make_traffics(mesh, {0.006, 0.012, 0.018});
   std::vector<double> sim_lat, svr_pred, ana_pred;
   for (std::size_t i = 0; i < test_traffics.size(); ++i) {
-    SimConfig sc;
-    sc.seed = 500 + i;
-    sim_lat.push_back(sim.simulate(test_traffics[i], sc).avg_latency_cycles);
+    sim_lat.push_back(sim_latency(key3("svr/test", i, 0)));
     svr_pred.push_back(svr.predict(test_traffics[i]));
     ana_pred.push_back(svr.analytical(test_traffics[i]));
   }
   std::printf("Held-out MAPE: analytical %.1f%%, SVR-corrected %.1f%%\n",
-              common::mape(sim_lat, svr_pred.size() ? ana_pred : ana_pred),
-              common::mape(sim_lat, svr_pred));
+              common::mape(sim_lat, ana_pred), common::mape(sim_lat, svr_pred));
 
-  // ---- Online adaptation (survey Section III-C closing point) ---------------
+  // ---- Online adaptation (survey Section III-C closing point) --------------
   // The simulator's service time drifts at "runtime" (e.g. DVFS of the NoC);
-  // the offline SVR goes stale, the online residual recovers.
-  NocParams drifted = params;
-  drifted.packet_service_cycles = 5.0;  // 25% slower links
-  const NocSimulator sim2(mesh, drifted);
+  // the offline SVR goes stale, the online residual recovers.  A runtime
+  // monitor sees the *same* workloads repeatedly: measure the stale model
+  // once, adapt on a few epochs of measurements, re-measure.
   SvrNocModel adaptive(mesh, params);
   adaptive.fit(train_traffics, train_lat);
-  // A runtime monitor sees the *same* workloads repeatedly: measure the
-  // stale model once, adapt on a few epochs of measurements, re-measure.
   std::vector<double> stale_err, adapted_err;
   for (std::size_t i = 0; i < test_traffics.size(); ++i) {
-    SimConfig sc;
-    sc.seed = 900 + i;
-    const double measured = sim2.simulate(test_traffics[i], sc).avg_latency_cycles;
-    stale_err.push_back(std::abs(adaptive.predict(test_traffics[i]) - measured) / measured * 100.0);
+    const double measured = sim_latency(key3("drift/stale", i, 0));
+    stale_err.push_back(std::abs(adaptive.predict(test_traffics[i]) - measured) / measured *
+                        100.0);
   }
-  for (int epoch = 0; epoch < 3; ++epoch) {
-    for (std::size_t i = 0; i < test_traffics.size(); ++i) {
-      SimConfig sc;
-      sc.seed = 1200 + 37 * epoch + i;
-      adaptive.update(test_traffics[i], sim2.simulate(test_traffics[i], sc).avg_latency_cycles);
-    }
-  }
+  for (std::size_t epoch = 0; epoch < 3; ++epoch)
+    for (std::size_t i = 0; i < test_traffics.size(); ++i)
+      adaptive.update(test_traffics[i], sim_latency(key3("drift/adapt", epoch, i)));
   for (std::size_t i = 0; i < test_traffics.size(); ++i) {
-    SimConfig sc;
-    sc.seed = 2100 + i;
-    const double measured = sim2.simulate(test_traffics[i], sc).avg_latency_cycles;
+    const double measured = sim_latency(key3("drift/final", i, 0));
     adapted_err.push_back(std::abs(adaptive.predict(test_traffics[i]) - measured) / measured *
                           100.0);
   }

@@ -17,13 +17,14 @@
 #include "common/table.h"
 #include "core/experiment.h"
 #include "core/online_il.h"
+#include "core/results_io.h"
 #include "core/scenario_factories.h"
 #include "workloads/cpu_benchmarks.h"
 
 using namespace oal;
 using namespace oal::core;
 
-int main() {
+int main(int argc, char** argv) {
   std::puts("=== Table I: data collected in each snippet ===");
   common::Table t1({"Counter", "Counter"});
   t1.add_row({"Instructions Retired", "Noncache External Memory Requests"});
@@ -36,9 +37,11 @@ int main() {
   // Offline phase: Oracle construction + IL training on MiBench only.
   soc::BigLittlePlatform plat;
   common::Rng rng(7);
+  auto cache = std::make_shared<OracleCache>();
   const auto mibench = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
-  const auto off = collect_offline_data(plat, mibench, Objective::kEnergy,
-                                        /*snippets_per_app=*/40, /*configs_per_snippet=*/6, rng);
+  const auto off =
+      collect_offline_data(plat, mibench, Objective::kEnergy,
+                           /*snippets_per_app=*/40, /*configs_per_snippet=*/6, rng, cache.get());
   auto policy = std::make_shared<IlPolicy>(plat.space());
   policy->train_offline(off.policy, rng);
   std::printf("\nOffline IL policy: %zu params, %zu bytes (paper budget: <20 KB)\n",
@@ -59,13 +62,18 @@ int main() {
     s.id = row.name;
     common::Rng trace_rng(300 + app.app_id);
     s.trace = workloads::CpuBenchmarks::trace(app, 80, trace_rng);
+    s.oracle_cache = cache;
     s.make_controller = offline_il_factory(policy);
     batch.push_back(std::move(s));
   }
 
   ExperimentEngine engine;
+  JsonlWriter json(json_path_arg(argc, argv));
   std::map<std::string, RunResult> by_id;
-  for (auto& r : engine.run_batch(batch)) by_id.emplace(r.id, std::move(r.run));
+  for (auto& r : engine.run_batch(batch)) {
+    json.write_metrics("table2_offline_il", r.id, drm_metrics(r.run));
+    by_id.emplace(r.id, std::move(r.run));
+  }
 
   std::puts("\n=== Table II: normalized energy of the offline-only IL policy ===");
   common::Table t2({"Suite", "Benchmark", "Normalized energy (this repro)", "Paper"});

@@ -2,6 +2,7 @@
 // NMPC vs explicit NMPC on one game, with per-phase configuration traces so
 // you can watch the slow (slices) and fast (frequency) loops work.
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "common/table.h"
@@ -11,7 +12,17 @@
 using namespace oal;
 using namespace oal::core;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional scale-down for smoke tests: gpu_enmpc_demo [frames] [law_samples].
+  const long frames_arg = argc > 1 ? std::strtol(argv[1], nullptr, 10) : 1500;
+  const long samples_arg = argc > 2 ? std::strtol(argv[2], nullptr, 10) : 1500;
+  if (frames_arg <= 0 || samples_arg <= 0) {
+    std::fprintf(stderr, "usage: %s [frames] [law_samples]\n", argv[0]);
+    return 2;
+  }
+  const std::size_t frames = static_cast<std::size_t>(frames_arg);
+  const std::size_t law_samples = static_cast<std::size_t>(samples_arg);
+
   gpu::GpuPlatform plat;
   const double fps = 30.0;
   GpuRunner runner(plat, fps);
@@ -19,7 +30,7 @@ int main() {
 
   const auto& spec = workloads::GpuBenchmarks::by_name("EpicCitadel");
   common::Rng rng(3);
-  const auto trace = workloads::GpuBenchmarks::trace(spec, 1500, rng);
+  const auto trace = workloads::GpuBenchmarks::trace(spec, frames, rng);
   std::printf("Workload: %s, %zu frames at %.0f FPS target\n\n", spec.name.c_str(), trace.size(),
               fps);
 
@@ -48,7 +59,7 @@ int main() {
   GpuOnlineModels m2(plat);
   common::Rng b2(7);
   bootstrap_gpu_models(plat, m2, 1.0 / fps, 400, b2);
-  ExplicitNmpcGpuController enmpc(plat, m2, cfg, 1500);
+  ExplicitNmpcGpuController enmpc(plat, m2, cfg, law_samples);
   const auto re = report(enmpc);
 
   t.print(std::cout);

@@ -5,6 +5,7 @@
 // 3. Deploy the model-guided online-IL controller on an *unseen* workload
 //    and watch it converge toward Oracle-level energy.
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/online_il.h"
 #include "core/runner.h"
@@ -13,7 +14,18 @@
 using namespace oal;
 using namespace oal::core;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional scale-down for smoke tests: quickstart [online_snippets]
+  // [snippets_per_app] (defaults reproduce the full study).
+  const long online_arg = argc > 1 ? std::strtol(argv[1], nullptr, 10) : 400;
+  const long per_app_arg = argc > 2 ? std::strtol(argv[2], nullptr, 10) : 30;
+  if (online_arg <= 0 || per_app_arg <= 0) {
+    std::fprintf(stderr, "usage: %s [online_snippets] [snippets_per_app]\n", argv[0]);
+    return 2;
+  }
+  const std::size_t online_snippets = static_cast<std::size_t>(online_arg);
+  const std::size_t snippets_per_app = static_cast<std::size_t>(per_app_arg);
+
   // The platform: an Exynos-5422-class big.LITTLE SoC simulator with 4940
   // runtime configurations and the Table-I performance counters.
   soc::BigLittlePlatform platform;
@@ -24,7 +36,7 @@ int main() {
   common::Rng rng(7);
   const auto train_apps = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
   const OfflineData offline = collect_offline_data(platform, train_apps, Objective::kEnergy,
-                                                   /*snippets_per_app=*/30,
+                                                   snippets_per_app,
                                                    /*configs_per_snippet=*/6, rng);
   std::printf("Offline dataset: %zu Oracle-labeled states\n", offline.policy.states.size());
 
@@ -39,7 +51,7 @@ int main() {
   // --- 3. Online phase: a workload the policy has never seen ---------------
   const auto& unseen = workloads::CpuBenchmarks::by_name("Kmeans");
   common::Rng wl_rng(42);
-  const auto trace = workloads::CpuBenchmarks::trace(unseen, 400, wl_rng);
+  const auto trace = workloads::CpuBenchmarks::trace(unseen, online_snippets, wl_rng);
 
   OnlineIlController controller(platform.space(), policy, models);
   DrmRunner runner(platform);

@@ -4,6 +4,7 @@
 // nor skin limits are violated.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "common/table.h"
@@ -14,7 +15,14 @@
 using namespace oal;
 using namespace oal::thermal;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional scale-down for smoke tests: thermal_budget_demo [ticks]
+  // (each tick is 10 s of simulated closed-loop throttling).
+  const int ticks = argc > 1 ? std::atoi(argv[1]) : 36;
+  if (ticks <= 0) {
+    std::fprintf(stderr, "usage: %s [ticks]\n", argv[0]);
+    return 2;
+  }
   auto net = RcThermalNetwork::mobile_soc();
   LeakageModel leak;
   leak.p0_w = {0.35, 0.08, 0.25, 0.0, 0.0};
@@ -51,7 +59,7 @@ int main() {
   common::Table t({"t (s)", "Demand (W)", "Granted (W)", "T_junction (C)", "T_skin est (C)",
                    "T_skin true (C)"});
   double granted_scale = budget.scale;
-  for (int tick = 0; tick < 36; ++tick) {
+  for (int tick = 0; tick < ticks; ++tick) {
     const double t_s = tick * 10.0;
     const double demand_w = (tick / 6) % 2 == 0 ? 12.0 : 4.0;
     // Re-evaluate the 10 s transient headroom from the current state.

@@ -4,11 +4,13 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "core/domain.h"
+
 namespace oal::core {
 
 ExperimentEngine::ExperimentEngine(Options opts) : pool_(opts.num_threads) {}
 
-ScenarioResult ExperimentEngine::run_scenario(const Scenario& s) {
+ScenarioResult ExperimentEngine::run_scenario(const Scenario& s, const RunCustomizer& customize) {
   if (!s.make_controller)
     throw std::invalid_argument("ExperimentEngine: scenario '" + s.id + "' has no factory");
 
@@ -31,13 +33,36 @@ ScenarioResult ExperimentEngine::run_scenario(const Scenario& s) {
   RunnerOptions opts;
   opts.objective = s.objective;
   opts.compute_oracle = s.compute_oracle;
+  opts.oracle_cache = s.oracle_cache;
+  if (customize) customize(platform, opts);
   DrmRunner runner(platform, opts);
   ScenarioResult result{s.id, runner.run(s.trace, *instance.controller, s.initial)};
   if (s.on_complete) s.on_complete(*instance.controller, result.run);
   return result;
 }
 
+std::vector<AnyResult> ExperimentEngine::run_any(const std::vector<AnyScenario>& batch) {
+  std::unordered_set<std::string> ids;
+  for (const AnyScenario& s : batch) {
+    if (s.id().empty()) throw std::invalid_argument("ExperimentEngine: scenario with empty id");
+    if (!s.runnable())
+      throw std::invalid_argument("ExperimentEngine: scenario '" + s.id() + "' is not runnable");
+    if (!ids.insert(s.id()).second)
+      throw std::invalid_argument("ExperimentEngine: duplicate scenario id '" + s.id() + "'");
+  }
+
+  std::vector<AnyResult> results(batch.size());
+  pool_.run_indexed(batch.size(), [&](std::size_t i) { results[i] = batch[i].run(); });
+
+  std::sort(results.begin(), results.end(),
+            [](const AnyResult& a, const AnyResult& b) { return a.id() < b.id(); });
+  return results;
+}
+
 std::vector<ScenarioResult> ExperimentEngine::run_batch(const std::vector<Scenario>& batch) {
+  // Deliberately not routed through run_any: type erasure would copy every
+  // Scenario in and deep-copy every RunResult out, pure overhead for the
+  // all-DRM hot path.  Validation and execution semantics are identical.
   std::unordered_set<std::string> ids;
   for (const Scenario& s : batch) {
     if (s.id.empty()) throw std::invalid_argument("ExperimentEngine: scenario with empty id");

@@ -38,6 +38,8 @@
 namespace oal::core {
 
 struct Scenario;
+class AnyScenario;  // core/domain.h: type-erased cross-domain scenario
+class AnyResult;
 
 /// Scenario-private execution state handed to the controller factory.
 struct ScenarioContext {
@@ -71,6 +73,10 @@ struct Scenario {
   std::uint64_t seed = 0;
   Objective objective = Objective::kEnergy;
   bool compute_oracle = true;
+  /// Optional shared Oracle memoization (see core::OracleCache).  Safe to
+  /// share across a parallel batch — values are pure functions of
+  /// (platform params, snippet, objective), all part of the cache key.
+  std::shared_ptr<OracleCache> oracle_cache;
   /// Runs in the worker after the trace, while the controller is still
   /// alive — the place to harvest controller statistics (policy updates,
   /// table sizes).  Must touch scenario-local state only.
@@ -96,7 +102,15 @@ class ExperimentEngine {
 
   /// Executes the batch in parallel; returns results sorted by scenario id.
   /// Throws std::invalid_argument on empty/duplicate ids or a null factory.
+  /// Same contract as run_any, implemented directly (no type erasure) so
+  /// the all-DRM hot path avoids Scenario/RunResult copies.
   std::vector<ScenarioResult> run_batch(const std::vector<Scenario>& batch);
+
+  /// Domain-generic batch execution: DRM, GPU-ENMPC, NoC, thermally-
+  /// constrained DRM, and custom scenarios mix freely (see core/domain.h).
+  /// Same contract as run_batch: results sorted by id, parallel bitwise ==
+  /// serial, lowest-index exception rethrown after the batch drains.
+  std::vector<AnyResult> run_any(const std::vector<AnyScenario>& batch);
 
   /// Deterministic parallel map over arbitrary items (for sweeps that are
   /// not DRM runs, e.g. NoC design points): out[i] = fn(items[i], i).
@@ -107,8 +121,15 @@ class ExperimentEngine {
 
   common::ThreadPool& pool() { return pool_; }
 
+  /// Customization point for domain adapters (e.g. thermal budgeting):
+  /// invoked after the scenario's platform is constructed and the default
+  /// RunnerOptions are built — but after any warmup trace, which always
+  /// runs unhooked — so the adapter can bind arbiter/observer hooks to this
+  /// scenario's platform instance.
+  using RunCustomizer = std::function<void(soc::BigLittlePlatform&, RunnerOptions&)>;
+
   /// Executes one scenario in the calling thread (the serial building block).
-  static ScenarioResult run_scenario(const Scenario& s);
+  static ScenarioResult run_scenario(const Scenario& s, const RunCustomizer& customize = nullptr);
 
  private:
   common::ThreadPool pool_;

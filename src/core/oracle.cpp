@@ -1,12 +1,17 @@
 #include "core/oracle.h"
 
+#include <cstring>
+#include <initializer_list>
 #include <limits>
 #include <stdexcept>
 
 namespace oal::core {
 
-soc::SocConfig oracle_config(const soc::BigLittlePlatform& plat, const soc::SnippetDescriptor& s,
-                             Objective obj) {
+namespace {
+
+/// Single exhaustive pass returning both the argmin and its cost.
+std::pair<soc::SocConfig, double> oracle_search(const soc::BigLittlePlatform& plat,
+                                                const soc::SnippetDescriptor& s, Objective obj) {
   const soc::ConfigSpace& space = plat.space();
   soc::SocConfig best;
   double best_cost = std::numeric_limits<double>::infinity();
@@ -18,12 +23,113 @@ soc::SocConfig oracle_config(const soc::BigLittlePlatform& plat, const soc::Snip
       best = c;
     }
   }
-  return best;
+  return {best, best_cost};
+}
+
+constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+
+/// FNV-1a: folds one 64-bit value into the running hash byte by byte.
+void fnv1a_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= 1099511628211ULL;
+  }
+}
+
+/// FNV-1a over a sequence of doubles' bit patterns.
+std::uint64_t fnv1a_doubles(std::initializer_list<double> values) {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (double v : values) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    fnv1a_mix(h, bits);
+  }
+  return h;
+}
+
+/// Fingerprint of every PlatformParams field the power/performance model
+/// reads — two platforms with equal fingerprints produce identical Oracles.
+std::uint64_t platform_fingerprint(const soc::PlatformParams& p) {
+  return fnv1a_doubles({p.v_min_little, p.v_max_little, p.v_min_big, p.v_max_big, p.v_exponent,
+                        p.ceff_little_nf, p.ceff_big_nf, p.leak_little_w_per_v,
+                        p.leak_big_w_per_v, p.base_power_w, p.mem_latency_ns, p.mem_bw_gbps,
+                        p.dram_energy_nj_per_byte, p.dram_static_w, p.cache_line_bytes,
+                        p.writeback_factor, p.stall_exposed_little, p.stall_exposed_big,
+                        p.branch_penalty_little, p.branch_penalty_big, p.sync_overhead});
+}
+
+}  // namespace
+
+soc::SocConfig oracle_config(const soc::BigLittlePlatform& plat, const soc::SnippetDescriptor& s,
+                             Objective obj) {
+  return oracle_search(plat, s, obj).first;
 }
 
 double oracle_cost(const soc::BigLittlePlatform& plat, const soc::SnippetDescriptor& s,
                    Objective obj) {
-  return objective_cost(plat.execute_ideal(s, oracle_config(plat, s, obj)), obj);
+  return oracle_search(plat, s, obj).second;
+}
+
+bool OracleCache::Key::operator==(const Key& o) const {
+  return platform_fingerprint == o.platform_fingerprint &&
+         std::memcmp(fields, o.fields, sizeof(fields)) == 0 && max_threads == o.max_threads &&
+         objective == o.objective;
+}
+
+std::size_t OracleCache::KeyHash::operator()(const Key& k) const {
+  // FNV-1a over the raw bit patterns: descriptors from identical Rng draws
+  // are bit-identical, so exact matching is the right equivalence.
+  std::uint64_t h = kFnvOffsetBasis;
+  fnv1a_mix(h, k.platform_fingerprint);
+  for (double f : k.fields) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &f, sizeof(bits));
+    fnv1a_mix(h, bits);
+  }
+  fnv1a_mix(h, static_cast<std::uint64_t>(k.max_threads));
+  fnv1a_mix(h, static_cast<std::uint64_t>(k.objective));
+  return static_cast<std::size_t>(h);
+}
+
+OracleCache::Entry OracleCache::lookup(const soc::BigLittlePlatform& plat,
+                                       const soc::SnippetDescriptor& s, Objective obj) {
+  const Key key{platform_fingerprint(plat.params()),
+                {s.instructions, s.base_cpi_little, s.base_cpi_big, s.l2_mpki, s.branch_mpki,
+                 s.mem_access_per_inst, s.parallel_fraction},
+                s.max_threads,
+                static_cast<int>(obj)};
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Search outside the lock: the 4940-config sweep must not serialize the
+  // worker pool.  A concurrent duplicate computes identical bytes
+  // (execute_ideal is pure), so whichever insert lands is equivalent.
+  const auto [config, cost] = oracle_search(plat, s, obj);
+  const Entry entry{config, cost};
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.emplace(key, entry);
+  return entry;
+}
+
+soc::SocConfig OracleCache::config(const soc::BigLittlePlatform& plat,
+                                   const soc::SnippetDescriptor& s, Objective obj) {
+  return lookup(plat, s, obj).config;
+}
+
+double OracleCache::cost(const soc::BigLittlePlatform& plat, const soc::SnippetDescriptor& s,
+                         Objective obj) {
+  return lookup(plat, s, obj).cost;
+}
+
+std::size_t OracleCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
 }
 
 std::vector<std::size_t> labels_of(const soc::SocConfig& c) {
@@ -40,14 +146,15 @@ soc::SocConfig config_of(const std::vector<std::size_t>& labels) {
 OfflineData collect_offline_data(soc::BigLittlePlatform& plat,
                                  const std::vector<workloads::AppSpec>& apps, Objective obj,
                                  std::size_t snippets_per_app, std::size_t configs_per_snippet,
-                                 common::Rng& rng) {
+                                 common::Rng& rng, OracleCache* cache) {
   OfflineData data;
   const soc::ConfigSpace& space = plat.space();
   const FeatureExtractor fx(space);
   for (const auto& app : apps) {
     const auto trace = workloads::CpuBenchmarks::trace(app, snippets_per_app, rng);
     for (const auto& snip : trace) {
-      const soc::SocConfig label = oracle_config(plat, snip, obj);
+      const soc::SocConfig label =
+          cache ? cache->config(plat, snip, obj) : oracle_config(plat, snip, obj);
       for (std::size_t k = 0; k <= configs_per_snippet; ++k) {
         // k == 0 observes at the Oracle configuration itself (the state the
         // converged policy will actually see); the rest at random configs so

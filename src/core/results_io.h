@@ -1,0 +1,39 @@
+// Machine-readable experiment results (JSON lines).
+//
+// Engine-driven benches accept `--json <path>` and append one record per
+// scenario:
+//     {"bench":"fig5","id":"fig5/SharkDash/enmpc","metrics":{"gpu_energy_j":...}}
+// so perf/accuracy trajectories can be tracked across PRs without scraping
+// stdout tables.  Only AnyResult metrics are serialized — payloads stay
+// in-process.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/domain.h"
+
+namespace oal::core {
+
+/// Value of a "--json <path>" argument pair; empty string when absent.
+std::string json_path_arg(int argc, char** argv);
+
+/// Append-per-call JSONL sink.  Constructing with an empty path disables all
+/// writes (so benches can call it unconditionally); a bad path throws.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(const std::string& path);
+
+  bool enabled() const { return out_.is_open(); }
+
+  void write(const std::string& bench, const AnyResult& result);
+  void write(const std::string& bench, const std::vector<AnyResult>& results);
+  /// For benches that keep domain results rather than AnyResults.
+  void write_metrics(const std::string& bench, const std::string& id, const Metrics& metrics);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace oal::core

@@ -75,6 +75,7 @@ RunResult DrmRunner::run(const std::vector<soc::SnippetDescriptor>& trace,
   double clock = 0.0;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const soc::SnippetDescriptor& s = trace[i];
+    if (opts_.arbiter) current = opts_.arbiter(s, current);
     const soc::SnippetResult r = platform_->execute(s, current);
 
     SnippetRecord rec;
@@ -85,10 +86,12 @@ RunResult DrmRunner::run(const std::vector<soc::SnippetDescriptor>& trace,
     rec.energy_j = r.energy_j;
     rec.exec_time_s = r.exec_time_s;
     if (opts_.compute_oracle) {
-      rec.oracle = oracle_config(*platform_, s, opts_.objective);
+      rec.oracle = opts_.oracle_cache ? opts_.oracle_cache->config(*platform_, s, opts_.objective)
+                                      : oracle_config(*platform_, s, opts_.objective);
       rec.oracle_energy_j = platform_->execute_ideal(s, rec.oracle).energy_j;
     }
 
+    if (opts_.observer) opts_.observer(s, current, r);
     current = controller.step(r, current);
     rec.policy_decision = controller.last_policy_decision();
     out.records.push_back(rec);

@@ -6,6 +6,8 @@
 // every row of Table II and every curve of Figs. 3-4 from these records.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -47,9 +49,26 @@ struct RunResult {
   double config_accuracy(std::size_t begin, std::size_t end) const;
 };
 
+/// Hook invoked before each snippet executes; may veto/clamp the pending
+/// configuration (the controller's decision, or the initial config for the
+/// first snippet) — e.g. thermal power budgeting.  The returned config is
+/// what actually executes and is recorded as `applied`.
+using ConfigArbiter =
+    std::function<soc::SocConfig(const soc::SnippetDescriptor&, const soc::SocConfig&)>;
+
+/// Hook observing each executed snippet (applied config + measured result) —
+/// e.g. advancing a thermal model from the power trace.
+using SnippetObserver = std::function<void(const soc::SnippetDescriptor&, const soc::SocConfig&,
+                                           const soc::SnippetResult&)>;
+
 struct RunnerOptions {
   Objective objective = Objective::kEnergy;
   bool compute_oracle = true;  ///< disable for speed when ratios are not needed
+  /// Optional shared memoization of the exhaustive Oracle search (see
+  /// core::OracleCache; keyed by platform params + snippet + objective).
+  std::shared_ptr<OracleCache> oracle_cache;
+  ConfigArbiter arbiter;    ///< empty = controller decisions apply verbatim
+  SnippetObserver observer; ///< empty = no per-snippet observation
 };
 
 class DrmRunner {

@@ -42,14 +42,63 @@ ControllerFactory online_il_collect_factory(std::vector<workloads::AppSpec> offl
                                             std::size_t snippets_per_app,
                                             std::size_t configs_per_snippet,
                                             std::uint64_t collect_seed, std::uint64_t train_seed,
-                                            OnlineIlConfig cfg) {
+                                            OnlineIlConfig cfg,
+                                            std::shared_ptr<OracleCache> oracle_cache) {
   return [offline_apps = std::move(offline_apps), snippets_per_app, configs_per_snippet,
-          collect_seed, train_seed, cfg](ScenarioContext& ctx) {
+          collect_seed, train_seed, cfg, oracle_cache](ScenarioContext& ctx) {
     common::Rng collect_rng(collect_seed);
     const OfflineData off =
         collect_offline_data(ctx.platform, offline_apps, ctx.scenario.objective,
-                             snippets_per_app, configs_per_snippet, collect_rng);
+                             snippets_per_app, configs_per_snippet, collect_rng,
+                             oracle_cache.get());
     return make_online_il(ctx, off, train_seed, cfg);
+  };
+}
+
+// ---- GPU-ENMPC domain -----------------------------------------------------
+
+namespace {
+
+/// Per-scenario online models the NMPC controllers adapt in place.
+struct GpuNmpcDeps {
+  GpuOnlineModels models;
+  explicit GpuNmpcDeps(const gpu::GpuPlatform& platform) : models(platform) {}
+};
+
+std::shared_ptr<GpuNmpcDeps> bootstrap_deps(GpuScenarioContext& ctx, std::size_t bootstrap_frames,
+                                            std::uint64_t bootstrap_seed) {
+  auto deps = std::make_shared<GpuNmpcDeps>(ctx.platform);
+  common::Rng boot_rng(bootstrap_seed);
+  bootstrap_gpu_models(ctx.platform, deps->models, 1.0 / ctx.scenario.fps_target,
+                       bootstrap_frames, boot_rng);
+  return deps;
+}
+
+}  // namespace
+
+GpuControllerFactory gpu_baseline_factory() {
+  return [](GpuScenarioContext& ctx) {
+    return GpuControllerInstance{std::make_unique<BaselineGpuGovernor>(ctx.platform), nullptr};
+  };
+}
+
+GpuControllerFactory gpu_nmpc_factory(NmpcConfig cfg, std::size_t bootstrap_frames,
+                                      std::uint64_t bootstrap_seed) {
+  return [cfg, bootstrap_frames, bootstrap_seed](GpuScenarioContext& ctx) {
+    auto deps = bootstrap_deps(ctx, bootstrap_frames, bootstrap_seed);
+    auto ctl = std::make_unique<NmpcGpuController>(ctx.platform, deps->models, cfg);
+    return GpuControllerInstance{std::move(ctl), deps};
+  };
+}
+
+GpuControllerFactory gpu_enmpc_factory(NmpcConfig cfg, std::size_t law_samples,
+                                       std::size_t bootstrap_frames, std::uint64_t bootstrap_seed,
+                                       std::uint64_t law_seed) {
+  return [cfg, law_samples, bootstrap_frames, bootstrap_seed, law_seed](GpuScenarioContext& ctx) {
+    auto deps = bootstrap_deps(ctx, bootstrap_frames, bootstrap_seed);
+    auto ctl = std::make_unique<ExplicitNmpcGpuController>(ctx.platform, deps->models, cfg,
+                                                           law_samples, law_seed);
+    return GpuControllerInstance{std::move(ctl), deps};
   };
 }
 

@@ -2,16 +2,18 @@
 //
 // Benches and examples share the same handful of controller setups (frozen
 // offline-IL policy, adaptive online-IL with per-scenario artifact copies,
-// per-arm offline collection); keeping them here means a change to the
-// setup protocol lands everywhere at once instead of in four hand-synced
-// lambdas.
+// per-arm offline collection, NMPC/ENMPC over per-scenario bootstrapped GPU
+// models); keeping them here means a change to the setup protocol lands
+// everywhere at once instead of in hand-synced lambdas.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "core/domain.h"
 #include "core/experiment.h"
+#include "core/nmpc.h"
 #include "core/online_il.h"
 #include "workloads/cpu_benchmarks.h"
 
@@ -30,11 +32,30 @@ ControllerFactory online_il_factory(std::shared_ptr<const OfflineData> off,
 /// Like online_il_factory, but the offline dataset is also collected inside
 /// the factory on the scenario's own platform, labeled by the scenario's
 /// objective (the per-arm ablation protocol, where collection noise is part
-/// of the arm).
+/// of the arm).  `oracle_cache`, when set, memoizes the per-snippet Oracle
+/// labeling across arms collecting identical traces.
 ControllerFactory online_il_collect_factory(std::vector<workloads::AppSpec> offline_apps,
                                             std::size_t snippets_per_app,
                                             std::size_t configs_per_snippet,
                                             std::uint64_t collect_seed, std::uint64_t train_seed,
-                                            OnlineIlConfig cfg = {});
+                                            OnlineIlConfig cfg = {},
+                                            std::shared_ptr<OracleCache> oracle_cache = nullptr);
+
+// ---- GPU-ENMPC domain (GpuScenario factories) -----------------------------
+
+/// The paper's baseline busy-threshold governor (all slices on).
+GpuControllerFactory gpu_baseline_factory();
+
+/// Implicit NMPC over models bootstrapped on the scenario's own platform
+/// (the bootstrap renders are part of the arm, as offline profiling would be).
+GpuControllerFactory gpu_nmpc_factory(NmpcConfig cfg, std::size_t bootstrap_frames = 400,
+                                      std::uint64_t bootstrap_seed = 7);
+
+/// Explicit NMPC: bootstraps models, then fits the explicit law by Sobol
+/// sampling the NMPC solution inside the factory (i.e. on the worker).
+GpuControllerFactory gpu_enmpc_factory(NmpcConfig cfg, std::size_t law_samples = 1500,
+                                       std::size_t bootstrap_frames = 400,
+                                       std::uint64_t bootstrap_seed = 7,
+                                       std::uint64_t law_seed = 2017);
 
 }  // namespace oal::core

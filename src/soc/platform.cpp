@@ -35,6 +35,11 @@ struct ClusterPerf {
 
 SnippetResult BigLittlePlatform::execute_ideal(const SnippetDescriptor& s,
                                                const SocConfig& c) const {
+  return execute_ideal_impl(s, c, nullptr);
+}
+
+SnippetResult BigLittlePlatform::execute_ideal_impl(const SnippetDescriptor& s, const SocConfig& c,
+                                                    PowerBreakdown* breakdown) const {
   if (!space_.valid(c)) throw std::invalid_argument("execute_ideal: invalid config");
   const double f_l = space_.little_freq_mhz(c) * 1e6;  // Hz
   const double f_b = space_.big_freq_mhz(c) * 1e6;
@@ -130,6 +135,12 @@ SnippetResult BigLittlePlatform::execute_ideal(const SnippetDescriptor& s,
   const double p_dram =
       (traffic_bytes / t) * params_.dram_energy_nj_per_byte * 1e-9 + params_.dram_static_w;
   const double p_total = p_dyn_l + p_dyn_b + p_leak + p_dram + params_.base_power_w;
+  if (breakdown) {
+    breakdown->little_w = p_dyn_l + n_l * params_.leak_little_w_per_v * v_l;
+    breakdown->big_w = p_dyn_b + (c.num_big >= 1 ? n_b * params_.leak_big_w_per_v * v_b : 0.0);
+    breakdown->dram_w = p_dram;
+    breakdown->base_w = params_.base_power_w;
+  }
 
   SnippetResult r;
   r.exec_time_s = t;
@@ -153,6 +164,13 @@ SnippetResult BigLittlePlatform::execute_ideal(const SnippetDescriptor& s,
   k.avg_runnable_threads =
       (1.0 - t_share_par) * 1.0 + t_share_par * static_cast<double>(std::max(s.max_threads, 1));
   return r;
+}
+
+PowerBreakdown BigLittlePlatform::power_breakdown(const SnippetDescriptor& s,
+                                                  const SocConfig& c) const {
+  PowerBreakdown out;
+  (void)execute_ideal_impl(s, c, &out);
+  return out;
 }
 
 double BigLittlePlatform::apply_noise(double v, double sigma) {

@@ -65,6 +65,15 @@ struct PlatformParams {
   double power_noise = 0.015;
 };
 
+/// Per-rail decomposition of a snippet's (noise-free) average power.
+struct PowerBreakdown {
+  double little_w = 0.0;  ///< little-cluster dynamic + leakage
+  double big_w = 0.0;     ///< big-cluster dynamic + leakage
+  double dram_w = 0.0;    ///< DRAM traffic + static
+  double base_w = 0.0;    ///< always-on uncore/rail
+  double total_w() const { return little_w + big_w + dram_w + base_w; }
+};
+
 class BigLittlePlatform {
  public:
   explicit BigLittlePlatform(PlatformParams params = {}, std::uint64_t noise_seed = 2020);
@@ -79,6 +88,10 @@ class BigLittlePlatform {
   /// Noise-free ground truth; deterministic and side-effect free.
   SnippetResult execute_ideal(const SnippetDescriptor& s, const SocConfig& c) const;
 
+  /// Per-rail split of execute_ideal's average power (sums to its
+  /// avg_power_w).  Feeds the thermal RC network's power-injection nodes.
+  PowerBreakdown power_breakdown(const SnippetDescriptor& s, const SocConfig& c) const;
+
   /// Ground truth plus multiplicative measurement noise (what runtime
   /// controllers observe).  Advances the internal noise RNG.
   SnippetResult execute(const SnippetDescriptor& s, const SocConfig& c);
@@ -87,6 +100,10 @@ class BigLittlePlatform {
   SocConfig best_energy_config(const SnippetDescriptor& s) const;
 
  private:
+  /// Shared ground-truth evaluation; fills `breakdown` when non-null (same
+  /// power terms that sum into the result's avg_power_w).
+  SnippetResult execute_ideal_impl(const SnippetDescriptor& s, const SocConfig& c,
+                                   PowerBreakdown* breakdown) const;
   double apply_noise(double v, double sigma);
 
   PlatformParams params_;

@@ -1,0 +1,116 @@
+#include "soc/thermal_platform.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oal::soc {
+
+namespace {
+
+// Node indices of thermal::RcThermalNetwork::mobile_soc().
+constexpr std::size_t kBigNode = 0;
+constexpr std::size_t kLittleNode = 1;
+constexpr std::size_t kPcbNode = 3;
+
+double sum(const common::Vec& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+}  // namespace
+
+ThermalSocAdapter::ThermalSocAdapter(BigLittlePlatform& platform, ThermalConstraintParams params)
+    : platform_(&platform),
+      params_(std::move(params)),
+      net_(thermal::RcThermalNetwork::mobile_soc(params_.ambient_c)),
+      shape_w_(net_.num_nodes(), 0.0) {
+  if (!params_.initial_temperature_c.empty()) {
+    if (params_.initial_temperature_c.size() != net_.num_nodes())
+      throw std::invalid_argument("ThermalSocAdapter: initial_temperature_c size mismatch");
+    net_.set_temperatures(params_.initial_temperature_c);
+  }
+  // Nominal big-heavy shape until the first snippet is observed.
+  shape_w_[kBigNode] = 0.55;
+  shape_w_[kLittleNode] = 0.10;
+  shape_w_[kPcbNode] = 0.35;
+  track_peaks();
+  refresh_budget();
+}
+
+void ThermalSocAdapter::refresh_budget() {
+  if (params_.horizon_s > 0.0) {
+    const double scale = thermal::transient_power_headroom(net_, params_.leakage, shape_w_,
+                                                           params_.horizon_s, params_.limits);
+    budget_w_ = scale * sum(shape_w_);
+  } else {
+    budget_w_ =
+        thermal::max_sustainable_power(net_, params_.leakage, shape_w_, params_.limits)
+            .total_power_w;
+  }
+}
+
+SocConfig ThermalSocAdapter::arbitrate(const SnippetDescriptor& s, const SocConfig& proposed) {
+  SocConfig c = proposed;
+  const auto over_budget = [&](const SocConfig& cc) {
+    return platform_->execute_ideal(s, cc).avg_power_w > budget_w_;
+  };
+  // Firmware-style throttle ladder; bottoms out at 1 LITTLE core at minimum
+  // frequency (the budget can be infeasible — e.g. base power alone above
+  // it — in which case the floor config runs and temperatures keep rising
+  // until the next budget refresh).  Big-cluster knobs are only touched
+  // while the cluster is on: with num_big == 0 its frequency has no power
+  // effect, and stepping it would record phantom clamps.
+  while (over_budget(c)) {
+    if (c.num_big > 0) {
+      if (c.big_freq_idx > 0) {
+        --c.big_freq_idx;
+      } else {
+        --c.num_big;
+      }
+    } else if (c.little_freq_idx > 0) {
+      --c.little_freq_idx;
+    } else if (c.num_little > 1) {
+      --c.num_little;
+    } else {
+      break;
+    }
+  }
+  if (c != proposed) ++clamped_;
+  return c;
+}
+
+void ThermalSocAdapter::observe(const SnippetDescriptor& s, const SocConfig& applied,
+                               const SnippetResult& r) {
+  const PowerBreakdown bd = platform_->power_breakdown(s, applied);
+  common::Vec inject(net_.num_nodes(), 0.0);
+  inject[kBigNode] = bd.big_w;
+  inject[kLittleNode] = bd.little_w;
+  inject[kPcbNode] = bd.dram_w + bd.base_w;
+  shape_w_ = inject;
+
+  const common::Vec leak = params_.leakage.leakage(net_.temperatures());
+  common::Vec power(net_.num_nodes(), 0.0);
+  for (std::size_t i = 0; i < power.size(); ++i) power[i] = inject[i] + leak[i];
+  net_.step(power, r.exec_time_s);
+  track_peaks();
+
+  since_budget_s_ += r.exec_time_s;
+  if (since_budget_s_ >= params_.budget_interval_s) {
+    refresh_budget();
+    since_budget_s_ = 0.0;
+  }
+}
+
+void ThermalSocAdapter::track_peaks() {
+  const common::Vec& t = net_.temperatures();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i == params_.limits.skin_node) {
+      peak_skin_c_ = std::max(peak_skin_c_, t[i]);
+    } else if (i != kPcbNode) {
+      peak_junction_c_ = std::max(peak_junction_c_, t[i]);
+    }
+  }
+}
+
+}  // namespace oal::soc

@@ -1,0 +1,85 @@
+// Thermally-constrained big.LITTLE platform adapter (paper Section III-A,
+// after Bhat et al.: "the power budget is used as a metric to throttle the
+// frequency and number of operating cores").
+//
+// ThermalSocAdapter couples the thermal/ layer into the DRM hot path: it
+// advances a compact RC network from the platform's per-snippet power
+// breakdown (big cluster, little cluster, DRAM+uncore on the PCB node) with
+// temperature-dependent leakage feedback, periodically recomputes the power
+// budget (transient_power_headroom over a configurable horizon, or
+// max_sustainable_power for a steady-state budget), and clamps proposed
+// SocConfigs that the platform's power model predicts would exceed it.
+// Throttling order mirrors a firmware budgeter: big frequency first, then
+// big cores, then little frequency, then little cores (floor: 1 LITTLE core
+// at minimum frequency).
+//
+// The adapter plugs into DrmRunner through the arbiter/observer hooks, so
+// any DrmController runs unmodified under a thermal budget; the budgeter
+// consults only the platform's deterministic power model (the simulator
+// stand-in for a power-meter feedback loop), never measurement noise, so
+// runs stay bitwise reproducible.
+#pragma once
+
+#include <cstddef>
+
+#include "soc/platform.h"
+#include "thermal/fixed_point.h"
+#include "thermal/power_budget.h"
+#include "thermal/rc_network.h"
+
+namespace oal::soc {
+
+struct ThermalConstraintParams {
+  thermal::PowerBudgetConfig limits;  ///< junction/skin limits + skin node
+  /// Horizon for transient_power_headroom; <= 0 switches to the steady-state
+  /// max_sustainable_power budget.
+  double horizon_s = 10.0;
+  /// Simulated-time cadence of budget recomputation.
+  double budget_interval_s = 0.5;
+  double ambient_c = 25.0;
+  /// Starting temperatures (deg C) per RC node; empty = ambient everywhere.
+  /// Preheating (e.g. a device already hot from prior load) makes short
+  /// traces thermally binding.
+  common::Vec initial_temperature_c;
+  /// Temperature-dependent leakage injected on top of the platform's power
+  /// (node order: big, little, gpu, pcb, skin).
+  thermal::LeakageModel leakage{{0.35, 0.08, 0.25, 0.0, 0.0},
+                                {0.025, 0.02, 0.025, 0.0, 0.0},
+                                25.0};
+};
+
+class ThermalSocAdapter {
+ public:
+  explicit ThermalSocAdapter(BigLittlePlatform& platform, ThermalConstraintParams params = {});
+
+  /// Clamps a proposed configuration to the current power budget (DrmRunner
+  /// arbiter).  Counts a clamp when the returned config differs.
+  SocConfig arbitrate(const SnippetDescriptor& s, const SocConfig& proposed);
+
+  /// Advances the RC network by the executed snippet's time under its power
+  /// breakdown + leakage, and refreshes the budget on the configured cadence
+  /// (DrmRunner observer).
+  void observe(const SnippetDescriptor& s, const SocConfig& applied, const SnippetResult& r);
+
+  double budget_w() const { return budget_w_; }
+  std::size_t clamped_snippets() const { return clamped_; }
+  double peak_junction_c() const { return peak_junction_c_; }
+  double peak_skin_c() const { return peak_skin_c_; }
+  const thermal::RcThermalNetwork& network() const { return net_; }
+
+ private:
+  void refresh_budget();
+  void track_peaks();
+
+  BigLittlePlatform* platform_;
+  ThermalConstraintParams params_;
+  thermal::RcThermalNetwork net_;
+  common::Vec shape_w_;  ///< last observed per-node power shape
+  double budget_w_ = 0.0;
+  double since_budget_s_ = 0.0;
+  std::size_t clamped_ = 0;
+  double peak_junction_c_ = 0.0;
+  double peak_skin_c_ = 0.0;
+};
+
+}  // namespace oal::soc

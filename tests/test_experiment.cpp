@@ -8,12 +8,14 @@
 #include <stdexcept>
 
 #include "common/thread_pool.h"
+#include "core/domain.h"
 #include "core/experiment.h"
 #include "core/governors.h"
 #include "core/online_il.h"
 #include "core/scenario_factories.h"
 #include "core/scenario_registry.h"
 #include "workloads/cpu_benchmarks.h"
+#include "workloads/gpu_benchmarks.h"
 
 namespace oal::core {
 namespace {
@@ -60,6 +62,49 @@ std::vector<Scenario> mixed_batch() {
     batch.push_back(std::move(s));
   }
   return batch;
+}
+
+/// A small GPU-ENMPC scenario: models bootstrap + explicit-law fit run in
+/// the factory, drawing the law seed from the scenario-private stream so
+/// determinism across pool sizes covers the GPU domain's Rng plumbing too.
+GpuScenario gpu_enmpc_scenario(const std::string& id, std::uint64_t seed) {
+  GpuScenario s;
+  s.id = id;
+  s.seed = seed;
+  common::Rng trng(seed);
+  s.trace = workloads::GpuBenchmarks::trace(workloads::GpuBenchmarks::by_name("EpicCitadel"), 150,
+                                            trng);
+  s.initial = gpu::GpuConfig{9, s.platform.max_slices};
+  s.make_controller = [](GpuScenarioContext& ctx) {
+    NmpcConfig cfg;
+    cfg.fps_target = ctx.scenario.fps_target;
+    return gpu_enmpc_factory(cfg, /*law_samples=*/150, /*bootstrap_frames=*/80,
+                             /*bootstrap_seed=*/7, /*law_seed=*/ctx.rng.next_u64())(ctx);
+  };
+  return s;
+}
+
+/// Thermal constraints calibrated to bind: 40 C ambient + 3 K skin margin
+/// puts the steady-state budget (~1.7 W) below the platform's top
+/// configurations (~2.9 W).
+soc::ThermalConstraintParams binding_thermal_params() {
+  soc::ThermalConstraintParams p;
+  p.limits.t_max_junction_c = 55.0;
+  p.limits.t_max_skin_c = 43.0;
+  p.ambient_c = 40.0;
+  p.horizon_s = 0.0;  // steady-state max_sustainable_power budget
+  return p;
+}
+
+/// A DRM scenario whose controller pins the maximum configuration — under a
+/// binding budget every decision must be clamped.
+Scenario performance_scenario(const std::string& id, const std::string& app, std::uint64_t seed) {
+  Scenario s = governor_scenario(id, app, seed);
+  s.make_controller = [](ScenarioContext& ctx) {
+    return ControllerInstance{std::make_unique<PerformanceGovernor>(ctx.platform.space()),
+                              nullptr};
+  };
+  return s;
 }
 
 TEST(ThreadPool, RunsAllIndexedTasks) {
@@ -230,6 +275,124 @@ TEST(Experiment, MapIsDeterministicAcrossPoolSizes) {
     return acc;
   };
   EXPECT_EQ(serial.map(seeds, draw), parallel.map(seeds, draw));
+}
+
+TEST(Experiment, MixedDomainParallelMatchesSerialBitwise) {
+  // DRM + GPU-ENMPC + thermally-constrained DRM in one batch: the
+  // cross-domain engine must give bitwise-identical results regardless of
+  // pool size (every scenario owns its platform and Rng stream).
+  std::vector<AnyScenario> batch;
+  batch.emplace_back(governor_scenario("mixed/drm/0", "SHA", 31));
+  batch.emplace_back(governor_scenario("mixed/drm/1", "Kmeans", 32));
+  batch.emplace_back(gpu_enmpc_scenario("mixed/gpu/0", 41));
+  batch.emplace_back(gpu_enmpc_scenario("mixed/gpu/1", 42));
+  batch.emplace_back(
+      ThermalDrmScenario{performance_scenario("mixed/thermal/0", "Kmeans", 51),
+                         binding_thermal_params()});
+  batch.emplace_back(ThermalDrmScenario{governor_scenario("mixed/thermal/1", "FFT", 52),
+                                        binding_thermal_params()});
+
+  ExperimentEngine serial(ExperimentOptions{1});
+  ExperimentEngine parallel(ExperimentOptions{4});
+  const auto rs = serial.run_any(batch);
+  const auto rp = parallel.run_any(batch);
+
+  ASSERT_EQ(rs.size(), batch.size());
+  ASSERT_EQ(rp.size(), batch.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_EQ(rs[i].id(), rp[i].id());
+    ASSERT_EQ(rs[i].metrics().size(), rp[i].metrics().size());
+    for (std::size_t k = 0; k < rs[i].metrics().size(); ++k) {
+      EXPECT_EQ(rs[i].metrics()[k].first, rp[i].metrics()[k].first);
+      // Bitwise: doubles must match exactly, not within a tolerance.
+      EXPECT_EQ(rs[i].metrics()[k].second, rp[i].metrics()[k].second)
+          << rs[i].id() << " metric " << rs[i].metrics()[k].first;
+    }
+  }
+
+  // Domain payloads round-trip: per-record / per-frame state, not just
+  // aggregates.
+  const auto& gpu_s = rs[2].as<GpuRunResult>();
+  const auto& gpu_p = rp[2].as<GpuRunResult>();
+  ASSERT_EQ(gpu_s.configs.size(), gpu_p.configs.size());
+  for (std::size_t k = 0; k < gpu_s.configs.size(); ++k) {
+    EXPECT_EQ(gpu_s.configs[k], gpu_p.configs[k]);
+    EXPECT_EQ(gpu_s.frame_times_s[k], gpu_p.frame_times_s[k]);
+  }
+  const auto& th_s = rs[4].as<ThermalRunResult>();
+  const auto& th_p = rp[4].as<ThermalRunResult>();
+  EXPECT_EQ(th_s.clamped_snippets, th_p.clamped_snippets);
+  ASSERT_EQ(th_s.run.records.size(), th_p.run.records.size());
+  for (std::size_t k = 0; k < th_s.run.records.size(); ++k) {
+    EXPECT_EQ(th_s.run.records[k].applied, th_p.run.records[k].applied);
+    EXPECT_EQ(th_s.run.records[k].energy_j, th_p.run.records[k].energy_j);
+  }
+}
+
+TEST(Experiment, BindingThermalBudgetChangesAppliedConfigs) {
+  // The same scenario with and without the thermal adapter: a binding
+  // budget must clamp decisions and change what actually executes.
+  const Scenario free = performance_scenario("thermal", "Kmeans", 9);
+  const ThermalDrmScenario constrained{free, binding_thermal_params()};
+
+  ExperimentEngine engine(ExperimentOptions{2});
+  const auto results = engine.run_any({AnyScenario(free), [&] {
+                                         ThermalDrmScenario c = constrained;
+                                         c.base.id = "thermal-budget";
+                                         return AnyScenario(std::move(c));
+                                       }()});
+  ASSERT_EQ(results.size(), 2u);
+  const RunResult& unconstrained = results[0].as<RunResult>();
+  const ThermalRunResult& budgeted = results[1].as<ThermalRunResult>();
+
+  EXPECT_GT(budgeted.clamped_snippets, 0u);
+  EXPECT_EQ(budgeted.clamped_snippets, budgeted.run.records.size());  // pinned-max controller
+  ASSERT_EQ(unconstrained.records.size(), budgeted.run.records.size());
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < unconstrained.records.size(); ++i) {
+    if (!(unconstrained.records[i].applied == budgeted.run.records[i].applied)) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+  EXPECT_GT(budgeted.final_budget_w, 0.0);
+  // The clamped run draws less power than the pinned-max run.
+  EXPECT_LT(budgeted.run.total_energy_j() / budgeted.run.total_time_s(),
+            unconstrained.total_energy_j() / unconstrained.total_time_s());
+}
+
+TEST(Experiment, RunAnyRejectsBadBatches) {
+  ExperimentEngine engine(ExperimentOptions{2});
+  {
+    // Empty id.
+    EXPECT_THROW(engine.run_any({governor_scenario("", "SHA", 1)}), std::invalid_argument);
+  }
+  {
+    // Duplicate ids across domains.
+    std::vector<AnyScenario> batch;
+    batch.emplace_back(governor_scenario("dup", "SHA", 1));
+    batch.emplace_back(gpu_enmpc_scenario("dup", 2));
+    EXPECT_THROW(engine.run_any(batch), std::invalid_argument);
+  }
+  {
+    // Default-constructed scenario is not runnable.
+    EXPECT_THROW(engine.run_any({AnyScenario()}), std::invalid_argument);
+  }
+}
+
+TEST(Experiment, CustomClosureScenarioRunsOnEngine) {
+  AnyScenario custom("custom/sum", [] {
+    double acc = 0.0;
+    common::Rng rng(7);
+    for (int i = 0; i < 100; ++i) acc += rng.uniform();
+    return AnyResult("custom/sum", acc, Metrics{{"sum", acc}});
+  });
+  ExperimentEngine engine(ExperimentOptions{2});
+  const auto res = engine.run_any({custom});
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_TRUE(res[0].holds<double>());
+  EXPECT_EQ(res[0].as<double>(), res[0].metric("sum"));
+  EXPECT_FALSE(res[0].has_metric("missing"));
+  EXPECT_THROW(res[0].metric("missing"), std::invalid_argument);
+  EXPECT_THROW(res[0].as<int>(), std::logic_error);
 }
 
 TEST(ScenarioRegistry, BuildsByPrefixInNameOrder) {

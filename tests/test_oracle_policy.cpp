@@ -29,6 +29,75 @@ TEST(Oracle, MatchesExhaustivePlatformSearch) {
   EXPECT_EQ(via_oracle, via_platform);
 }
 
+TEST(OracleCache, MatchesUncachedAndCountsHits) {
+  soc::BigLittlePlatform plat;
+  common::Rng rng(3);
+  const auto trace = workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("FFT"), 3,
+                                                     rng);
+  OracleCache cache;
+  for (const auto& s : trace) {
+    EXPECT_EQ(cache.config(plat, s, Objective::kEnergy), oracle_config(plat, s, Objective::kEnergy));
+    // cost() reuses the entry config() just created: one miss per snippet.
+    EXPECT_EQ(cache.cost(plat, s, Objective::kEnergy), oracle_cost(plat, s, Objective::kEnergy));
+  }
+  EXPECT_EQ(cache.size(), trace.size());
+  EXPECT_EQ(cache.hits(), trace.size());
+  // Second pass: all hits, identical values.
+  const std::size_t lookups_before = cache.lookups();
+  for (const auto& s : trace)
+    EXPECT_EQ(cache.config(plat, s, Objective::kEnergy), oracle_config(plat, s, Objective::kEnergy));
+  EXPECT_EQ(cache.size(), trace.size());
+  EXPECT_EQ(cache.hits(), 2 * trace.size());
+  EXPECT_EQ(cache.lookups(), lookups_before + trace.size());
+}
+
+TEST(OracleCache, KeyedByObjective) {
+  // Same snippet under different objectives must not collide.
+  soc::BigLittlePlatform plat;
+  common::Rng rng(4);
+  const auto trace = workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("Kmeans"),
+                                                     1, rng);
+  OracleCache cache;
+  const auto c_e = cache.config(plat, trace[0], Objective::kEnergy);
+  const auto c_p = cache.config(plat, trace[0], Objective::kPerfPerWatt);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(c_e, oracle_config(plat, trace[0], Objective::kEnergy));
+  EXPECT_EQ(c_p, oracle_config(plat, trace[0], Objective::kPerfPerWatt));
+}
+
+TEST(OracleCache, KeyedByPlatformParams) {
+  // One cache may serve differently-parameterized platforms: entries must
+  // not alias across them.
+  soc::BigLittlePlatform plat_a;
+  soc::PlatformParams heavy;
+  heavy.ceff_big_nf *= 3.0;  // big cores much more expensive -> different Oracle
+  soc::BigLittlePlatform plat_b(heavy);
+  common::Rng rng(6);
+  const auto trace = workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("FFT"), 1,
+                                                     rng);
+  OracleCache cache;
+  const auto c_a = cache.config(plat_a, trace[0], Objective::kEnergy);
+  const auto c_b = cache.config(plat_b, trace[0], Objective::kEnergy);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(c_a, oracle_config(plat_a, trace[0], Objective::kEnergy));
+  EXPECT_EQ(c_b, oracle_config(plat_b, trace[0], Objective::kEnergy));
+}
+
+TEST(OracleCache, IgnoresAppIdBookkeeping) {
+  // app_id is bookkeeping, not physics: two descriptors differing only in
+  // app_id share one entry.
+  soc::BigLittlePlatform plat;
+  common::Rng rng(5);
+  auto trace = workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("SHA"), 1, rng);
+  OracleCache cache;
+  (void)cache.config(plat, trace[0], Objective::kEnergy);
+  trace[0].app_id += 17;
+  (void)cache.config(plat, trace[0], Objective::kEnergy);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
 TEST(Oracle, ObjectivesDiffer) {
   // EDP weighs delay more than energy: its optimum must be at least as fast.
   soc::BigLittlePlatform plat;
