@@ -10,6 +10,7 @@
 
 #include "soc/config_space.h"
 #include "soc/counters.h"
+#include "soc/thermal_telemetry.h"
 
 namespace oal::core {
 
@@ -22,6 +23,12 @@ class DrmController {
   /// Observe the just-finished snippet and choose the next configuration.
   virtual soc::SocConfig step(const soc::SnippetResult& result,
                               const soc::SocConfig& executed) = 0;
+
+  /// Read-only thermal telemetry, published by DrmRunner before each step()
+  /// when a telemetry source is bound (e.g. a thermal budgeter).  The default
+  /// controller is thermally blind and ignores it, so binding a source never
+  /// changes a blind controller's decisions.
+  virtual void observe_telemetry(const soc::ThermalTelemetry& /*telemetry*/) {}
 
   /// What the *bare learned policy* chose during the last step(), when the
   /// controller has one (used for the Fig. 3 accuracy-vs-Oracle curves).

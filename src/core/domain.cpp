@@ -66,7 +66,12 @@ Metrics noc_metrics(const NocScenario& s, const NocRunResult& run) {
   return m;
 }
 
-AnyResult run_gpu_scenario(const GpuScenario& s) {
+/// Shared GPU frame-loop protocol (factory checks, scenario-private platform
+/// + Rng, on_complete); `customize` binds hooks to this scenario's platform
+/// instance — the GPU analogue of ExperimentEngine::run_scenario's
+/// RunCustomizer.
+using GpuRunCustomizer = std::function<void(gpu::GpuPlatform&, GpuRunnerHooks&)>;
+GpuRunResult run_gpu_with_hooks(const GpuScenario& s, const GpuRunCustomizer& customize) {
   if (!s.make_controller)
     throw std::invalid_argument("ExperimentEngine: GPU scenario '" + s.id + "' has no factory");
   gpu::GpuPlatform platform(s.platform, s.platform_noise_seed);
@@ -76,11 +81,46 @@ AnyResult run_gpu_scenario(const GpuScenario& s) {
   if (!instance.controller)
     throw std::invalid_argument("ExperimentEngine: GPU factory for '" + s.id +
                                 "' returned no controller");
-  GpuRunner runner(platform, s.fps_target);
+  GpuRunnerHooks hooks;
+  if (customize) customize(platform, hooks);
+  GpuRunner runner(platform, s.fps_target, std::move(hooks));
   GpuRunResult run = runner.run(s.trace, *instance.controller, s.initial);
   if (s.on_complete) s.on_complete(*instance.controller, run);
+  return run;
+}
+
+AnyResult run_gpu_scenario(const GpuScenario& s) {
+  GpuRunResult run = run_gpu_with_hooks(s, nullptr);
   Metrics m = gpu_metrics(run);
   return AnyResult(s.id, std::move(run), std::move(m));
+}
+
+AnyResult run_thermal_gpu_scenario(const ThermalGpuScenario& s) {
+  std::shared_ptr<soc::ThermalGpuAdapter> adapter;
+  GpuRunResult base_run = run_gpu_with_hooks(
+      s.base, [&adapter, &s](gpu::GpuPlatform& platform, GpuRunnerHooks& hooks) {
+        adapter = std::make_shared<soc::ThermalGpuAdapter>(platform, 1.0 / s.base.fps_target,
+                                                           s.thermal);
+        hooks.arbiter = [adapter](const gpu::FrameDescriptor& f, const gpu::GpuConfig& proposed) {
+          return adapter->arbitrate(f, proposed);
+        };
+        hooks.observer = [adapter](const gpu::FrameDescriptor& f, const gpu::GpuConfig& applied,
+                                   const gpu::FrameResult& r) { adapter->observe(f, applied, r); };
+      });
+
+  ThermalGpuRunResult result;
+  result.run = std::move(base_run);
+  result.clamped_frames = adapter->clamped_frames();
+  result.peak_junction_c = adapter->peak_junction_c();
+  result.peak_skin_c = adapter->peak_skin_c();
+  result.final_budget_w = adapter->budget_w();
+
+  Metrics m = gpu_metrics(result.run);
+  m.emplace_back("clamped_frames", static_cast<double>(result.clamped_frames));
+  m.emplace_back("peak_junction_c", result.peak_junction_c);
+  m.emplace_back("peak_skin_c", result.peak_skin_c);
+  m.emplace_back("final_budget_w", result.final_budget_w);
+  return AnyResult(s.base.id, std::move(result), std::move(m));
 }
 
 AnyResult run_noc_scenario(const NocScenario& s) {
@@ -114,6 +154,9 @@ AnyResult run_thermal_scenario(const ThermalDrmScenario& s) {
                                   const soc::SocConfig& applied, const soc::SnippetResult& r) {
           adapter->observe(snip, applied, r);
         };
+        // Read-only channel: thermal-aware controllers observe it; blind
+        // controllers ignore it, keeping their runs bitwise identical.
+        opts.telemetry = [adapter] { return adapter->telemetry(); };
       });
 
   ThermalRunResult result;
@@ -158,6 +201,11 @@ AnyScenario::AnyScenario(NocScenario s) : id_(s.id) {
 AnyScenario::AnyScenario(ThermalDrmScenario s) : id_(s.base.id) {
   auto sp = std::make_shared<const ThermalDrmScenario>(std::move(s));
   run_ = [sp] { return run_thermal_scenario(*sp); };
+}
+
+AnyScenario::AnyScenario(ThermalGpuScenario s) : id_(s.base.id) {
+  auto sp = std::make_shared<const ThermalGpuScenario>(std::move(s));
+  run_ = [sp] { return run_thermal_gpu_scenario(*sp); };
 }
 
 AnyResult AnyScenario::run() const {

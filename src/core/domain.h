@@ -151,7 +151,11 @@ struct NocRunResult {
 /// A DRM scenario executed under a thermal power budget: a scenario-private
 /// soc::ThermalSocAdapter advances the RC network from the platform's power
 /// trace and clamps every controller decision to the sustainable/transient
-/// budget (DrmRunner arbiter/observer hooks).
+/// budget (DrmRunner arbiter/observer hooks).  The adapter's telemetry is
+/// published through the runner's read-only channel, so thermal-aware
+/// controllers (OnlineIlConfig::thermal_aware, thermal-aware RL) observe
+/// temperatures and budget headroom; blind controllers ignore the channel
+/// and stay bitwise identical to the pre-telemetry behavior.
 struct ThermalDrmScenario {
   Scenario base;
   soc::ThermalConstraintParams thermal;
@@ -160,6 +164,23 @@ struct ThermalDrmScenario {
 struct ThermalRunResult {
   RunResult run;
   std::size_t clamped_snippets = 0;  ///< decisions changed by the budgeter
+  double peak_junction_c = 0.0;
+  double peak_skin_c = 0.0;
+  double final_budget_w = 0.0;
+};
+
+/// A GPU-ENMPC frame loop executed under a thermal power budget: a
+/// scenario-private soc::ThermalGpuAdapter maps frame energies onto the RC
+/// network's GPU + PCB nodes and clamps controller decisions to the
+/// skin/junction-derived budget (GpuRunner arbiter/observer hooks).
+struct ThermalGpuScenario {
+  GpuScenario base;
+  soc::ThermalGpuConstraintParams thermal;
+};
+
+struct ThermalGpuRunResult {
+  GpuRunResult run;
+  std::size_t clamped_frames = 0;  ///< decisions changed by the budgeter
   double peak_junction_c = 0.0;
   double peak_skin_c = 0.0;
   double final_budget_w = 0.0;
@@ -183,6 +204,7 @@ class AnyScenario {
   AnyScenario(GpuScenario s);         // NOLINT(google-explicit-constructor)
   AnyScenario(NocScenario s);         // NOLINT(google-explicit-constructor)
   AnyScenario(ThermalDrmScenario s);  // NOLINT(google-explicit-constructor)
+  AnyScenario(ThermalGpuScenario s);  // NOLINT(google-explicit-constructor)
 
   const std::string& id() const { return id_; }
   bool runnable() const { return static_cast<bool>(run_); }

@@ -24,24 +24,41 @@ WorkloadFeatures workload_features(const soc::PerfCounters& k, const soc::SocCon
 }
 
 common::Vec FeatureExtractor::policy_features(const soc::PerfCounters& k,
-                                              const soc::SocConfig& current) const {
+                                              const soc::SocConfig& current,
+                                              const soc::ThermalTelemetry& telemetry) const {
   const WorkloadFeatures w = workload_features(k, current);
   const double fl_norm = static_cast<double>(current.little_freq_idx) /
                          static_cast<double>(space_.little_freqs().size() - 1);
   const double fb_norm = static_cast<double>(current.big_freq_idx) /
                          static_cast<double>(space_.big_freqs().size() - 1);
-  return {w.mpki,
-          w.bmpki,
-          w.mem_ai,
-          w.ext_per_inst,
-          w.pf_proxy,
-          w.cpi_obs,
-          w.runnable / 4.0,
-          k.little_cluster_utilization,
-          k.big_cluster_utilization,
-          static_cast<double>(current.num_little) / 4.0,
-          static_cast<double>(current.num_big) / 4.0,
-          0.5 * (fl_norm + fb_norm)};
+  common::Vec v{w.mpki,
+                w.bmpki,
+                w.mem_ai,
+                w.ext_per_inst,
+                w.pf_proxy,
+                w.cpi_obs,
+                w.runnable / 4.0,
+                k.little_cluster_utilization,
+                k.big_cluster_utilization,
+                static_cast<double>(current.num_little) / 4.0,
+                static_cast<double>(current.num_big) / 4.0,
+                0.5 * (fl_norm + fb_norm)};
+  if (thermal_aware_) {
+    // Proximity of each thermal limit (0 = at ambient, 1 = at the throttle
+    // limit; can exceed 1 transiently) and the budget normalized by the
+    // neutral "no budget binds" level.  All three are ~[0, 1] scaled, like
+    // the knob features, and take their neutral values (0, 0, 1) from a
+    // default-constructed telemetry so blind-collected datasets stay usable.
+    const auto proximity = [](double t_c, double limit_c, double ambient_c) {
+      const double span = std::max(limit_c - ambient_c, 1.0);
+      return std::clamp((t_c - ambient_c) / span, 0.0, 1.5);
+    };
+    v.push_back(proximity(telemetry.junction_c, telemetry.junction_limit_c, telemetry.ambient_c));
+    v.push_back(proximity(telemetry.skin_c, telemetry.skin_limit_c, telemetry.ambient_c));
+    v.push_back(std::clamp(telemetry.budget_w / soc::ThermalTelemetry::kUnconstrainedBudgetW,
+                           0.0, 1.0));
+  }
+  return v;
 }
 
 common::Vec FeatureExtractor::model_features(const WorkloadFeatures& w,

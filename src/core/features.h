@@ -14,6 +14,7 @@
 #include "common/matrix.h"
 #include "soc/config_space.h"
 #include "soc/counters.h"
+#include "soc/thermal_telemetry.h"
 
 namespace oal::core {
 
@@ -33,12 +34,24 @@ WorkloadFeatures workload_features(const soc::PerfCounters& k, const soc::SocCon
 class FeatureExtractor {
  public:
   /// Stores the (small) configuration space by value, so extractors never
-  /// dangle when constructed from a temporary space.
-  explicit FeatureExtractor(soc::ConfigSpace space = {}) : space_(std::move(space)) {}
+  /// dangle when constructed from a temporary space.  `thermal_aware`
+  /// appends thermal-telemetry features to the policy state; the default
+  /// (blind) extractor emits bitwise-identical vectors to the pre-telemetry
+  /// pipeline, so existing policies and datasets are unaffected.
+  explicit FeatureExtractor(soc::ConfigSpace space = {}, bool thermal_aware = false)
+      : space_(std::move(space)), thermal_aware_(thermal_aware) {}
 
   /// Policy state: workload features + normalized current-config knobs.
-  common::Vec policy_features(const soc::PerfCounters& k, const soc::SocConfig& current) const;
-  std::size_t policy_dim() const { return 12; }
+  /// When thermal-aware, also: junction/skin proximity to their throttle
+  /// limits and normalized budget headroom (neutral telemetry — the default
+  /// argument — encodes a cool, unconstrained device).
+  common::Vec policy_features(const soc::PerfCounters& k, const soc::SocConfig& current,
+                              const soc::ThermalTelemetry& telemetry = {}) const;
+  std::size_t policy_dim() const { return thermal_aware_ ? 12 + kThermalDims : 12; }
+  bool thermal_aware() const { return thermal_aware_; }
+
+  /// Thermal features appended to the policy state in thermal-aware mode.
+  static constexpr std::size_t kThermalDims = 3;
 
   /// Regressors for the online models: smooth functions of the candidate
   /// configuration crossed with workload features.  Targets are log(time per
@@ -48,6 +61,7 @@ class FeatureExtractor {
 
  private:
   soc::ConfigSpace space_;
+  bool thermal_aware_ = false;
 };
 
 }  // namespace oal::core

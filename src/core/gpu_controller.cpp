@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace oal::core {
 
@@ -31,8 +32,8 @@ gpu::GpuConfig BaselineGpuGovernor::step(const gpu::FrameResult& result,
   return next;
 }
 
-GpuRunner::GpuRunner(gpu::GpuPlatform& platform, double fps_target)
-    : platform_(&platform), period_s_(1.0 / fps_target) {
+GpuRunner::GpuRunner(gpu::GpuPlatform& platform, double fps_target, GpuRunnerHooks hooks)
+    : platform_(&platform), period_s_(1.0 / fps_target), hooks_(std::move(hooks)) {
   if (fps_target <= 0.0) throw std::invalid_argument("GpuRunner: fps_target must be > 0");
 }
 
@@ -43,6 +44,9 @@ GpuRunResult GpuRunner::run(const std::vector<gpu::FrameDescriptor>& trace,
   out.configs.reserve(trace.size());
   controller.begin_run(initial);
   gpu::GpuConfig current = initial;
+  // The initial configuration passes the arbiter too (as in DrmRunner); no
+  // transition cost is charged for it.
+  if (hooks_.arbiter && !trace.empty()) current = hooks_.arbiter(trace.front(), current);
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const gpu::FrameResult r = platform_->render(trace[i], current, period_s_);
     out.gpu_energy_j += r.gpu_energy_j;
@@ -53,8 +57,18 @@ GpuRunResult GpuRunner::run(const std::vector<gpu::FrameDescriptor>& trace,
     out.configs.push_back(current);
     ++out.frames;
 
-    const gpu::GpuConfig next = controller.step(r, current, i);
-    if (!platform_->valid(next)) throw std::logic_error("GpuRunner: controller returned invalid config");
+    if (hooks_.observer) hooks_.observer(trace[i], current, r);
+    gpu::GpuConfig next = controller.step(r, current, i);
+    if (!platform_->valid(next))
+      throw std::logic_error("GpuRunner: controller returned invalid config");
+    // Clamp before the transition is actuated, so transition costs and
+    // change counts reflect what actually happens on the hardware.  The
+    // post-final decision (i + 1 == trace.size()) is NOT arbitrated: no
+    // frame follows, so the budgeter never grants or denies it, and exactly
+    // one arbitration per rendered frame keeps clamp counts comparable to
+    // the DRM runner's (<= frames).  Its transition cost is still charged
+    // at the proposed config — the seed's accounting — a <= 1 mJ tail.
+    if (hooks_.arbiter && i + 1 < trace.size()) next = hooks_.arbiter(trace[i + 1], next);
     if (next.freq_idx != current.freq_idx) ++out.freq_changes;
     if (next.num_slices != current.num_slices) ++out.slice_changes;
     const auto tc = platform_->transition_cost(current, next);

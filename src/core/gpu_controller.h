@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -75,9 +76,26 @@ struct GpuRunResult {
   }
 };
 
+/// Hook invoked before a configuration takes effect (the initial config, and
+/// each controller decision); may veto/clamp it — e.g. thermal power
+/// budgeting.  Receives the descriptor of the next frame to render.
+using GpuConfigArbiter =
+    std::function<gpu::GpuConfig(const gpu::FrameDescriptor&, const gpu::GpuConfig&)>;
+
+/// Hook observing each rendered frame (applied config + measured result) —
+/// e.g. advancing a thermal model from the frame power trace.
+using GpuFrameObserver = std::function<void(const gpu::FrameDescriptor&, const gpu::GpuConfig&,
+                                            const gpu::FrameResult&)>;
+
+/// Optional runner hooks, mirroring DrmRunner's arbiter/observer contract.
+struct GpuRunnerHooks {
+  GpuConfigArbiter arbiter;    ///< empty = controller decisions apply verbatim
+  GpuFrameObserver observer;   ///< empty = no per-frame observation
+};
+
 class GpuRunner {
  public:
-  GpuRunner(gpu::GpuPlatform& platform, double fps_target = 30.0);
+  GpuRunner(gpu::GpuPlatform& platform, double fps_target = 30.0, GpuRunnerHooks hooks = {});
 
   GpuRunResult run(const std::vector<gpu::FrameDescriptor>& trace, GpuController& controller,
                    const gpu::GpuConfig& initial);
@@ -87,6 +105,7 @@ class GpuRunner {
  private:
   gpu::GpuPlatform* platform_;
   double period_s_;
+  GpuRunnerHooks hooks_;
 };
 
 }  // namespace oal::core

@@ -18,7 +18,8 @@ ml::MlpConfig make_net_config(const IlPolicyConfig& cfg) {
 
 IlPolicy::IlPolicy(const soc::ConfigSpace& space, IlPolicyConfig cfg)
     : cfg_(cfg),
-      net_(FeatureExtractor(space).policy_dim(), space.knob_cardinalities(), make_net_config(cfg)) {}
+      net_(FeatureExtractor(space, cfg.thermal_aware).policy_dim(), space.knob_cardinalities(),
+           make_net_config(cfg)) {}
 
 double IlPolicy::train_offline(const PolicyDataset& data, common::Rng& rng) {
   if (data.states.empty() || data.states.size() != data.labels.size())

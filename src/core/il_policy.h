@@ -26,6 +26,10 @@ struct IlPolicyConfig {
   double l2 = 1e-5;
   std::size_t offline_epochs = 40;
   std::uint64_t seed = 42;
+  /// Sizes the input layer for the thermal-aware policy state (see
+  /// FeatureExtractor); must match the extractor that produced the training
+  /// states.  The default (blind) network is unchanged.
+  bool thermal_aware = false;
 };
 
 class IlPolicy {

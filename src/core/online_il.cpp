@@ -4,14 +4,24 @@
 #include <cmath>
 #include <limits>
 
+#include "soc/thermal_platform.h"
+
 namespace oal::core {
 
 OnlineIlController::OnlineIlController(const soc::ConfigSpace& space, IlPolicy& policy,
                                        OnlineSocModels& models, OnlineIlConfig cfg)
-    : space_(&space), policy_(&policy), models_(&models), fx_(space), cfg_(cfg), rng_(cfg.seed),
-      explore_(cfg.explore_init) {
+    : space_(&space), policy_(&policy), models_(&models), fx_(space, cfg.thermal_aware),
+      cfg_(cfg), rng_(cfg.seed), explore_(cfg.explore_init) {
   buffer_states_.reserve(cfg_.buffer_capacity);
   buffer_labels_.reserve(cfg_.buffer_capacity);
+}
+
+void OnlineIlController::observe_telemetry(const soc::ThermalTelemetry& telemetry) {
+  telemetry_ = telemetry;
+}
+
+void OnlineIlController::begin_run(const soc::SocConfig& /*initial*/) {
+  telemetry_ = soc::ThermalTelemetry{};
 }
 
 soc::SocConfig OnlineIlController::step(const soc::SnippetResult& result,
@@ -35,7 +45,7 @@ soc::SocConfig OnlineIlController::step(const soc::SnippetResult& result,
   }
 
   // 2. Policy decision (recorded for accuracy-vs-Oracle tracking).
-  const common::Vec state = fx_.policy_features(k, executed);
+  const common::Vec state = fx_.policy_features(k, executed, telemetry_);
   const soc::SocConfig policy_cfg = policy_->decide(state);
   last_policy_ = policy_cfg;
 
@@ -49,6 +59,45 @@ soc::SocConfig OnlineIlController::step(const soc::SnippetResult& result,
     candidates.insert(candidates.end(), sweeps.begin(), sweeps.end());
   }
   if (cfg_.include_policy_candidate) candidates.push_back(policy_cfg);
+
+  // Thermal-aware mode under an active budget: internalize the budgeter.
+  // Every candidate the power model predicts to exceed the published budget
+  // is throttled down the same ladder the firmware arbiter uses (big
+  // frequency, big cores, little frequency, little cores; floor 1 LITTLE
+  // core at fmin) — but using the controller's own learned model, since
+  // runtime policies never see the platform's ground-truth power.  The
+  // search then optimizes over budget-feasible configurations *including*
+  // the efficient boundary configs the clamp ladder would land on, so the
+  // proposal (and the supervision label the policy trains on) avoids the
+  // arbiter instead of fighting it.
+  //
+  // Candidate power is anchored to the *measured* power of the executed
+  // configuration: predicted ratios between nearby configs are far more
+  // accurate than predicted levels, so scaling the measurement by the
+  // predicted ratio cancels the model's level error at the operating point
+  // (exactly where feasibility is decided).
+  std::vector<soc::SocConfig> explore_pool;  // aware mode: pre-throttle copy
+  if (cfg_.thermal_aware && telemetry_.constrained) {
+    // Exploration (below) draws from the *unthrottled* set: an over-budget
+    // exploratory proposal is clamped by the real arbiter to the true power
+    // boundary, which is the only way the controller can ever observe
+    // boundary configurations its own model mis-ranks — the arbiter never
+    // lets an over-budget config execute, so purely feasible exploration
+    // would lock model errors in place.
+    explore_pool = candidates;
+    const double anchor_pred_w = models_->predict_power_w(w, executed);
+    const double anchor_scale =
+        (anchor_pred_w > 1e-9 && result.avg_power_w > 0.0) ? result.avg_power_w / anchor_pred_w
+                                                           : 1.0;
+    const auto candidate_power_w = [&](const soc::SocConfig& c) {
+      return models_->predict_power_w(w, c) * anchor_scale;
+    };
+    for (soc::SocConfig& c : candidates) {
+      while (candidate_power_w(c) > telemetry_.budget_w) {
+        if (!soc::throttle_step(c)) break;
+      }
+    }
+  }
 
   soc::SocConfig best = executed;
   double best_cost = std::numeric_limits<double>::infinity();
@@ -81,8 +130,9 @@ soc::SocConfig OnlineIlController::step(const soc::SnippetResult& result,
   soc::SocConfig applied = best;
   last_was_exploratory_ = rng_.bernoulli(explore_);
   if (last_was_exploratory_) {
-    applied = candidates[static_cast<std::size_t>(
-        rng_.uniform_int(0, static_cast<int>(candidates.size()) - 1))];
+    const std::vector<soc::SocConfig>& pool = explore_pool.empty() ? candidates : explore_pool;
+    applied = pool[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(pool.size()) - 1))];
   }
   explore_ = std::max(cfg_.explore_min, explore_ * cfg_.explore_decay);
 

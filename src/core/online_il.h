@@ -47,6 +47,14 @@ struct OnlineIlConfig {
   double innovation_reset_threshold = 0.20;
   double explore_rearm = 0.25;
   std::uint64_t seed = 2021;
+  /// Thermal-aware mode: the policy state carries the runner's telemetry
+  /// (temperatures + budget, see soc::ThermalTelemetry) and the runtime
+  /// Oracle search is restricted to candidates whose *predicted* power fits
+  /// the published budget — the controller proposes budget-feasible configs
+  /// instead of being clamped after the fact, and the supervision labels
+  /// teach the policy the same behavior.  Off (default): bitwise-identical
+  /// to the blind controller, telemetry ignored.
+  bool thermal_aware = false;
 };
 
 class OnlineIlController : public DrmController {
@@ -56,9 +64,16 @@ class OnlineIlController : public DrmController {
   OnlineIlController(const soc::ConfigSpace& space, IlPolicy& policy, OnlineSocModels& models,
                      OnlineIlConfig cfg = {});
 
-  std::string name() const override { return "Online-IL"; }
+  std::string name() const override {
+    return cfg_.thermal_aware ? "Online-IL (thermal)" : "Online-IL";
+  }
   soc::SocConfig step(const soc::SnippetResult& result, const soc::SocConfig& executed) override;
   std::optional<soc::SocConfig> last_policy_decision() const override { return last_policy_; }
+  void observe_telemetry(const soc::ThermalTelemetry& telemetry) override;
+  /// Resets the telemetry snapshot to neutral (learned state is kept): a
+  /// reused controller must not carry a previous run's thermal regime into
+  /// a run with no telemetry source.
+  void begin_run(const soc::SocConfig& initial) override;
 
   std::size_t policy_updates() const { return policy_updates_; }
   std::size_t buffer_fill() const { return buffer_states_.size(); }
@@ -81,6 +96,7 @@ class OnlineIlController : public DrmController {
   double explore_ = 0.0;
   bool last_was_exploratory_ = false;
   double innov_ewma_ = 0.0;
+  soc::ThermalTelemetry telemetry_;  ///< latest runner snapshot (neutral until published)
 };
 
 /// Pure offline-IL controller: applies the frozen policy with no adaptation

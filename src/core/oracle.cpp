@@ -146,10 +146,12 @@ soc::SocConfig config_of(const std::vector<std::size_t>& labels) {
 OfflineData collect_offline_data(soc::BigLittlePlatform& plat,
                                  const std::vector<workloads::AppSpec>& apps, Objective obj,
                                  std::size_t snippets_per_app, std::size_t configs_per_snippet,
-                                 common::Rng& rng, OracleCache* cache) {
+                                 common::Rng& rng, OracleCache* cache, bool thermal_aware) {
   OfflineData data;
   const soc::ConfigSpace& space = plat.space();
-  const FeatureExtractor fx(space);
+  // Design-time profiling runs on a cool, unconstrained device: thermal-aware
+  // states carry the neutral telemetry values (appended by the extractor).
+  const FeatureExtractor fx(space, thermal_aware);
   for (const auto& app : apps) {
     const auto trace = workloads::CpuBenchmarks::trace(app, snippets_per_app, rng);
     for (const auto& snip : trace) {

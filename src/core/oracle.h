@@ -98,11 +98,14 @@ struct OfflineData {
 };
 /// `cache`, when non-null, memoizes the per-snippet Oracle labeling — the
 /// dominant cost when several arms collect over identical traces (identical
-/// collect seeds), as in the ablation benches.
+/// collect seeds), as in the ablation benches.  `thermal_aware` collects
+/// policy states in the extended (thermal-telemetry) feature space, with the
+/// neutral cool-device values — profiling runs unconstrained.
 OfflineData collect_offline_data(soc::BigLittlePlatform& plat,
                                  const std::vector<workloads::AppSpec>& apps, Objective obj,
                                  std::size_t snippets_per_app, std::size_t configs_per_snippet,
-                                 common::Rng& rng, OracleCache* cache = nullptr);
+                                 common::Rng& rng, OracleCache* cache = nullptr,
+                                 bool thermal_aware = false);
 
 /// Knob-label encoding shared by the IL policy and dataset code:
 /// {num_little-1, num_big, little_freq_idx, big_freq_idx}.

@@ -20,7 +20,10 @@ std::string json_escape(const std::string& s) {
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          // Through unsigned char: a plain (signed) char would sign-extend
+          // high-bit bytes into a huge %x value if one ever reached here.
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out += c;

@@ -49,8 +49,12 @@ double reward_of(const soc::SnippetResult& r, const RlRewardScale& s) {
 }  // namespace
 
 QLearningController::QLearningController(const soc::ConfigSpace& space, ml::QLearnConfig cfg,
-                                         RlRewardScale scale)
-    : space_(&space), q_(kNumRlActions, cfg), scale_(scale) {}
+                                         RlRewardScale scale, bool thermal_aware)
+    : space_(&space), q_(kNumRlActions, cfg), scale_(scale), thermal_aware_(thermal_aware) {}
+
+void QLearningController::observe_telemetry(const soc::ThermalTelemetry& telemetry) {
+  telemetry_ = telemetry;
+}
 
 std::uint64_t QLearningController::discretize(const soc::PerfCounters& k,
                                               const soc::SocConfig& c) const {
@@ -65,10 +69,19 @@ std::uint64_t QLearningController::discretize(const soc::PerfCounters& k,
       c.little_freq_idx / 5,
       c.big_freq_idx / 5,
   };
+  if (thermal_aware_) {
+    // Budget-headroom regime: deep throttle / tight / slack / unconstrained.
+    comps.push_back(telemetry_.constrained ? bucket(telemetry_.headroom_w(), {0.0, 0.5, 1.5}) : 4);
+  }
   return ml::hash_state(comps);
 }
 
-void QLearningController::begin_run(const soc::SocConfig& /*initial*/) { has_prev_ = false; }
+void QLearningController::begin_run(const soc::SocConfig& /*initial*/) {
+  has_prev_ = false;
+  // Back to the neutral snapshot: a reused controller must not carry the
+  // previous run's thermal regime into a run with no telemetry source.
+  telemetry_ = soc::ThermalTelemetry{};
+}
 
 soc::SocConfig QLearningController::step(const soc::SnippetResult& result,
                                          const soc::SocConfig& executed) {
@@ -81,14 +94,23 @@ soc::SocConfig QLearningController::step(const soc::SnippetResult& result,
   return apply_rl_action(*space_, executed, action);
 }
 
-DqnController::DqnController(const soc::ConfigSpace& space, ml::DqnConfig cfg, RlRewardScale scale)
-    : space_(&space), fx_(space), dqn_(fx_.policy_dim(), kNumRlActions, cfg), scale_(scale) {}
+DqnController::DqnController(const soc::ConfigSpace& space, ml::DqnConfig cfg, RlRewardScale scale,
+                             bool thermal_aware)
+    : space_(&space), fx_(space, thermal_aware), dqn_(fx_.policy_dim(), kNumRlActions, cfg),
+      scale_(scale) {}
 
-void DqnController::begin_run(const soc::SocConfig& /*initial*/) { has_prev_ = false; }
+void DqnController::observe_telemetry(const soc::ThermalTelemetry& telemetry) {
+  telemetry_ = telemetry;
+}
+
+void DqnController::begin_run(const soc::SocConfig& /*initial*/) {
+  has_prev_ = false;
+  telemetry_ = soc::ThermalTelemetry{};  // see QLearningController::begin_run
+}
 
 soc::SocConfig DqnController::step(const soc::SnippetResult& result,
                                    const soc::SocConfig& executed) {
-  common::Vec state = fx_.policy_features(result.counters, executed);
+  common::Vec state = fx_.policy_features(result.counters, executed, telemetry_);
   // Squash the unbounded counter-rate features for network stability.
   for (double& v : state) v = std::tanh(v * 0.2);
   if (has_prev_) dqn_.observe(prev_state_, prev_action_, reward_of(result, scale_), state);

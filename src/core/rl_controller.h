@@ -31,12 +31,16 @@ struct RlRewardScale {
 
 class QLearningController : public DrmController {
  public:
+  /// `thermal_aware` folds a budget-headroom bucket into the discretized RL
+  /// state (published by the runner's telemetry channel), so the table can
+  /// learn different actions for throttled and unthrottled regimes.
   QLearningController(const soc::ConfigSpace& space, ml::QLearnConfig cfg = {},
-                      RlRewardScale scale = {});
+                      RlRewardScale scale = {}, bool thermal_aware = false);
 
   std::string name() const override { return "RL (tabular Q)"; }
   soc::SocConfig step(const soc::SnippetResult& result, const soc::SocConfig& executed) override;
   void begin_run(const soc::SocConfig& initial) override;
+  void observe_telemetry(const soc::ThermalTelemetry& telemetry) override;
 
   std::size_t table_states() const { return q_.num_states_visited(); }
   std::size_t storage_bytes() const { return q_.storage_bytes(); }
@@ -47,18 +51,25 @@ class QLearningController : public DrmController {
   const soc::ConfigSpace* space_;
   ml::TabularQ q_;
   RlRewardScale scale_;
+  bool thermal_aware_ = false;
   bool has_prev_ = false;
   std::uint64_t prev_state_ = 0;
   std::size_t prev_action_ = 0;
+  soc::ThermalTelemetry telemetry_;
 };
 
 class DqnController : public DrmController {
  public:
-  DqnController(const soc::ConfigSpace& space, ml::DqnConfig cfg = {}, RlRewardScale scale = {});
+  /// `thermal_aware` extends the network input with the thermal-telemetry
+  /// features (see FeatureExtractor), so the Q-network conditions on
+  /// temperature/budget headroom.
+  DqnController(const soc::ConfigSpace& space, ml::DqnConfig cfg = {}, RlRewardScale scale = {},
+                bool thermal_aware = false);
 
   std::string name() const override { return "RL (DQN)"; }
   soc::SocConfig step(const soc::SnippetResult& result, const soc::SocConfig& executed) override;
   void begin_run(const soc::SocConfig& initial) override;
+  void observe_telemetry(const soc::ThermalTelemetry& telemetry) override;
 
  private:
   const soc::ConfigSpace* space_;
@@ -68,6 +79,7 @@ class DqnController : public DrmController {
   bool has_prev_ = false;
   common::Vec prev_state_;
   std::size_t prev_action_ = 0;
+  soc::ThermalTelemetry telemetry_;
 };
 
 }  // namespace oal::core

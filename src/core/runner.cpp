@@ -92,6 +92,7 @@ RunResult DrmRunner::run(const std::vector<soc::SnippetDescriptor>& trace,
     }
 
     if (opts_.observer) opts_.observer(s, current, r);
+    if (opts_.telemetry) controller.observe_telemetry(opts_.telemetry());
     current = controller.step(r, current);
     rec.policy_decision = controller.last_policy_decision();
     out.records.push_back(rec);

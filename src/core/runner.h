@@ -61,6 +61,13 @@ using ConfigArbiter =
 using SnippetObserver = std::function<void(const soc::SnippetDescriptor&, const soc::SocConfig&,
                                            const soc::SnippetResult&)>;
 
+/// Read-only channel publishing the current thermal state (temperatures +
+/// power budget) to the controller before each decision.  Sampled after the
+/// observer hook, so the controller sees the state the just-executed snippet
+/// produced.  Must be side-effect free: blind controllers ignore the
+/// snapshot and their runs stay bitwise identical with or without it.
+using ThermalTelemetrySource = std::function<soc::ThermalTelemetry()>;
+
 struct RunnerOptions {
   Objective objective = Objective::kEnergy;
   bool compute_oracle = true;  ///< disable for speed when ratios are not needed
@@ -69,6 +76,7 @@ struct RunnerOptions {
   std::shared_ptr<OracleCache> oracle_cache;
   ConfigArbiter arbiter;    ///< empty = controller decisions apply verbatim
   SnippetObserver observer; ///< empty = no per-snippet observation
+  ThermalTelemetrySource telemetry;  ///< empty = controllers run thermally blind
 };
 
 class DrmRunner {

@@ -8,12 +8,19 @@ namespace {
 struct OnlineIlDeps {
   IlPolicy policy;
   OnlineSocModels models;
-  explicit OnlineIlDeps(const soc::ConfigSpace& space) : policy(space), models(space) {}
+  OnlineIlDeps(const soc::ConfigSpace& space, bool thermal_aware)
+      : policy(space,
+               [thermal_aware] {
+                 IlPolicyConfig c;
+                 c.thermal_aware = thermal_aware;
+                 return c;
+               }()),
+        models(space) {}
 };
 
 ControllerInstance make_online_il(ScenarioContext& ctx, const OfflineData& off,
                                   std::uint64_t train_seed, const OnlineIlConfig& cfg) {
-  auto deps = std::make_shared<OnlineIlDeps>(ctx.platform.space());
+  auto deps = std::make_shared<OnlineIlDeps>(ctx.platform.space(), cfg.thermal_aware);
   common::Rng train_rng(train_seed);
   deps->policy.train_offline(off.policy, train_rng);
   deps->models.bootstrap(off.model_samples);
@@ -50,7 +57,7 @@ ControllerFactory online_il_collect_factory(std::vector<workloads::AppSpec> offl
     const OfflineData off =
         collect_offline_data(ctx.platform, offline_apps, ctx.scenario.objective,
                              snippets_per_app, configs_per_snippet, collect_rng,
-                             oracle_cache.get());
+                             oracle_cache.get(), cfg.thermal_aware);
     return make_online_il(ctx, off, train_seed, cfg);
   };
 }

@@ -25,7 +25,10 @@ ControllerFactory offline_il_factory(std::shared_ptr<const IlPolicy> policy);
 
 /// Adaptive online-IL from a shared offline dataset: each scenario trains
 /// its own policy copy (seeded by train_seed) and bootstraps its own models
-/// — the controller mutates both in place.
+/// — the controller mutates both in place.  With cfg.thermal_aware the
+/// dataset must have been collected in the thermal-aware feature space
+/// (collect_offline_data's thermal_aware flag), or the policy input
+/// dimensions will not match.
 ControllerFactory online_il_factory(std::shared_ptr<const OfflineData> off,
                                     std::uint64_t train_seed, OnlineIlConfig cfg = {});
 

@@ -29,14 +29,18 @@ class ScenarioRegistry {
   bool contains(const std::string& name) const { return builders_.count(name) != 0; }
   std::size_t size() const { return builders_.size(); }
 
-  /// All registered names with the given prefix, lexicographically sorted.
+  /// All registered names selected by `prefix`, lexicographically sorted.
+  /// Matching respects '/'-segment boundaries: `prefix` selects the name
+  /// equal to it and names extending it as `prefix + "/..."` ("fig1" selects
+  /// "fig1" and "fig1/a" but never "fig10/a"); a prefix ending in '/' plainly
+  /// string-matches.  Empty selects everything.
   std::vector<std::string> names(const std::string& prefix = "") const;
 
   /// Builds one scenario; its id is set to the registry name.
   Scenario build(const std::string& name) const;
 
-  /// Builds every scenario whose name starts with `prefix`, in name order —
-  /// ready to pass to ExperimentEngine::run_batch.
+  /// Builds every scenario `prefix` selects (same segment-boundary rules as
+  /// names()), in name order — ready for ExperimentEngine::run_batch.
   std::vector<Scenario> build_batch(const std::string& prefix = "") const;
 
  private:

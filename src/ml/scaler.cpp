@@ -1,5 +1,6 @@
 #include "ml/scaler.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -34,7 +35,7 @@ common::Vec StandardScaler::stds() const {
   if (count_ == 0) return s;
   for (std::size_t i = 0; i < mean_.size(); ++i) {
     const double var = m2_[i] / static_cast<double>(count_);
-    s[i] = std::max(std::sqrt(var), kMinStd);
+    s[i] = var < kConstantVariance ? 1.0 : std::max(std::sqrt(var), kMinScale);
   }
   return s;
 }

@@ -30,14 +30,22 @@ class StandardScaler {
   std::size_t dim() const { return mean_.size(); }
   bool fitted() const { return count_ > 0; }
   const common::Vec& mean() const { return mean_; }
-  /// Standard deviations (floored at min_std to avoid division blow-up).
+  /// Standard deviations.  Constant features get scale 1.0 — as in
+  /// sklearn's StandardScaler — so a feature that happens to be constant in
+  /// the training set (e.g. the neutral thermal telemetry of offline
+  /// profiling) is centered but never amplified: dividing by a ~0 std would
+  /// launch any runtime deviation to ~1e9 and saturate the network.
+  /// Near-constant features are floored at kMinScale, bounding the
+  /// amplification of a runtime deviation at 1/kMinScale instead of the
+  /// cliff a tiny true std would open.
   common::Vec stds() const;
 
  private:
   common::Vec mean_;
   common::Vec m2_;
   std::size_t count_ = 0;
-  static constexpr double kMinStd = 1e-9;
+  static constexpr double kConstantVariance = 1e-12;  ///< below this: scale 1.0
+  static constexpr double kMinScale = 1e-2;           ///< floor for tiny true stds
 };
 
 }  // namespace oal::ml

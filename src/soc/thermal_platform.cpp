@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace oal::soc {
 
@@ -10,12 +11,31 @@ namespace {
 // Node indices of thermal::RcThermalNetwork::mobile_soc().
 constexpr std::size_t kBigNode = 0;
 constexpr std::size_t kLittleNode = 1;
+constexpr std::size_t kGpuNode = 2;
 constexpr std::size_t kPcbNode = 3;
 
 double sum(const common::Vec& v) {
   double s = 0.0;
   for (double x : v) s += x;
   return s;
+}
+
+/// Both adapter constructors accept user-supplied per-node vectors; any size
+/// mismatch against the RC network would silently index out of range deep in
+/// the hot loop, so validate everything up front with sizes in the message.
+void validate_node_vectors(const char* who, const thermal::RcThermalNetwork& net,
+                           const common::Vec& initial_temperature_c,
+                           const thermal::LeakageModel& leak) {
+  const std::size_t n = net.num_nodes();
+  const auto fail = [who, n](const char* field, std::size_t got) {
+    throw std::invalid_argument(std::string(who) + ": " + field + " has " + std::to_string(got) +
+                                " entries but the RC network has " + std::to_string(n) +
+                                " nodes");
+  };
+  if (!initial_temperature_c.empty() && initial_temperature_c.size() != n)
+    fail("initial_temperature_c", initial_temperature_c.size());
+  if (leak.p0_w.size() != n) fail("leakage.p0_w", leak.p0_w.size());
+  if (leak.k_per_c.size() != n) fail("leakage.k_per_c", leak.k_per_c.size());
 }
 
 }  // namespace
@@ -25,11 +45,8 @@ ThermalSocAdapter::ThermalSocAdapter(BigLittlePlatform& platform, ThermalConstra
       params_(std::move(params)),
       net_(thermal::RcThermalNetwork::mobile_soc(params_.ambient_c)),
       shape_w_(net_.num_nodes(), 0.0) {
-  if (!params_.initial_temperature_c.empty()) {
-    if (params_.initial_temperature_c.size() != net_.num_nodes())
-      throw std::invalid_argument("ThermalSocAdapter: initial_temperature_c size mismatch");
-    net_.set_temperatures(params_.initial_temperature_c);
-  }
+  validate_node_vectors("ThermalSocAdapter", net_, params_.initial_temperature_c, params_.leakage);
+  if (!params_.initial_temperature_c.empty()) net_.set_temperatures(params_.initial_temperature_c);
   // Nominal big-heavy shape until the first snippet is observed.
   shape_w_[kBigNode] = 0.55;
   shape_w_[kLittleNode] = 0.10;
@@ -50,6 +67,26 @@ void ThermalSocAdapter::refresh_budget() {
   }
 }
 
+bool throttle_step(SocConfig& c) {
+  // Big-cluster knobs are only touched while the cluster is on: with
+  // num_big == 0 its frequency has no power effect, and stepping it would
+  // record phantom clamps.
+  if (c.num_big > 0) {
+    if (c.big_freq_idx > 0) {
+      --c.big_freq_idx;
+    } else {
+      --c.num_big;
+    }
+  } else if (c.little_freq_idx > 0) {
+    --c.little_freq_idx;
+  } else if (c.num_little > 1) {
+    --c.num_little;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 SocConfig ThermalSocAdapter::arbitrate(const SnippetDescriptor& s, const SocConfig& proposed) {
   SocConfig c = proposed;
   const auto over_budget = [&](const SocConfig& cc) {
@@ -58,23 +95,9 @@ SocConfig ThermalSocAdapter::arbitrate(const SnippetDescriptor& s, const SocConf
   // Firmware-style throttle ladder; bottoms out at 1 LITTLE core at minimum
   // frequency (the budget can be infeasible — e.g. base power alone above
   // it — in which case the floor config runs and temperatures keep rising
-  // until the next budget refresh).  Big-cluster knobs are only touched
-  // while the cluster is on: with num_big == 0 its frequency has no power
-  // effect, and stepping it would record phantom clamps.
+  // until the next budget refresh).
   while (over_budget(c)) {
-    if (c.num_big > 0) {
-      if (c.big_freq_idx > 0) {
-        --c.big_freq_idx;
-      } else {
-        --c.num_big;
-      }
-    } else if (c.little_freq_idx > 0) {
-      --c.little_freq_idx;
-    } else if (c.num_little > 1) {
-      --c.num_little;
-    } else {
-      break;
-    }
+    if (!throttle_step(c)) break;
   }
   if (c != proposed) ++clamped_;
   return c;
@@ -103,6 +126,113 @@ void ThermalSocAdapter::observe(const SnippetDescriptor& s, const SocConfig& app
 }
 
 void ThermalSocAdapter::track_peaks() {
+  const common::Vec& t = net_.temperatures();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i == params_.limits.skin_node) {
+      peak_skin_c_ = std::max(peak_skin_c_, t[i]);
+    } else if (i != kPcbNode) {
+      peak_junction_c_ = std::max(peak_junction_c_, t[i]);
+    }
+  }
+}
+
+ThermalTelemetry ThermalSocAdapter::telemetry() const {
+  ThermalTelemetry t;
+  t.constrained = true;
+  const common::Vec& temps = net_.temperatures();
+  double junction = temps[kBigNode];
+  for (std::size_t i = 0; i < temps.size(); ++i) {
+    if (i == params_.limits.skin_node || i == kPcbNode) continue;
+    junction = std::max(junction, temps[i]);
+  }
+  t.junction_c = junction;
+  t.skin_c = temps[params_.limits.skin_node];
+  t.junction_limit_c = params_.limits.t_max_junction_c;
+  t.skin_limit_c = params_.limits.t_max_skin_c;
+  t.ambient_c = params_.ambient_c;
+  t.budget_w = budget_w_;
+  t.last_power_w = sum(shape_w_);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// ThermalGpuAdapter
+// ---------------------------------------------------------------------------
+
+ThermalGpuAdapter::ThermalGpuAdapter(gpu::GpuPlatform& platform, double period_s,
+                                     ThermalGpuConstraintParams params)
+    : platform_(&platform),
+      period_s_(period_s),
+      params_(std::move(params)),
+      net_(thermal::RcThermalNetwork::mobile_soc(params_.ambient_c)),
+      shape_w_(net_.num_nodes(), 0.0) {
+  if (period_s_ <= 0.0) throw std::invalid_argument("ThermalGpuAdapter: period_s must be > 0");
+  validate_node_vectors("ThermalGpuAdapter", net_, params_.initial_temperature_c, params_.leakage);
+  if (!params_.initial_temperature_c.empty()) net_.set_temperatures(params_.initial_temperature_c);
+  // Nominal render-heavy shape until the first frame is observed.
+  shape_w_[kGpuNode] = 0.60;
+  shape_w_[kPcbNode] = 0.40;
+  track_peaks();
+  refresh_budget();
+}
+
+void ThermalGpuAdapter::refresh_budget() {
+  if (params_.horizon_s > 0.0) {
+    const double scale = thermal::transient_power_headroom(net_, params_.leakage, shape_w_,
+                                                           params_.horizon_s, params_.limits);
+    budget_w_ = scale * sum(shape_w_);
+  } else {
+    budget_w_ =
+        thermal::max_sustainable_power(net_, params_.leakage, shape_w_, params_.limits)
+            .total_power_w;
+  }
+}
+
+gpu::GpuConfig ThermalGpuAdapter::arbitrate(const gpu::FrameDescriptor& f,
+                                            const gpu::GpuConfig& proposed) {
+  gpu::GpuConfig c = proposed;
+  const auto over_budget = [&](const gpu::GpuConfig& cc) {
+    // Full producer-side power (PKG + DRAM scope) against the budget — the
+    // same total the observer injects into the RC network.
+    return platform_->render_ideal(f, cc, period_s_).pkg_dram_energy_j / period_s_ > budget_w_;
+  };
+  // Frequency first (fast, cheap actuation), then slice gating; bottoms out
+  // at 1 slice at minimum frequency (an infeasible budget runs the floor
+  // config and temperatures keep rising until the next refresh).
+  while (over_budget(c)) {
+    if (c.freq_idx > 0) {
+      --c.freq_idx;
+    } else if (c.num_slices > 1) {
+      --c.num_slices;
+    } else {
+      break;
+    }
+  }
+  if (c != proposed) ++clamped_;
+  return c;
+}
+
+void ThermalGpuAdapter::observe(const gpu::FrameDescriptor& /*f*/,
+                                const gpu::GpuConfig& /*applied*/, const gpu::FrameResult& r) {
+  common::Vec inject(net_.num_nodes(), 0.0);
+  inject[kGpuNode] = r.gpu_energy_j / period_s_;
+  inject[kPcbNode] = (r.pkg_dram_energy_j - r.gpu_energy_j) / period_s_;
+  shape_w_ = inject;
+
+  const common::Vec leak = params_.leakage.leakage(net_.temperatures());
+  common::Vec power(net_.num_nodes(), 0.0);
+  for (std::size_t i = 0; i < power.size(); ++i) power[i] = inject[i] + leak[i];
+  net_.step(power, period_s_);
+  track_peaks();
+
+  since_budget_s_ += period_s_;
+  if (since_budget_s_ >= params_.budget_interval_s) {
+    refresh_budget();
+    since_budget_s_ = 0.0;
+  }
+}
+
+void ThermalGpuAdapter::track_peaks() {
   const common::Vec& t = net_.temperatures();
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (i == params_.limits.skin_node) {

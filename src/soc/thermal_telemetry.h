@@ -1,0 +1,42 @@
+// Read-only thermal telemetry published to runtime controllers.
+//
+// When a thermal budgeter (soc::ThermalSocAdapter) is bound to a DrmRunner,
+// the runner forwards a ThermalTelemetry snapshot to the controller before
+// every decision — the same sensor/budget state a kernel governor would read
+// from sysfs.  Thermally-blind controllers ignore it (the default), so a
+// bound telemetry source never perturbs their decisions; thermal-aware
+// controllers fold it into their policy state and candidate search so they
+// can learn to avoid the budget clamp instead of fighting it.
+//
+// The default-constructed value is the *neutral* snapshot (cool device, no
+// active budget): offline training data collected without a thermal adapter
+// uses it, so blind and aware feature pipelines share one code path.
+#pragma once
+
+namespace oal::soc {
+
+struct ThermalTelemetry {
+  /// True when a budgeter is actively constraining decisions; false for the
+  /// neutral (unconstrained) snapshot.
+  bool constrained = false;
+  double junction_c = 25.0;        ///< hottest silicon-node temperature
+  double skin_c = 25.0;            ///< device skin temperature
+  double junction_limit_c = 85.0;  ///< junction throttle limit
+  double skin_limit_c = 45.0;      ///< skin throttle limit
+  double ambient_c = 25.0;
+  /// Current power budget (W).  kUnconstrainedBudgetW when no budget binds.
+  double budget_w = kUnconstrainedBudgetW;
+  /// Total power observed over the last executed snippet (W).
+  double last_power_w = 0.0;
+
+  /// Neutral budget stand-in: comfortably above any reachable configuration
+  /// of the modeled platforms, so "no budget" and "slack budget" share one
+  /// representation.
+  static constexpr double kUnconstrainedBudgetW = 8.0;
+
+  /// Remaining power headroom under the budget (may be negative while the
+  /// budgeter is still throttling toward a freshly tightened budget).
+  double headroom_w() const { return budget_w - last_power_w; }
+};
+
+}  // namespace oal::soc

@@ -12,6 +12,7 @@
 #include "core/experiment.h"
 #include "core/governors.h"
 #include "core/online_il.h"
+#include "core/rl_controller.h"
 #include "core/scenario_factories.h"
 #include "core/scenario_registry.h"
 #include "workloads/cpu_benchmarks.h"
@@ -393,6 +394,160 @@ TEST(Experiment, CustomClosureScenarioRunsOnEngine) {
   EXPECT_FALSE(res[0].has_metric("missing"));
   EXPECT_THROW(res[0].metric("missing"), std::invalid_argument);
   EXPECT_THROW(res[0].as<int>(), std::logic_error);
+}
+
+TEST(Experiment, ThermalAwareMixedDomainParallelMatchesSerialBitwise) {
+  // Thermal-aware arms add two new determinism surfaces: the telemetry
+  // channel feeding controller state, and the ThermalGpuScenario's
+  // GpuRunner hooks.  Both must stay bitwise identical across pool sizes.
+  std::vector<AnyScenario> batch;
+  for (int i = 0; i < 2; ++i) {
+    Scenario s;
+    s.id = "aware/il/" + std::to_string(i);
+    common::Rng trace_rng(600 + i);
+    s.trace = workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("Kmeans"), 12,
+                                              trace_rng);
+    s.make_controller = [i](ScenarioContext& ctx) {
+      OnlineIlConfig cfg;
+      cfg.thermal_aware = true;
+      const std::vector<workloads::AppSpec> offline_apps{
+          workloads::CpuBenchmarks::by_name("SHA"), workloads::CpuBenchmarks::by_name("FFT")};
+      return online_il_collect_factory(offline_apps, /*snippets_per_app=*/6,
+                                       /*configs_per_snippet=*/3, /*collect_seed=*/7,
+                                       /*train_seed=*/5 + i, cfg)(ctx);
+    };
+    batch.emplace_back(ThermalDrmScenario{std::move(s), binding_thermal_params()});
+  }
+  {
+    // Thermal-aware tabular Q: the headroom bucket folded into the
+    // discretized RL state must be deterministic across pool sizes too.
+    Scenario s;
+    s.id = "aware/qlearn/0";
+    common::Rng trace_rng(650);
+    s.trace = workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("MotionEst"), 12,
+                                              trace_rng);
+    s.make_controller = [](ScenarioContext& ctx) {
+      return ControllerInstance{
+          std::make_unique<QLearningController>(ctx.platform.space(), ml::QLearnConfig{},
+                                                RlRewardScale{}, /*thermal_aware=*/true),
+          nullptr};
+    };
+    batch.emplace_back(ThermalDrmScenario{std::move(s), binding_thermal_params()});
+  }
+  for (int i = 0; i < 2; ++i) {
+    GpuScenario g = gpu_enmpc_scenario("aware/gpu/" + std::to_string(i), 70 + i);
+    soc::ThermalGpuConstraintParams thermal;
+    thermal.ambient_c = 35.0;
+    thermal.limits.t_max_skin_c = 39.0;
+    thermal.limits.t_max_junction_c = 75.0;
+    thermal.horizon_s = 0.0;
+    batch.emplace_back(ThermalGpuScenario{std::move(g), thermal});
+  }
+
+  ExperimentEngine serial(ExperimentOptions{1});
+  ExperimentEngine parallel(ExperimentOptions{4});
+  const auto rs = serial.run_any(batch);
+  const auto rp = parallel.run_any(batch);
+  ASSERT_EQ(rs.size(), batch.size());
+  ASSERT_EQ(rp.size(), batch.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_EQ(rs[i].id(), rp[i].id());
+    ASSERT_EQ(rs[i].metrics().size(), rp[i].metrics().size());
+    for (std::size_t k = 0; k < rs[i].metrics().size(); ++k) {
+      EXPECT_EQ(rs[i].metrics()[k].first, rp[i].metrics()[k].first);
+      EXPECT_EQ(rs[i].metrics()[k].second, rp[i].metrics()[k].second)
+          << rs[i].id() << " metric " << rs[i].metrics()[k].first;
+    }
+  }
+  // GPU thermal payloads round-trip per frame (results are id-sorted, so the
+  // "aware/gpu/..." scenarios come first).
+  ASSERT_EQ(rs[0].id(), "aware/gpu/0");
+  const auto& gpu_s = rs[0].as<ThermalGpuRunResult>();
+  const auto& gpu_p = rp[0].as<ThermalGpuRunResult>();
+  EXPECT_EQ(gpu_s.clamped_frames, gpu_p.clamped_frames);
+  ASSERT_EQ(gpu_s.run.configs.size(), gpu_p.run.configs.size());
+  for (std::size_t k = 0; k < gpu_s.run.configs.size(); ++k)
+    EXPECT_EQ(gpu_s.run.configs[k], gpu_p.run.configs[k]);
+}
+
+TEST(Experiment, ThermalGpuBindingBudgetClampsFrames) {
+  GpuScenario g = gpu_enmpc_scenario("gpu-budget", 44);
+  soc::ThermalGpuConstraintParams thermal;
+  thermal.ambient_c = 35.0;
+  thermal.limits.t_max_skin_c = 36.0;  // brutally tight: must clamp
+  thermal.limits.t_max_junction_c = 60.0;
+  thermal.horizon_s = 0.0;
+  ExperimentEngine engine(ExperimentOptions{2});
+  const auto res = engine.run_any({ThermalGpuScenario{std::move(g), thermal}});
+  ASSERT_EQ(res.size(), 1u);
+  const auto& run = res[0].as<ThermalGpuRunResult>();
+  EXPECT_GT(run.clamped_frames, 0u);
+  EXPECT_GT(run.final_budget_w, 0.0);
+  EXPECT_EQ(res[0].metric("clamped_frames"), static_cast<double>(run.clamped_frames));
+}
+
+TEST(Experiment, TelemetryChannelDoesNotPerturbBlindControllers) {
+  // A ThermalDrmScenario now binds a telemetry source; a thermally-blind
+  // controller must produce byte-identical records to the PR 2 wiring
+  // (arbiter + observer only, no telemetry).
+  const Scenario s = governor_scenario("blind-check", "Kmeans", 77);
+  const soc::ThermalConstraintParams params = binding_thermal_params();
+
+  ExperimentEngine engine(ExperimentOptions{1});
+  const auto via_engine = engine.run_any({ThermalDrmScenario{s, params}});
+  ASSERT_EQ(via_engine.size(), 1u);
+  const RunResult& with_telemetry = via_engine[0].as<ThermalRunResult>().run;
+
+  // Manual replication of the pre-telemetry wiring.
+  soc::BigLittlePlatform platform(s.platform, s.platform_noise_seed);
+  common::Rng rng(s.seed);
+  ScenarioContext ctx{s, platform, rng};
+  ControllerInstance instance = s.make_controller(ctx);
+  soc::ThermalSocAdapter adapter(platform, params);
+  RunnerOptions opts;
+  opts.objective = s.objective;
+  opts.arbiter = [&adapter](const soc::SnippetDescriptor& snip, const soc::SocConfig& proposed) {
+    return adapter.arbitrate(snip, proposed);
+  };
+  opts.observer = [&adapter](const soc::SnippetDescriptor& snip, const soc::SocConfig& applied,
+                             const soc::SnippetResult& r) { adapter.observe(snip, applied, r); };
+  DrmRunner runner(platform, opts);
+  const RunResult without_telemetry = runner.run(s.trace, *instance.controller, s.initial);
+
+  ASSERT_EQ(with_telemetry.records.size(), without_telemetry.records.size());
+  for (std::size_t i = 0; i < with_telemetry.records.size(); ++i) {
+    EXPECT_EQ(with_telemetry.records[i].applied, without_telemetry.records[i].applied);
+    EXPECT_EQ(with_telemetry.records[i].energy_j, without_telemetry.records[i].energy_j);
+    EXPECT_EQ(with_telemetry.records[i].exec_time_s, without_telemetry.records[i].exec_time_s);
+  }
+}
+
+TEST(ScenarioRegistry, PrefixMatchesOnSegmentBoundaries) {
+  // Regression: a raw string prefix "fig1" used to also select "fig10/...".
+  ScenarioRegistry reg;
+  reg.add("fig1", [] { return governor_scenario("", "SHA", 1); });
+  reg.add("fig1/a", [] { return governor_scenario("", "FFT", 2); });
+  reg.add("fig1/b", [] { return governor_scenario("", "Qsort", 3); });
+  reg.add("fig10/a", [] { return governor_scenario("", "Kmeans", 4); });
+
+  const auto names = reg.names("fig1");
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "fig1");
+  EXPECT_EQ(names[1], "fig1/a");
+  EXPECT_EQ(names[2], "fig1/b");
+
+  const auto batch = reg.build_batch("fig1");
+  ASSERT_EQ(batch.size(), 3u);
+  for (const auto& s : batch) EXPECT_EQ(s.id.rfind("fig10/", 0), std::string::npos);
+
+  // A trailing-slash prefix selects the family only (not the bare name).
+  const auto slash_names = reg.names("fig1/");
+  ASSERT_EQ(slash_names.size(), 2u);
+  EXPECT_EQ(slash_names[0], "fig1/a");
+
+  EXPECT_EQ(reg.names("fig10").size(), 1u);
+  EXPECT_EQ(reg.names().size(), 4u);         // empty prefix: everything
+  EXPECT_TRUE(reg.names("fig").empty());     // partial segment matches nothing
 }
 
 TEST(ScenarioRegistry, BuildsByPrefixInNameOrder) {

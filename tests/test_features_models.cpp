@@ -6,6 +6,7 @@
 #include "core/features.h"
 #include "core/models.h"
 #include "core/oracle.h"
+#include "ml/scaler.h"
 #include "soc/platform.h"
 #include "workloads/cpu_benchmarks.h"
 
@@ -58,6 +59,84 @@ TEST(FeatureExtractor, PolicyFeatureDimension) {
   const auto r = plat.execute_ideal(sample_snippet(), {2, 2, 8, 10});
   const auto f = fx.policy_features(r.counters, {2, 2, 8, 10});
   EXPECT_EQ(f.size(), fx.policy_dim());
+}
+
+TEST(FeatureExtractor, ThermalAwareAppendsWithoutPerturbingBlindFeatures) {
+  soc::BigLittlePlatform plat;
+  const FeatureExtractor blind(plat.space());
+  const FeatureExtractor aware(plat.space(), /*thermal_aware=*/true);
+  EXPECT_EQ(aware.policy_dim(), blind.policy_dim() + FeatureExtractor::kThermalDims);
+
+  const soc::SocConfig c{2, 2, 8, 10};
+  const auto r = plat.execute_ideal(sample_snippet(), c);
+
+  soc::ThermalTelemetry hot;
+  hot.constrained = true;
+  hot.junction_c = 55.0;
+  hot.skin_c = 41.0;
+  hot.junction_limit_c = 85.0;
+  hot.skin_limit_c = 45.0;
+  hot.ambient_c = 25.0;
+  hot.budget_w = 2.0;
+
+  // A blind extractor must be bitwise-insensitive to telemetry: the blind
+  // training/runtime path stays byte-identical whether or not a telemetry
+  // source is bound.
+  const auto f_blind = blind.policy_features(r.counters, c);
+  const auto f_blind_hot = blind.policy_features(r.counters, c, hot);
+  ASSERT_EQ(f_blind.size(), blind.policy_dim());
+  ASSERT_EQ(f_blind_hot.size(), f_blind.size());
+  for (std::size_t i = 0; i < f_blind.size(); ++i)
+    EXPECT_DOUBLE_EQ(f_blind[i], f_blind_hot[i]);
+
+  // Aware features: the blind prefix is unchanged, thermal dims appended.
+  const auto f_aware_hot = aware.policy_features(r.counters, c, hot);
+  ASSERT_EQ(f_aware_hot.size(), aware.policy_dim());
+  for (std::size_t i = 0; i < f_blind.size(); ++i)
+    EXPECT_DOUBLE_EQ(f_aware_hot[i], f_blind[i]);
+  const std::size_t base = blind.policy_dim();
+  EXPECT_NEAR(f_aware_hot[base + 0], (55.0 - 25.0) / (85.0 - 25.0), 1e-12);
+  EXPECT_NEAR(f_aware_hot[base + 1], (41.0 - 25.0) / (45.0 - 25.0), 1e-12);
+  EXPECT_NEAR(f_aware_hot[base + 2], 2.0 / soc::ThermalTelemetry::kUnconstrainedBudgetW, 1e-12);
+
+  // Neutral (default) telemetry encodes a cool, unconstrained device.
+  const auto f_aware_neutral = aware.policy_features(r.counters, c);
+  EXPECT_DOUBLE_EQ(f_aware_neutral[base + 0], 0.0);
+  EXPECT_DOUBLE_EQ(f_aware_neutral[base + 1], 0.0);
+  EXPECT_DOUBLE_EQ(f_aware_neutral[base + 2], 1.0);
+}
+
+TEST(StandardScaler, ConstantFeaturesAreCenteredNotAmplified) {
+  // The neutral thermal features are constant across an offline dataset; the
+  // scaler must give them scale 1.0 (sklearn behavior), not divide by a ~0
+  // std that would launch any runtime deviation to ~1e9.
+  ml::StandardScaler scaler;
+  scaler.fit({{1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}});
+  const auto s = scaler.stds();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_GT(s[0], 0.5);  // real variance: standardized normally
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+  const auto z = scaler.transform({2.0, 0.75});
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+  EXPECT_DOUBLE_EQ(z[1], 0.75);  // centered at the constant, unscaled
+
+  // Near-constant (but not exactly constant) features are floored, not
+  // amplified through a ~0 std: amplification is bounded by 1/kMinScale.
+  ml::StandardScaler near;
+  near.fit({{0.0}, {1e-5}, {0.0}, {1e-5}});
+  EXPECT_DOUBLE_EQ(near.stds()[0], 1e-2);
+  EXPECT_LE(std::abs(near.transform({0.75})[0]), 100.0);
+}
+
+TEST(OfflineData, ThermalAwareCollectionMatchesPolicyDim) {
+  soc::BigLittlePlatform plat;
+  common::Rng rng(3);
+  const std::vector<workloads::AppSpec> apps{workloads::CpuBenchmarks::by_name("SHA")};
+  const OfflineData off = collect_offline_data(plat, apps, Objective::kEnergy, 2, 2, rng,
+                                               nullptr, /*thermal_aware=*/true);
+  ASSERT_FALSE(off.policy.states.empty());
+  const FeatureExtractor aware(plat.space(), true);
+  for (const auto& s : off.policy.states) EXPECT_EQ(s.size(), aware.policy_dim());
 }
 
 TEST(FeatureExtractor, ModelFeatureDimension) {

@@ -111,6 +111,20 @@ TEST(Stats, MedianAndPercentile) {
   EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 25), 2.0);
 }
 
+TEST(Stats, PercentileEdgeCases) {
+  // Single element: every percentile is that element (no interpolation
+  // partner, and p=100 must not index past the end).
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100), 7.0);
+  // p = 0 / 100 on unsorted input hit the exact extremes.
+  EXPECT_DOUBLE_EQ(percentile({9, -3, 4}, 0), -3.0);
+  EXPECT_DOUBLE_EQ(percentile({9, -3, 4}, 100), 9.0);
+  // Out-of-range p is rejected, not clamped.
+  EXPECT_THROW(percentile({1, 2}, -0.001), std::invalid_argument);
+  EXPECT_THROW(percentile({1, 2}, 100.001), std::invalid_argument);
+}
+
 TEST(Stats, EmptyThrows) {
   EXPECT_THROW(mean({}), std::invalid_argument);
   EXPECT_THROW(percentile({}, 50), std::invalid_argument);

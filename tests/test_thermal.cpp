@@ -2,7 +2,13 @@
 // skin estimation, sensor selection and power budgeting.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "common/stats.h"
+#include "gpu/gpu_model.h"
+#include "soc/platform.h"
+#include "soc/thermal_platform.h"
 #include "thermal/fixed_point.h"
 #include "thermal/power_budget.h"
 #include "thermal/rc_network.h"
@@ -207,6 +213,184 @@ TEST(PowerBudget, TransientHeadroomExceedsSustainable) {
   const auto sustained = max_sustainable_power(net, default_leak(), shape);
   const double burst_scale = transient_power_headroom(net, default_leak(), shape, 5.0);
   EXPECT_GT(burst_scale, sustained.scale);
+}
+
+// ---- Thermal budget adapters (soc layer) ----------------------------------
+
+/// Hot-enclosure params whose steady-state budget binds against the
+/// platform's top configurations (the bench_thermal_model setting).
+soc::ThermalConstraintParams binding_soc_params() {
+  soc::ThermalConstraintParams p;
+  p.limits.t_max_junction_c = 55.0;
+  p.limits.t_max_skin_c = 43.0;
+  p.ambient_c = 40.0;
+  p.horizon_s = 0.0;
+  return p;
+}
+
+TEST(ThermalSocAdapter, ThrottleLadderOrder) {
+  soc::BigLittlePlatform plat;
+  soc::ThermalSocAdapter adapter(plat, binding_soc_params());
+  const soc::SnippetDescriptor snip;  // default: compute-heavy enough to bind
+  const soc::SocConfig proposed{4, 4, 12, 18};  // maximum configuration
+  const soc::SocConfig clamped = adapter.arbitrate(snip, proposed);
+
+  ASSERT_TRUE(clamped != proposed);
+  EXPECT_LE(plat.execute_ideal(snip, clamped).avg_power_w, adapter.budget_w());
+  EXPECT_EQ(adapter.clamped_snippets(), 1u);
+
+  // Ladder order: big frequency first, then big cores, then little
+  // frequency, then little cores.  A knob may only have moved if every knob
+  // earlier in the ladder is already at its floor.
+  if (clamped.num_big != proposed.num_big) {
+    EXPECT_EQ(clamped.big_freq_idx, 0);
+  }
+  if (clamped.little_freq_idx != proposed.little_freq_idx) {
+    EXPECT_EQ(clamped.big_freq_idx, 0);
+    EXPECT_EQ(clamped.num_big, 0);
+  }
+  if (clamped.num_little != proposed.num_little) {
+    EXPECT_EQ(clamped.num_big, 0);
+    EXPECT_EQ(clamped.little_freq_idx, 0);
+  }
+
+  // The clamp must land exactly where the reference ladder lands.
+  soc::SocConfig expected = proposed;
+  while (plat.execute_ideal(snip, expected).avg_power_w > adapter.budget_w()) {
+    if (expected.num_big > 0) {
+      if (expected.big_freq_idx > 0) {
+        --expected.big_freq_idx;
+      } else {
+        --expected.num_big;
+      }
+    } else if (expected.little_freq_idx > 0) {
+      --expected.little_freq_idx;
+    } else if (expected.num_little > 1) {
+      --expected.num_little;
+    } else {
+      break;
+    }
+  }
+  EXPECT_EQ(clamped, expected);
+}
+
+TEST(ThermalSocAdapter, InfeasibleBudgetBottomsOutAtFloor) {
+  soc::BigLittlePlatform plat;
+  soc::ThermalConstraintParams p = binding_soc_params();
+  p.limits.t_max_skin_c = p.ambient_c + 0.05;  // budget below base power
+  soc::ThermalSocAdapter adapter(plat, p);
+  const soc::SnippetDescriptor snip;
+  const soc::SocConfig floor = adapter.arbitrate(snip, soc::SocConfig{4, 4, 12, 18});
+  EXPECT_EQ(floor.num_little, 1);
+  EXPECT_EQ(floor.num_big, 0);
+  EXPECT_EQ(floor.little_freq_idx, 0);
+  EXPECT_EQ(floor.big_freq_idx, 0);
+}
+
+TEST(ThermalSocAdapter, SlackBudgetLeavesConfigUntouched) {
+  soc::BigLittlePlatform plat;
+  soc::ThermalConstraintParams p;  // default cool limits: budget is slack
+  soc::ThermalSocAdapter adapter(plat, p);
+  const soc::SnippetDescriptor snip;
+  const soc::SocConfig proposed{2, 1, 5, 8};
+  EXPECT_EQ(adapter.arbitrate(snip, proposed), proposed);
+  EXPECT_EQ(adapter.clamped_snippets(), 0u);
+}
+
+TEST(ThermalSocAdapter, RejectsWrongSizeNodeVectors) {
+  soc::BigLittlePlatform plat;
+  {
+    soc::ThermalConstraintParams p;
+    p.leakage.p0_w = {0.1, 0.1};  // 2 entries, network has 5 nodes
+    try {
+      soc::ThermalSocAdapter adapter(plat, p);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("leakage.p0_w"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("5"), std::string::npos);
+    }
+  }
+  {
+    soc::ThermalConstraintParams p;
+    p.leakage.k_per_c = {0.1, 0.1, 0.1, 0.1, 0.1, 0.1};
+    try {
+      soc::ThermalSocAdapter adapter(plat, p);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("leakage.k_per_c"), std::string::npos);
+    }
+  }
+  {
+    soc::ThermalConstraintParams p;
+    p.initial_temperature_c = {40.0, 40.0};
+    try {
+      soc::ThermalSocAdapter adapter(plat, p);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("initial_temperature_c"), std::string::npos);
+    }
+  }
+}
+
+TEST(ThermalSocAdapter, TelemetrySnapshotReflectsAdapterState) {
+  soc::BigLittlePlatform plat;
+  const soc::ThermalConstraintParams p = binding_soc_params();
+  soc::ThermalSocAdapter adapter(plat, p);
+  const soc::ThermalTelemetry t = adapter.telemetry();
+  EXPECT_TRUE(t.constrained);
+  EXPECT_DOUBLE_EQ(t.budget_w, adapter.budget_w());
+  EXPECT_DOUBLE_EQ(t.junction_limit_c, p.limits.t_max_junction_c);
+  EXPECT_DOUBLE_EQ(t.skin_limit_c, p.limits.t_max_skin_c);
+  EXPECT_DOUBLE_EQ(t.ambient_c, p.ambient_c);
+  EXPECT_NEAR(t.junction_c, p.ambient_c, 1e-9);  // nothing executed yet
+  // A default-constructed telemetry is the neutral (unconstrained) snapshot.
+  const soc::ThermalTelemetry neutral;
+  EXPECT_FALSE(neutral.constrained);
+  EXPECT_GT(neutral.headroom_w(), 0.0);
+}
+
+TEST(ThermalGpuAdapter, ThrottleLadderFrequencyThenSlices) {
+  gpu::GpuPlatform plat;
+  const double period_s = 1.0 / 30.0;
+  soc::ThermalGpuConstraintParams p;
+  p.ambient_c = 35.0;
+  p.limits.t_max_skin_c = 39.0;
+  p.limits.t_max_junction_c = 75.0;
+  p.horizon_s = 0.0;
+  soc::ThermalGpuAdapter adapter(plat, period_s, p);
+
+  gpu::FrameDescriptor heavy;
+  heavy.render_cycles = 70e6;
+  heavy.mem_bytes = 40e6;
+  heavy.cpu_cycles = 12e6;
+  heavy.mem_exposed = 0.10;
+  const gpu::GpuConfig proposed{static_cast<int>(plat.num_freqs()) - 1,
+                                plat.params().max_slices};
+  const gpu::GpuConfig clamped = adapter.arbitrate(heavy, proposed);
+
+  ASSERT_TRUE(clamped != proposed);
+  EXPECT_LE(plat.render_ideal(heavy, clamped, period_s).pkg_dram_energy_j / period_s,
+            adapter.budget_w());
+  // Frequency throttles before slice gating.
+  if (clamped.num_slices != proposed.num_slices) {
+    EXPECT_EQ(clamped.freq_idx, 0);
+  }
+
+  // Infeasible budget bottoms out at 1 slice at minimum frequency.
+  soc::ThermalGpuConstraintParams brutal = p;
+  brutal.limits.t_max_skin_c = p.ambient_c + 0.02;
+  soc::ThermalGpuAdapter floor_adapter(plat, period_s, brutal);
+  const gpu::GpuConfig floor = floor_adapter.arbitrate(heavy, proposed);
+  EXPECT_EQ(floor.freq_idx, 0);
+  EXPECT_EQ(floor.num_slices, 1);
+}
+
+TEST(ThermalGpuAdapter, RejectsBadConstruction) {
+  gpu::GpuPlatform plat;
+  EXPECT_THROW(soc::ThermalGpuAdapter(plat, 0.0), std::invalid_argument);
+  soc::ThermalGpuConstraintParams p;
+  p.leakage.p0_w = {0.1};
+  EXPECT_THROW(soc::ThermalGpuAdapter(plat, 1.0 / 30.0, p), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,70 @@
+// CLI wrapper over core::compare_jsonl: diff two `--json` bench outputs and
+// fail (exit 1) on metric drift beyond tolerance.  CI runs it against a
+// checked-in baseline so bench metrics cannot silently regress.
+//
+// Usage: jsonl_compare <baseline.jsonl> <current.jsonl>
+//                      [--rel-tol <frac>] [--abs-tol <v>]
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "core/jsonl_compare.h"
+
+int main(int argc, char** argv) {
+  std::string baseline_path, current_path;
+  oal::core::JsonlCompareOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "jsonl_compare: %s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--rel-tol") {
+      opts.rel_tol = std::atof(value());
+    } else if (arg == "--abs-tol") {
+      opts.abs_tol = std::atof(value());
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts("usage: jsonl_compare <baseline.jsonl> <current.jsonl> "
+                "[--rel-tol <frac>] [--abs-tol <v>]");
+      return 0;
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      std::fprintf(stderr, "jsonl_compare: unexpected argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr, "usage: jsonl_compare <baseline.jsonl> <current.jsonl> "
+                         "[--rel-tol <frac>] [--abs-tol <v>]\n");
+    return 2;
+  }
+
+  try {
+    const auto baseline = oal::core::read_jsonl_file(baseline_path);
+    const auto current = oal::core::read_jsonl_file(current_path);
+    const auto res = oal::core::compare_jsonl(baseline, current, opts);
+    std::printf("jsonl_compare: %zu records, %zu metrics compared (rel_tol %.3g, abs_tol %.3g)\n",
+                res.records_compared, res.metrics_compared, opts.rel_tol, opts.abs_tol);
+    if (res.records_only_in_current > 0)
+      std::printf("  note: %zu record(s) only in current (not gated; refresh the baseline to "
+                  "track them)\n",
+                  res.records_only_in_current);
+    for (const auto& issue : res.issues) std::printf("  REGRESSION: %s\n", issue.c_str());
+    if (!res.ok()) {
+      std::printf("jsonl_compare: FAIL (%zu issues)\n", res.issues.size());
+      return 1;
+    }
+    std::puts("jsonl_compare: OK");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "jsonl_compare: %s\n", e.what());
+    return 2;
+  }
+}
