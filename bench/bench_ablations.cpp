@@ -6,22 +6,23 @@
 //  C. NMPC vs explicit NMPC: identical-task energy and decision overhead.
 //  D. Fixed forgetting factors vs STAFF for the Fig. 2 predictor.
 //
-// Sections A and B are one parallel ExperimentEngine batch (the per-arm
-// offline collection + training runs inside each scenario's controller
-// factory, i.e. on the pool).  Sections C and D fan their arms out through
-// the engine's generic map().
+// Every arm is a ScenarioRegistry entry: A and B are DRM scenarios (the
+// per-arm offline collection + training runs inside each scenario's
+// controller factory, i.e. on the pool), C and D are custom AnyScenario
+// closures that own all their state.  One parallel batch executes whatever
+// the driver's prefixes select.
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <memory>
 
+#include "bench/driver.h"
 #include "common/stats.h"
 #include "common/table.h"
-#include "core/experiment.h"
 #include "core/nmpc.h"
 #include "core/online_il.h"
-#include "core/results_io.h"
 #include "core/scenario_factories.h"
+#include "core/scenario_registry.h"
 #include "workloads/cpu_benchmarks.h"
 #include "workloads/gpu_benchmarks.h"
 
@@ -39,10 +40,8 @@ struct OnlineArmResult {
 /// Builds the online-IL arm scenario for one OnlineIlConfig.  The factory
 /// reproduces the per-arm protocol: offline collection on MiBench, policy
 /// training, model bootstrap — all per scenario, all on the worker.
-Scenario online_arm_scenario(const std::string& id, const OnlineIlConfig& cfg,
-                             std::shared_ptr<OracleCache> cache) {
+Scenario online_arm_scenario(const OnlineIlConfig& cfg, std::shared_ptr<OracleCache> cache) {
   Scenario s;
-  s.id = id;
   common::Rng seq_rng(99);
   std::vector<workloads::AppSpec> apps;
   for (const auto& a : workloads::CpuBenchmarks::of_suite(workloads::Suite::kCortex))
@@ -74,14 +73,81 @@ OnlineArmResult summarize_arm(const RunResult& res, const OnlineIlConfig& cfg) {
   return out;
 }
 
+/// Section C payload: one workload under implicit and explicit NMPC.
+struct NmpcArm {
+  GpuRunResult nmpc, enmpc;
+};
+
+/// Runs both NMPC flavors on the named workload; everything (platform,
+/// runner, traces, models) is constructed inside the closure — the custom
+/// AnyScenario determinism discipline.
+AnyScenario nmpc_vs_enmpc_arm(const std::string& id, const std::string& workload, double fps) {
+  return AnyScenario(id, [id, workload, fps] {
+    gpu::GpuPlatform plat;
+    GpuRunner runner(plat, fps);
+    const gpu::GpuConfig init{9, plat.params().max_slices};
+    const auto& spec = workloads::GpuBenchmarks::by_name(workload);
+    common::Rng trng(1000 + spec.id);
+    const auto trace = workloads::GpuBenchmarks::trace(spec, 1200, trng);
+
+    GpuOnlineModels m1(plat);
+    common::Rng b1(7);
+    bootstrap_gpu_models(plat, m1, 1.0 / fps, 400, b1);
+    NmpcConfig cfg;
+    cfg.fps_target = fps;
+    NmpcGpuController nmpc(plat, m1, cfg);
+    NmpcArm out;
+    out.nmpc = runner.run(trace, nmpc, init);
+
+    GpuOnlineModels m2(plat);
+    common::Rng b2(7);
+    bootstrap_gpu_models(plat, m2, 1.0 / fps, 400, b2);
+    ExplicitNmpcGpuController enmpc(plat, m2, cfg, 1500);
+    out.enmpc = runner.run(trace, enmpc, init);
+    Metrics m{{"nmpc_gpu_energy_j", out.nmpc.gpu_energy_j},
+              {"enmpc_gpu_energy_j", out.enmpc.gpu_energy_j},
+              {"nmpc_evals", static_cast<double>(out.nmpc.decision_evals)},
+              {"enmpc_evals", static_cast<double>(out.enmpc.decision_evals)}};
+    return AnyResult(id, std::move(out), std::move(m));
+  });
+}
+
+/// Section D: MAPE of one forgetting-factor configuration on the Fig. 2
+/// staircase schedule.
+AnyScenario staff_arm(const std::string& id, const ml::StaffConfig& cfg) {
+  return AnyScenario(id, [id, cfg] {
+    const double period = 1.0 / 30.0;
+    gpu::GpuPlatform plat;
+    common::Rng rng(5);
+    const auto trace = workloads::GpuBenchmarks::nenamark2(1000, rng);
+    StaffFrameTimePredictor pred(plat, cfg);
+    GpuWorkloadState w;
+    std::vector<double> a, p;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const gpu::GpuConfig c{4 + 4 * static_cast<int>((i / 200) % 4), 2};
+      const auto r = plat.render(trace[i], c, period);
+      if (i > 50) {
+        p.push_back(pred.predict_ms(w, c));
+        a.push_back(r.frame_time_s * 1e3);
+      }
+      pred.update(w, c, r);
+      w.observe(r, 2.0 / (1.0 + plat.params().slice_sync_overhead));
+    }
+    const double mape = common::mape(a, p);
+    return AnyResult(id, mape, Metrics{{"mape_pct", mape}});
+  });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  ExperimentEngine engine;
-  JsonlWriter json(json_path_arg(argc, argv));
-  auto cache = std::make_shared<OracleCache>();
+  bench::BenchDriver driver("ablations");
+  if (!driver.parse(argc, argv)) return driver.exit_code();
 
-  // ---- Sections A + B: one batch of online-IL configuration ablations ----
+  auto cache = std::make_shared<OracleCache>();
+  ScenarioRegistry registry;
+
+  // ---- Sections A + B: online-IL configuration ablations -------------------
   struct CandidateVariant {
     const char* name;
     bool sweeps;
@@ -91,14 +157,13 @@ int main(int argc, char** argv) {
                                        {"+ cluster sweeps", true, 0.0},
                                        {"+ exploration (full)", true, 0.15}};
 
-  std::vector<Scenario> batch;
   std::map<std::string, OnlineIlConfig> configs;
   for (std::size_t buf : {50u, 100u, 400u}) {
     OnlineIlConfig cfg;
     cfg.buffer_capacity = buf;
     const std::string id = "ablate/buffer/" + std::to_string(buf);
     configs[id] = cfg;
-    batch.push_back(online_arm_scenario(id, cfg, cache));
+    registry.add(id, [cfg, cache] { return online_arm_scenario(cfg, cache); });
   }
   for (std::size_t v = 0; v < 3; ++v) {
     OnlineIlConfig cfg;
@@ -110,87 +175,91 @@ int main(int argc, char** argv) {
     }
     const std::string id = "ablate/candidates/" + std::to_string(v);
     configs[id] = cfg;
-    batch.push_back(online_arm_scenario(id, cfg, cache));
+    registry.add(id, [cfg, cache] { return online_arm_scenario(cfg, cache); });
   }
+
+  // ---- Section C: implicit vs explicit NMPC --------------------------------
+  const double fps = 30.0;
+  const std::vector<std::string> nmpc_workloads{"EpicCitadel", "SharkDash", "GFXBench-trex"};
+  for (const std::string& name : nmpc_workloads) {
+    const std::string id = "ablate/enmpc/" + name;
+    registry.add_any(id, [id, name, fps] { return nmpc_vs_enmpc_arm(id, name, fps); });
+  }
+
+  // ---- Section D: forgetting factors ---------------------------------------
+  struct DArm {
+    std::string label;
+    ml::StaffConfig cfg;
+  };
+  std::vector<DArm> staff_arms;
+  for (double lambda : {0.90, 0.98, 0.999}) {
+    ml::StaffConfig s;
+    s.lambda_min = s.lambda_max = s.lambda_init = lambda;
+    staff_arms.push_back({"fixed lambda = " + common::Table::fmt(lambda, 3), s});
+  }
+  staff_arms.push_back({"STAFF (adaptive)", ml::StaffConfig{}});
+  for (std::size_t i = 0; i < staff_arms.size(); ++i) {
+    const std::string id = "ablate/staff/" + std::to_string(i);
+    registry.add_any(id, [id, cfg = staff_arms[i].cfg] { return staff_arm(id, cfg); });
+  }
+
+  if (driver.listing()) return driver.list(registry);
+
+  ExperimentEngine engine;
+  const auto results = engine.run_any(driver.select(registry));
+  driver.json().write(driver.bench_name(), results);
+  const bench::ResultIndex index(results);
 
   std::map<std::string, OnlineArmResult> arm;
-  for (const auto& r : engine.run_batch(batch)) {
-    json.write_metrics("ablations", r.id, drm_metrics(r.run));
-    arm.emplace(r.id, summarize_arm(r.run, configs.at(r.id)));
-  }
+  for (const auto& [id, cfg] : configs)
+    if (const AnyResult* r = index.find(id))
+      arm.emplace(id, summarize_arm(r->as<RunResult>(), cfg));
 
-  std::puts("=== A. Aggregation-buffer size (paper setting: 100) ===");
-  {
+  if (arm.count("ablate/buffer/50") || arm.count("ablate/buffer/100") ||
+      arm.count("ablate/buffer/400")) {
+    std::puts("=== A. Aggregation-buffer size (paper setting: 100) ===");
     common::Table t({"Buffer", "Energy/Oracle", "Tail E/Oracle", "Buffer bytes"});
     for (std::size_t buf : {50u, 100u, 400u}) {
-      const auto& r = arm.at("ablate/buffer/" + std::to_string(buf));
-      t.add_row({std::to_string(buf), common::Table::fmt(r.energy_ratio, 3),
-                 common::Table::fmt(r.tail_ratio, 3), std::to_string(r.buffer_bytes)});
+      const auto it = arm.find("ablate/buffer/" + std::to_string(buf));
+      if (it == arm.end()) continue;  // arm deselected by prefix
+      t.add_row({std::to_string(buf), common::Table::fmt(it->second.energy_ratio, 3),
+                 common::Table::fmt(it->second.tail_ratio, 3),
+                 std::to_string(it->second.buffer_bytes)});
     }
     t.print(std::cout);
     std::puts("100 labels per update (the paper's setting) adapts as well as larger");
     std::puts("buffers at a fraction of the storage (<20 KB with the policy).\n");
   }
 
-  std::puts("=== B. Candidate-set construction ===");
-  {
-    common::Table t({"Variant", "Energy/Oracle", "Tail E/Oracle"});
+  if (arm.count("ablate/candidates/0") || arm.count("ablate/candidates/1") ||
+      arm.count("ablate/candidates/2")) {
+    std::puts("=== B. Candidate-set construction ===");
+    common::Table tb({"Variant", "Energy/Oracle", "Tail E/Oracle"});
     for (std::size_t v = 0; v < 3; ++v) {
-      const auto& r = arm.at("ablate/candidates/" + std::to_string(v));
-      t.add_row({variants[v].name, common::Table::fmt(r.energy_ratio, 3),
-                 common::Table::fmt(r.tail_ratio, 3)});
+      const auto it = arm.find("ablate/candidates/" + std::to_string(v));
+      if (it == arm.end()) continue;
+      tb.add_row({variants[v].name, common::Table::fmt(it->second.energy_ratio, 3),
+                  common::Table::fmt(it->second.tail_ratio, 3)});
     }
-    t.print(std::cout);
+    tb.print(std::cout);
     std::puts("Single-knob moves cannot cross the cluster-off/on energy valley, and");
     std::puts("without exploration the models lock into self-confirming states.\n");
   }
 
-  std::puts("=== C. Implicit NMPC vs explicit NMPC ===");
-  {
-    const double fps = 30.0;
-    struct CArm {
-      std::string name;
-      GpuRunResult nmpc, enmpc;
-    };
-    const std::vector<std::string> names{"EpicCitadel", "SharkDash", "GFXBench-trex"};
-    const auto arms = engine.map(names, [fps](const std::string& name, std::size_t) {
-      gpu::GpuPlatform plat;
-      GpuRunner runner(plat, fps);
-      const gpu::GpuConfig init{9, plat.params().max_slices};
-      const auto& spec = workloads::GpuBenchmarks::by_name(name);
-      common::Rng trng(1000 + spec.id);
-      const auto trace = workloads::GpuBenchmarks::trace(spec, 1200, trng);
-
-      GpuOnlineModels m1(plat);
-      common::Rng b1(7);
-      bootstrap_gpu_models(plat, m1, 1.0 / fps, 400, b1);
-      NmpcConfig cfg;
-      cfg.fps_target = fps;
-      NmpcGpuController nmpc(plat, m1, cfg);
-      CArm out{name, {}, {}};
-      out.nmpc = runner.run(trace, nmpc, init);
-
-      GpuOnlineModels m2(plat);
-      common::Rng b2(7);
-      bootstrap_gpu_models(plat, m2, 1.0 / fps, 400, b2);
-      ExplicitNmpcGpuController enmpc(plat, m2, cfg, 1500);
-      out.enmpc = runner.run(trace, enmpc, init);
-      return out;
-    });
-
+  bool have_nmpc = false;
+  for (const std::string& name : nmpc_workloads) have_nmpc |= index.has("ablate/enmpc/" + name);
+  if (have_nmpc) {
+    std::puts("=== C. Implicit NMPC vs explicit NMPC ===");
     common::Table t({"Workload", "NMPC GPU J", "ENMPC GPU J", "delta (%)", "NMPC evals",
                      "ENMPC evals"});
-    for (const auto& a : arms) {
-      json.write_metrics("ablations", "ablate/enmpc/" + a.name,
-                         {{"nmpc_gpu_energy_j", a.nmpc.gpu_energy_j},
-                          {"enmpc_gpu_energy_j", a.enmpc.gpu_energy_j},
-                          {"nmpc_evals", static_cast<double>(a.nmpc.decision_evals)},
-                          {"enmpc_evals", static_cast<double>(a.enmpc.decision_evals)}});
-    }
-    for (const auto& a : arms) {
-      t.add_row({a.name, common::Table::fmt(a.nmpc.gpu_energy_j, 2),
+    for (const std::string& name : nmpc_workloads) {
+      const AnyResult* r = index.find("ablate/enmpc/" + name);
+      if (!r) continue;
+      const NmpcArm& a = r->as<NmpcArm>();
+      t.add_row({name, common::Table::fmt(a.nmpc.gpu_energy_j, 2),
                  common::Table::fmt(a.enmpc.gpu_energy_j, 2),
-                 common::Table::fmt(100.0 * (a.enmpc.gpu_energy_j / a.nmpc.gpu_energy_j - 1.0), 1),
+                 common::Table::fmt(100.0 * (a.enmpc.gpu_energy_j / a.nmpc.gpu_energy_j - 1.0),
+                                    1),
                  std::to_string(a.nmpc.decision_evals), std::to_string(a.enmpc.decision_evals)});
     }
     t.print(std::cout);
@@ -198,46 +267,16 @@ int main(int argc, char** argv) {
     std::puts("evaluations by ~an order of magnitude (144 per solve -> 2 per lookup).\n");
   }
 
-  std::puts("=== D. Forgetting factor for the Fig. 2 predictor ===");
-  {
-    const double period = 1.0 / 30.0;
-    struct DArm {
-      std::string label;
-      ml::StaffConfig cfg;
-    };
-    std::vector<DArm> arms;
-    for (double lambda : {0.90, 0.98, 0.999}) {
-      ml::StaffConfig s;
-      s.lambda_min = s.lambda_max = s.lambda_init = lambda;
-      arms.push_back({"fixed lambda = " + common::Table::fmt(lambda, 3), s});
-    }
-    arms.push_back({"STAFF (adaptive)", ml::StaffConfig{}});
-
-    const auto mapes = engine.map(arms, [period](const DArm& d, std::size_t) {
-      gpu::GpuPlatform plat;
-      common::Rng rng(5);
-      const auto trace = workloads::GpuBenchmarks::nenamark2(1000, rng);
-      StaffFrameTimePredictor pred(plat, d.cfg);
-      GpuWorkloadState w;
-      std::vector<double> a, p;
-      for (std::size_t i = 0; i < trace.size(); ++i) {
-        const gpu::GpuConfig c{4 + 4 * static_cast<int>((i / 200) % 4), 2};
-        const auto r = plat.render(trace[i], c, period);
-        if (i > 50) {
-          p.push_back(pred.predict_ms(w, c));
-          a.push_back(r.frame_time_s * 1e3);
-        }
-        pred.update(w, c, r);
-        w.observe(r, 2.0 / (1.0 + plat.params().slice_sync_overhead));
-      }
-      return common::mape(a, p);
-    });
-
+  bool have_staff = false;
+  for (std::size_t i = 0; i < staff_arms.size(); ++i)
+    have_staff |= index.has("ablate/staff/" + std::to_string(i));
+  if (have_staff) {
+    std::puts("=== D. Forgetting factor for the Fig. 2 predictor ===");
     common::Table t({"Predictor", "MAPE (%)"});
-    for (std::size_t i = 0; i < arms.size(); ++i) {
-      json.write_metrics("ablations", "ablate/staff/" + std::to_string(i),
-                         {{"mape_pct", mapes[i]}});
-      t.add_row({arms[i].label, common::Table::fmt(mapes[i], 2)});
+    for (std::size_t i = 0; i < staff_arms.size(); ++i) {
+      const AnyResult* r = index.find("ablate/staff/" + std::to_string(i));
+      if (!r) continue;
+      t.add_row({staff_arms[i].label, common::Table::fmt(r->metric("mape_pct"), 2)});
     }
     t.print(std::cout);
     std::puts("Adaptive forgetting matches the best hand-tuned fixed factor without tuning.");

@@ -3,7 +3,8 @@
 // online learning (RLS with stabilized adaptive forgetting factor and
 // online feature selection).
 //
-// The frame loop runs through ExperimentEngine as a GpuScenario: a
+// The frame loop runs through ExperimentEngine as a GpuScenario cataloged
+// in a ScenarioRegistry and driven by the shared bench driver: a
 // fixed-DVFS-schedule controller carries the STAFF predictor and logs
 // (measured, estimated) pairs, which on_complete harvests for the tables.
 //
@@ -14,11 +15,12 @@
 #include <iostream>
 #include <memory>
 
+#include "bench/driver.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/domain.h"
 #include "core/gpu_models.h"
-#include "core/results_io.h"
+#include "core/scenario_registry.h"
 #include "workloads/gpu_benchmarks.h"
 
 using namespace oal;
@@ -77,33 +79,47 @@ struct Harvest {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t num_frames = 1200;
-  const std::size_t warmup = 50;
-
-  GpuScenario s;
-  s.id = "fig2/nenamark2";
-  {
-    common::Rng rng(5);
-    s.trace = workloads::GpuBenchmarks::nenamark2(num_frames, rng);
+  std::size_t num_frames = 1200;
+  std::size_t warmup = 50;
+  bench::BenchDriver driver("fig2_frame_prediction");
+  driver.add_size_option("--frames", &num_frames, "frames in the Nenamark2-like trace");
+  driver.add_size_option("--warmup", &warmup, "unrecorded leading frames");
+  if (!driver.parse(argc, argv)) return driver.exit_code();
+  if (num_frames <= warmup) {
+    // Nothing would be recorded and the MAPE over zero frames would throw.
+    std::fprintf(stderr, "%s: --frames (%zu) must exceed --warmup (%zu)\n",
+                 driver.bench_name().c_str(), num_frames, warmup);
+    return 2;
   }
-  s.initial = gpu::GpuConfig{StaffScheduleController::freq_at(0),
-                             StaffScheduleController::kSlices};
-  s.make_controller = [num_frames, warmup](GpuScenarioContext& ctx) {
-    return GpuControllerInstance{
-        std::make_unique<StaffScheduleController>(ctx.platform, num_frames, warmup), nullptr};
-  };
+
   auto harvest = std::make_shared<Harvest>();
-  s.on_complete = [harvest](GpuController& ctl, const GpuRunResult&) {
-    auto& sched = dynamic_cast<StaffScheduleController&>(ctl);
-    harvest->actual_ms = sched.actual_ms();
-    harvest->predicted_ms = sched.predicted_ms();
-    harvest->freq_mhz = sched.freq_mhz();
-    harvest->lambda = sched.staff().model().lambda();
-    harvest->num_active = sched.staff().model().num_active();
-  };
+  ScenarioRegistry registry;
+  registry.add_any("fig2/nenamark2", [num_frames, warmup, harvest] {
+    GpuScenario s;
+    {
+      common::Rng rng(5);
+      s.trace = workloads::GpuBenchmarks::nenamark2(num_frames, rng);
+    }
+    s.initial = gpu::GpuConfig{StaffScheduleController::freq_at(0),
+                               StaffScheduleController::kSlices};
+    s.make_controller = [num_frames, warmup](GpuScenarioContext& ctx) {
+      return GpuControllerInstance{
+          std::make_unique<StaffScheduleController>(ctx.platform, num_frames, warmup), nullptr};
+    };
+    s.on_complete = [harvest](GpuController& ctl, const GpuRunResult&) {
+      auto& sched = dynamic_cast<StaffScheduleController&>(ctl);
+      harvest->actual_ms = sched.actual_ms();
+      harvest->predicted_ms = sched.predicted_ms();
+      harvest->freq_mhz = sched.freq_mhz();
+      harvest->lambda = sched.staff().model().lambda();
+      harvest->num_active = sched.staff().model().num_active();
+    };
+    return AnyScenario(std::move(s));
+  });
+  if (driver.listing()) return driver.list(registry);
 
   ExperimentEngine engine;
-  const auto results = engine.run_any({s});
+  const auto results = engine.run_any(driver.select(registry));
   const auto& actual_ms = harvest->actual_ms;
   const auto& predicted_ms = harvest->predicted_ms;
   const gpu::GpuPlatform plat;  // frequency table for the segment report
@@ -139,12 +155,11 @@ int main(int argc, char** argv) {
   std::printf("\nSTAFF state: lambda = %.4f, active features = %zu of 8\n", harvest->lambda,
               harvest->num_active);
 
-  JsonlWriter json(json_path_arg(argc, argv));
-  if (json.enabled()) {
+  if (driver.json().enabled()) {
     Metrics m = results[0].metrics();
     m.emplace_back("mape_pct", overall_mape);
     m.emplace_back("correlation", common::correlation(actual_ms, predicted_ms));
-    json.write_metrics("fig2_frame_prediction", results[0].id(), m);
+    driver.json().write_metrics(driver.bench_name(), results[0].id(), m);
   }
   return overall_mape < 8.0 ? 0 : 1;
 }

@@ -7,20 +7,19 @@
 // Accuracy here counts a decision as correct when the chosen big-cluster
 // OPP is within one 100 MHz step of the Oracle's.
 //
-// The IL and RL arms are independent ExperimentEngine scenarios sharing the
-// same trace and offline dataset; each arm trains its own policy copy and
-// the RL arm pre-trains through the Scenario warmup trace.
+// The IL and RL arms are ScenarioRegistry entries ("fig3/il", "fig3/rl")
+// sharing the same trace and offline dataset; each arm trains its own
+// policy copy and the RL arm pre-trains through the Scenario warmup trace.
 #include <cstdio>
 #include <iostream>
-#include <map>
 #include <memory>
 
+#include "bench/driver.h"
 #include "common/table.h"
-#include "core/experiment.h"
 #include "core/online_il.h"
-#include "core/results_io.h"
 #include "core/rl_controller.h"
 #include "core/scenario_factories.h"
+#include "core/scenario_registry.h"
 #include "workloads/cpu_benchmarks.h"
 
 using namespace oal;
@@ -37,57 +36,78 @@ std::vector<workloads::AppSpec> online_sequence_apps() {
   return apps;
 }
 
+/// Shared read-only artifacts, filled after the --list fast path (builders
+/// run at select() time, strictly later).
+struct SharedArtifacts {
+  std::shared_ptr<OracleCache> cache;
+  std::shared_ptr<const OfflineData> off;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  soc::BigLittlePlatform plat;
-  common::Rng rng(7);
+  bench::BenchDriver driver("fig3_convergence");
+  if (!driver.parse(argc, argv)) return driver.exit_code();
 
-  // Both arms evaluate the same trace, so the exhaustive Oracle search runs
-  // once per snippet instead of once per arm.
-  auto cache = std::make_shared<OracleCache>();
   const auto mibench = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
-  const auto off = std::make_shared<OfflineData>(
-      collect_offline_data(plat, mibench, Objective::kEnergy, 40, 6, rng, cache.get()));
+  auto shared = std::make_shared<SharedArtifacts>();
 
   common::Rng seq_rng(99);
   const auto seq = workloads::CpuBenchmarks::sequence(online_sequence_apps(), seq_rng);
-  std::printf("Online sequence: %zu snippets (Cortex + PARSEC), offline training: MiBench\n",
-              seq.size());
 
   auto il_updates = std::make_shared<std::size_t>(0);
 
-  Scenario il;
-  il.id = "fig3/il";
-  il.trace = seq;
-  il.oracle_cache = cache;
-  il.make_controller = online_il_factory(off, /*train_seed=*/5);
-  il.on_complete = [il_updates](DrmController& ctl, const RunResult&) {
-    *il_updates = dynamic_cast<OnlineIlController&>(ctl).policy_updates();
-  };
-
-  Scenario rl;
-  rl.id = "fig3/rl";
-  rl.trace = seq;
-  rl.oracle_cache = cache;
-  {
+  ScenarioRegistry registry;
+  registry.add("fig3/il", [shared, seq, il_updates] {
+    Scenario s;
+    s.trace = seq;
+    s.oracle_cache = shared->cache;
+    s.make_controller = online_il_factory(shared->off, /*train_seed=*/5);
+    s.on_complete = [il_updates](DrmController& ctl, const RunResult&) {
+      *il_updates = dynamic_cast<OnlineIlController&>(ctl).policy_updates();
+    };
+    return s;
+  });
+  registry.add("fig3/rl", [shared, seq, mibench] {
+    Scenario s;
+    s.trace = seq;
+    s.oracle_cache = shared->cache;
     common::Rng pre_rng(11);
-    rl.warmup = workloads::CpuBenchmarks::sequence(mibench, pre_rng);
+    s.warmup = workloads::CpuBenchmarks::sequence(mibench, pre_rng);
+    s.make_controller = [](ScenarioContext& ctx) {
+      return ControllerInstance{std::make_unique<QLearningController>(ctx.platform.space()),
+                                nullptr};
+    };
+    return s;
+  });
+
+  if (driver.listing()) return driver.list(registry);
+
+  // Both arms evaluate the same trace, so the exhaustive Oracle search runs
+  // once per snippet instead of once per arm.  The offline dataset is only
+  // collected when the IL arm actually runs.
+  const auto selected = driver.selection(registry);
+  shared->cache = std::make_shared<OracleCache>();
+  for (const std::string& name : selected) {
+    if (name != "fig3/il") continue;
+    soc::BigLittlePlatform plat;
+    common::Rng rng(7);
+    shared->off = std::make_shared<OfflineData>(
+        collect_offline_data(plat, mibench, Objective::kEnergy, 40, 6, rng, shared->cache.get()));
   }
-  rl.make_controller = [](ScenarioContext& ctx) {
-    return ControllerInstance{std::make_unique<QLearningController>(ctx.platform.space()),
-                              nullptr};
-  };
+  std::printf("Online sequence: %zu snippets (Cortex + PARSEC), offline training: MiBench\n",
+              seq.size());
 
   ExperimentEngine engine;
-  JsonlWriter json(json_path_arg(argc, argv));
-  std::map<std::string, RunResult> res;
-  for (auto& r : engine.run_batch({il, rl})) {
-    json.write_metrics("fig3_convergence", r.id, drm_metrics(r.run));
-    res.emplace(r.id, std::move(r.run));
-  }
-  const RunResult& res_il = res.at("fig3/il");
-  const RunResult& res_rl = res.at("fig3/rl");
+  const auto results = engine.run_any(driver.select(registry));
+  driver.json().write(driver.bench_name(), results);
+  const bench::ResultIndex index(results);
+  const AnyResult* any_il = index.find("fig3/il");
+  const AnyResult* any_rl = index.find("fig3/rl");
+  if (!any_il || !any_rl) return 0;  // subset run: the tables need both arms
+
+  const RunResult& res_il = any_il->as<RunResult>();
+  const RunResult& res_rl = any_rl->as<RunResult>();
 
   std::puts("\n=== Fig. 3: accuracy w.r.t. Oracle (big-core frequency, +/-1 OPP) ===");
   common::Table t({"Time (s)", "Online-IL accuracy (%)", "RL accuracy (%)"});

@@ -8,15 +8,18 @@
 // Paper: online-IL stays ~1.0x everywhere; RL reaches up to 1.4x.
 //
 // All 20 arms (9 offline apps x {IL, RL} + 2 online sequences) are named
-// scenarios in a ScenarioRegistry, executed as one parallel batch.
+// scenarios in a ScenarioRegistry selected through the shared bench driver
+// and executed as one parallel batch.  The offline dataset, the frozen IL
+// policy, and the pretrained RL table are shared read-only across arms and
+// are computed only when at least one arm actually runs (--list stays
+// free), through a context the builders dereference lazily.
 #include <cstdio>
 #include <iostream>
-#include <map>
 #include <memory>
 
+#include "bench/driver.h"
 #include "common/table.h"
 #include "core/online_il.h"
-#include "core/results_io.h"
 #include "core/rl_controller.h"
 #include "core/scenario_factories.h"
 #include "core/scenario_registry.h"
@@ -25,40 +28,29 @@
 using namespace oal;
 using namespace oal::core;
 
+namespace {
+
+/// Shared read-only artifacts, filled after the --list fast path (builders
+/// run at select() time, strictly later).
+struct SharedArtifacts {
+  std::shared_ptr<OracleCache> cache;
+  std::shared_ptr<const OfflineData> off;
+  std::shared_ptr<const IlPolicy> policy;
+  std::shared_ptr<const QLearningController> pretrained_rl;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  soc::BigLittlePlatform plat;
-  common::Rng rng(7);
-  // Every trace below is evaluated by both an IL and an RL arm; the shared
-  // cache runs the exhaustive Oracle search once per snippet, not per arm.
-  auto cache = std::make_shared<OracleCache>();
+  bench::BenchDriver driver("fig4_energy");
+  if (!driver.parse(argc, argv)) return driver.exit_code();
+
+  soc::BigLittlePlatform plat;  // outlives every batch (RL copies point at its space)
   const auto mibench = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
-  const auto off = std::make_shared<OfflineData>(
-      collect_offline_data(plat, mibench, Objective::kEnergy, 40, 6, rng, cache.get()));
-
-  // Frozen offline policy, shared read-only by every Offline-IL scenario.
-  auto policy = std::make_shared<IlPolicy>(plat.space());
-  {
-    common::Rng il_rng(5);
-    policy->train_offline(off->policy, il_rng);
-  }
-
-  // The tabular-Q baseline pre-trains through the MiBench sequence once (as
-  // in the paper); every RL scenario then starts from a copy of the trained
-  // table rather than redoing the identical warmup.  `plat` outlives every
-  // batch, so the copies' config-space pointer stays valid.
-  auto pretrained_rl = std::make_shared<const QLearningController>([&] {
-    QLearningController rl(plat.space());
-    common::Rng pre_rng(11);
-    const auto pre = workloads::CpuBenchmarks::sequence(mibench, pre_rng);
-    RunnerOptions fast;
-    fast.compute_oracle = false;
-    DrmRunner pre_runner(plat, fast);
-    (void)pre_runner.run(pre, rl, {4, 4, 8, 10});
-    return rl;
-  }());
-  const auto make_rl = [pretrained_rl](ScenarioContext&) {
-    return ControllerInstance{std::make_unique<QLearningController>(*pretrained_rl),
-                              pretrained_rl};
+  auto shared = std::make_shared<SharedArtifacts>();
+  const auto make_rl = [shared](ScenarioContext&) {
+    return ControllerInstance{std::make_unique<QLearningController>(*shared->pretrained_rl),
+                              shared->pretrained_rl};
   };
 
   ScenarioRegistry registry;
@@ -67,17 +59,17 @@ int main(int argc, char** argv) {
   for (const auto& app : mibench) {
     common::Rng trace_rng(300 + app.app_id);
     const auto trace = workloads::CpuBenchmarks::trace(app, 80, trace_rng);
-    registry.add("fig4/offline/" + app.name + "/il", [policy, trace, app, cache] {
+    registry.add("fig4/offline/" + app.name + "/il", [shared, trace] {
       Scenario s;
       s.trace = trace;
-      s.oracle_cache = cache;
-      s.make_controller = offline_il_factory(policy);
+      s.oracle_cache = shared->cache;
+      s.make_controller = offline_il_factory(shared->policy);
       return s;
     });
-    registry.add("fig4/offline/" + app.name + "/rl", [trace, app, make_rl, cache] {
+    registry.add("fig4/offline/" + app.name + "/rl", [shared, trace, make_rl] {
       Scenario s;
       s.trace = trace;
-      s.oracle_cache = cache;
+      s.oracle_cache = shared->cache;
       s.make_controller = make_rl;
       return s;
     });
@@ -92,20 +84,20 @@ int main(int argc, char** argv) {
   common::Rng seq_rng(99);
   const auto seq = workloads::CpuBenchmarks::sequence(online_apps, seq_rng);
 
-  registry.add("fig4/online/il", [off, seq, cache] {
+  registry.add("fig4/online/il", [shared, seq] {
     Scenario s;
     s.trace = seq;
-    s.oracle_cache = cache;
-    s.make_controller = online_il_factory(off, /*train_seed=*/5);
+    s.oracle_cache = shared->cache;
+    s.make_controller = online_il_factory(shared->off, /*train_seed=*/5);
     return s;
   });
 
   auto rl_states = std::make_shared<std::size_t>(0);
   auto rl_bytes = std::make_shared<std::size_t>(0);
-  registry.add("fig4/online/rl", [seq, make_rl, rl_states, rl_bytes, cache] {
+  registry.add("fig4/online/rl", [shared, seq, make_rl, rl_states, rl_bytes] {
     Scenario s;
     s.trace = seq;
-    s.oracle_cache = cache;
+    s.oracle_cache = shared->cache;
     s.make_controller = make_rl;
     s.on_complete = [rl_states, rl_bytes](DrmController& ctl, const RunResult&) {
       auto& rl = dynamic_cast<QLearningController&>(ctl);
@@ -115,49 +107,94 @@ int main(int argc, char** argv) {
     return s;
   });
 
-  ExperimentEngine engine;
-  JsonlWriter json(json_path_arg(argc, argv));
-  std::map<std::string, RunResult> res;
-  for (auto& r : engine.run_batch(registry.build_batch("fig4/"))) {
-    json.write_metrics("fig4_energy", r.id, drm_metrics(r.run));
-    res.emplace(r.id, std::move(r.run));
+  if (driver.listing()) return driver.list(registry);
+
+  // ---- Heavy shared setup, gated on what the prefixes actually selected ----
+  const auto selected = driver.selection(registry);
+  bool need_il = false, need_rl = false;
+  for (const std::string& name : selected) {
+    need_il |= name.size() >= 3 && name.compare(name.size() - 3, 3, "/il") == 0;
+    need_rl |= name.size() >= 3 && name.compare(name.size() - 3, 3, "/rl") == 0;
   }
+  common::Rng rng(7);
+  shared->cache = std::make_shared<OracleCache>();
+  if (need_il) {
+    // Every trace above is evaluated by both an IL and an RL arm; the shared
+    // cache runs the exhaustive Oracle search once per snippet, not per arm.
+    shared->off = std::make_shared<OfflineData>(
+        collect_offline_data(plat, mibench, Objective::kEnergy, 40, 6, rng, shared->cache.get()));
+
+    // Frozen offline policy, shared read-only by every Offline-IL scenario.
+    auto policy = std::make_shared<IlPolicy>(plat.space());
+    common::Rng il_rng(5);
+    policy->train_offline(shared->off->policy, il_rng);
+    shared->policy = policy;
+  }
+  if (need_rl) {
+    // The tabular-Q baseline pre-trains through the MiBench sequence once
+    // (as in the paper); every RL scenario then starts from a copy of the
+    // trained table rather than redoing the identical warmup.
+    shared->pretrained_rl = std::make_shared<const QLearningController>([&] {
+      QLearningController rl(plat.space());
+      common::Rng pre_rng(11);
+      const auto pre = workloads::CpuBenchmarks::sequence(mibench, pre_rng);
+      RunnerOptions fast;
+      fast.compute_oracle = false;
+      DrmRunner pre_runner(plat, fast);
+      (void)pre_runner.run(pre, rl, {4, 4, 8, 10});
+      return rl;
+    }());
+  }
+
+  ExperimentEngine engine;
+  const auto results = engine.run_any(driver.select(registry));
+  driver.json().write(driver.bench_name(), results);
+  const bench::ResultIndex index(results);
+  const auto run_of = [&](const std::string& id) -> const RunResult* {
+    const AnyResult* r = index.find(id);
+    return r ? &r->as<RunResult>() : nullptr;
+  };
 
   // "Steady" restricts online apps to their second half, after the paper's
   // few-second adaptation transient (Fig. 3) has passed.
   common::Table t({"Region", "Benchmark", "Online-IL E/Oracle", "IL steady", "RL E/Oracle"});
   for (const auto& app : mibench) {
-    const RunResult& res_il = res.at("fig4/offline/" + app.name + "/il");
-    const RunResult& res_rl = res.at("fig4/offline/" + app.name + "/rl");
-    t.add_row({"Offline", app.name, common::Table::fmt(res_il.energy_ratio(), 2),
-               common::Table::fmt(res_il.energy_ratio(), 2),
-               common::Table::fmt(res_rl.energy_ratio(), 2)});
+    const RunResult* res_il = run_of("fig4/offline/" + app.name + "/il");
+    const RunResult* res_rl = run_of("fig4/offline/" + app.name + "/rl");
+    if (!res_il || !res_rl) continue;  // arm deselected by prefix
+    t.add_row({"Offline", app.name, common::Table::fmt(res_il->energy_ratio(), 2),
+               common::Table::fmt(res_il->energy_ratio(), 2),
+               common::Table::fmt(res_rl->energy_ratio(), 2)});
   }
 
-  const RunResult& res_seq_il = res.at("fig4/online/il");
-  const RunResult& res_seq_rl = res.at("fig4/online/rl");
-  for (const auto& app : online_apps) {
-    // Steady-state ratio: second half of this app's snippets.
-    double e = 0.0, oe = 0.0;
-    std::vector<std::size_t> idx;
-    for (std::size_t i = 0; i < res_seq_il.records.size(); ++i)
-      if (res_seq_il.records[i].app_id == app.app_id) idx.push_back(i);
-    for (std::size_t k = idx.size() / 2; k < idx.size(); ++k) {
-      e += res_seq_il.records[idx[k]].energy_j;
-      oe += res_seq_il.records[idx[k]].oracle_energy_j;
+  const RunResult* res_seq_il = run_of("fig4/online/il");
+  const RunResult* res_seq_rl = run_of("fig4/online/rl");
+  if (res_seq_il && res_seq_rl) {
+    for (const auto& app : online_apps) {
+      // Steady-state ratio: second half of this app's snippets.
+      double e = 0.0, oe = 0.0;
+      std::vector<std::size_t> idx;
+      for (std::size_t i = 0; i < res_seq_il->records.size(); ++i)
+        if (res_seq_il->records[i].app_id == app.app_id) idx.push_back(i);
+      for (std::size_t k = idx.size() / 2; k < idx.size(); ++k) {
+        e += res_seq_il->records[idx[k]].energy_j;
+        oe += res_seq_il->records[idx[k]].oracle_energy_j;
+      }
+      t.add_row({"Online", app.name,
+                 common::Table::fmt(res_seq_il->energy_ratio_for_app(app.app_id), 2),
+                 common::Table::fmt(e / oe, 2),
+                 common::Table::fmt(res_seq_rl->energy_ratio_for_app(app.app_id), 2)});
     }
-    t.add_row({"Online", app.name,
-               common::Table::fmt(res_seq_il.energy_ratio_for_app(app.app_id), 2),
-               common::Table::fmt(e / oe, 2),
-               common::Table::fmt(res_seq_rl.energy_ratio_for_app(app.app_id), 2)});
   }
 
   std::puts("=== Fig. 4: energy consumption w.r.t. Oracle (IL vs RL) ===");
   t.print(std::cout);
-  std::printf("\nSequence totals: online-IL %.3fx, RL %.3fx (paper: IL ~1.0x, RL up to 1.4x)\n",
-              res_seq_il.energy_ratio(), res_seq_rl.energy_ratio());
-  std::printf("Tabular-RL storage grew to %zu states (%zu bytes) — the storage argument\n",
-              *rl_states, *rl_bytes);
-  std::puts("against table-based RL in Section IV-A2.");
+  if (res_seq_il && res_seq_rl) {
+    std::printf("\nSequence totals: online-IL %.3fx, RL %.3fx (paper: IL ~1.0x, RL up to 1.4x)\n",
+                res_seq_il->energy_ratio(), res_seq_rl->energy_ratio());
+    std::printf("Tabular-RL storage grew to %zu states (%zu bytes) — the storage argument\n",
+                *rl_states, *rl_bytes);
+    std::puts("against table-based RL in Section IV-A2.");
+  }
   return 0;
 }

@@ -3,19 +3,22 @@
 // the GPU alone, for the system package (PKG), and for package plus memory
 // (PKG+DRAM), across ten graphics workloads.
 //
-// The twenty arms (10 workloads x {baseline, ENMPC}) are GpuScenarios in one
-// parallel ExperimentEngine batch; each scenario owns its platform instance
-// and the ENMPC arms bootstrap + fit their explicit law on the worker.
+// The twenty arms (10 workloads x {baseline, ENMPC}) plus the
+// skin-temperature budget sweep are one ScenarioRegistry catalog
+// ("fig5/<workload>/<arm>", "fig5_thermal/<workload>/skin<limit>") executed
+// as one parallel batch through the shared bench driver; each scenario owns
+// its platform instance and the ENMPC arms bootstrap + fit their explicit
+// law on the worker.
 //
 // Paper: GPU savings range from 5% (AngryBirds) to 58% (SharkDash), average
 // ~25%; PKG and PKG+DRAM save ~15%; performance overhead is ~0.4%.
 #include <cstdio>
 #include <iostream>
-#include <map>
 
+#include "bench/driver.h"
 #include "common/table.h"
 #include "core/domain.h"
-#include "core/results_io.h"
+#include "core/scenario_registry.h"
 #include "core/scenario_factories.h"
 #include "workloads/gpu_benchmarks.h"
 
@@ -24,63 +27,29 @@ using namespace oal::core;
 
 int main(int argc, char** argv) {
   const double fps = 30.0;
-  const std::size_t frames = 1800;  // 60 s at 30 FPS per workload
+  std::size_t frames = 1800;  // 60 s at 30 FPS per workload
+  bench::BenchDriver driver("fig5_enmpc");
+  driver.add_size_option("--frames", &frames, "frames per workload trace");
+  if (!driver.parse(argc, argv)) return driver.exit_code();
+
   NmpcConfig cfg;
   cfg.fps_target = fps;
 
-  std::vector<AnyScenario> batch;
+  ScenarioRegistry registry;
   for (const auto& spec : workloads::GpuBenchmarks::fig5_suite()) {
-    common::Rng trng(1000 + spec.id);
-    const auto trace = workloads::GpuBenchmarks::trace(spec, frames, trng);
     for (const char* arm : {"baseline", "enmpc"}) {
-      GpuScenario s;
-      s.id = "fig5/" + spec.name + "/" + arm;
-      s.fps_target = fps;
-      s.trace = trace;
-      s.initial = gpu::GpuConfig{9, s.platform.max_slices};
-      s.make_controller = arm == std::string("baseline") ? gpu_baseline_factory()
-                                                         : gpu_enmpc_factory(cfg, 1500);
-      batch.push_back(std::move(s));
+      const bool baseline = arm == std::string("baseline");
+      registry.add_any("fig5/" + spec.name + "/" + arm, [spec, frames, fps, cfg, baseline] {
+        common::Rng trng(1000 + spec.id);
+        GpuScenario s;
+        s.fps_target = fps;
+        s.trace = workloads::GpuBenchmarks::trace(spec, frames, trng);
+        s.initial = gpu::GpuConfig{9, s.platform.max_slices};
+        s.make_controller = baseline ? gpu_baseline_factory() : gpu_enmpc_factory(cfg, 1500);
+        return AnyScenario(std::move(s));
+      });
     }
   }
-
-  ExperimentEngine engine;
-  const auto results = engine.run_any(batch);
-  JsonlWriter json(json_path_arg(argc, argv));
-  json.write("fig5_enmpc", results);
-
-  std::map<std::string, const GpuRunResult*> by_id;
-  for (const auto& r : results) by_id.emplace(r.id(), &r.as<GpuRunResult>());
-
-  std::puts("=== Fig. 5: energy savings of explicit NMPC vs baseline governor ===");
-  common::Table t({"Workload", "GPU (%)", "PKG (%)", "PKG+DRAM (%)", "Miss base", "Miss ENMPC"});
-  double sum_gpu = 0.0, sum_pkg = 0.0, sum_dram = 0.0;
-  double miss_base_total = 0.0, miss_enmpc_total = 0.0;
-  int n = 0;
-  for (const auto& spec : workloads::GpuBenchmarks::fig5_suite()) {
-    const GpuRunResult& rb = *by_id.at("fig5/" + spec.name + "/baseline");
-    const GpuRunResult& re = *by_id.at("fig5/" + spec.name + "/enmpc");
-    const double g = 100.0 * (1.0 - re.gpu_energy_j / rb.gpu_energy_j);
-    const double p = 100.0 * (1.0 - re.pkg_energy_j / rb.pkg_energy_j);
-    const double d = 100.0 * (1.0 - re.pkg_dram_energy_j / rb.pkg_dram_energy_j);
-    sum_gpu += g;
-    sum_pkg += p;
-    sum_dram += d;
-    miss_base_total += rb.miss_rate();
-    miss_enmpc_total += re.miss_rate();
-    ++n;
-    t.add_row({spec.name, common::Table::fmt(g, 1), common::Table::fmt(p, 1),
-               common::Table::fmt(d, 1), common::Table::fmt(100.0 * rb.miss_rate(), 2) + "%",
-               common::Table::fmt(100.0 * re.miss_rate(), 2) + "%"});
-  }
-  t.add_row({"Average", common::Table::fmt(sum_gpu / n, 1), common::Table::fmt(sum_pkg / n, 1),
-             common::Table::fmt(sum_dram / n, 1),
-             common::Table::fmt(100.0 * miss_base_total / n, 2) + "%",
-             common::Table::fmt(100.0 * miss_enmpc_total / n, 2) + "%"});
-  t.print(std::cout);
-  std::puts("\nPaper: GPU 5%..58% (avg ~25%), PKG ~15%, PKG+DRAM ~15%, perf overhead ~0.4%.");
-  std::printf("Performance overhead here: %.2f%% extra deadline misses on average.\n",
-              100.0 * (miss_enmpc_total - miss_base_total) / n);
 
   // ---- GPU budget sweep: ENMPC under a skin-temperature budget -------------
   // ThermalGpuScenario couples the frame loop into the RC network's (hitherto
@@ -89,51 +58,97 @@ int main(int argc, char** argv) {
   // (frequency first, then slice gating).  Sweeping the skin limit in a hot
   // enclosure shows the budget progressively binding: clamp rate and
   // deadline misses rise as the allowed skin temperature drops.
-  std::puts("\n=== ENMPC under a skin-temperature budget (hot enclosure, 35 C ambient) ===");
+  const auto thermal_spec = workloads::GpuBenchmarks::by_name("AngryBirds");
+  const std::vector<double> skin_limits{45.0, 41.0, 39.0, 37.5};
+  for (double limit : skin_limits) {
+    registry.add_any("fig5_thermal/" + thermal_spec.name + "/skin" + common::Table::fmt(limit, 1),
+                     [thermal_spec, frames, fps, cfg, limit] {
+                       common::Rng trng(1000 + thermal_spec.id);
+                       GpuScenario s;
+                       s.fps_target = fps;
+                       s.trace = workloads::GpuBenchmarks::trace(thermal_spec, frames, trng);
+                       s.initial = gpu::GpuConfig{9, s.platform.max_slices};
+                       s.make_controller = gpu_enmpc_factory(cfg, 1500);
+                       soc::ThermalGpuConstraintParams thermal;
+                       thermal.ambient_c = 35.0;
+                       thermal.limits.t_max_skin_c = limit;
+                       thermal.limits.t_max_junction_c = 75.0;
+                       thermal.horizon_s = 0.0;  // steady-state budget
+                       return AnyScenario(ThermalGpuScenario{std::move(s), thermal});
+                     });
+  }
+
+  if (driver.listing()) return driver.list(registry);
+
+  ExperimentEngine engine;
+  const auto results = engine.run_any(driver.select(registry));
+  driver.json().write(driver.bench_name(), results);
+  const bench::ResultIndex index(results);
+
+  bool printed_fig5 = false;
   {
-    const auto spec = workloads::GpuBenchmarks::by_name("AngryBirds");
-    common::Rng trng(1000 + spec.id);
-    const auto trace = workloads::GpuBenchmarks::trace(spec, frames, trng);
-    const std::vector<double> skin_limits{45.0, 41.0, 39.0, 37.5};
-
-    std::vector<AnyScenario> tbatch;
-    for (double limit : skin_limits) {
-      GpuScenario s;
-      s.id = "fig5_thermal/" + spec.name + "/skin" + common::Table::fmt(limit, 1);
-      s.fps_target = fps;
-      s.trace = trace;
-      s.initial = gpu::GpuConfig{9, s.platform.max_slices};
-      s.make_controller = gpu_enmpc_factory(cfg, 1500);
-      soc::ThermalGpuConstraintParams thermal;
-      thermal.ambient_c = 35.0;
-      thermal.limits.t_max_skin_c = limit;
-      thermal.limits.t_max_junction_c = 75.0;
-      thermal.horizon_s = 0.0;  // steady-state max_sustainable_power budget
-      tbatch.emplace_back(ThermalGpuScenario{std::move(s), thermal});
+    common::Table t({"Workload", "GPU (%)", "PKG (%)", "PKG+DRAM (%)", "Miss base",
+                     "Miss ENMPC"});
+    double sum_gpu = 0.0, sum_pkg = 0.0, sum_dram = 0.0;
+    double miss_base_total = 0.0, miss_enmpc_total = 0.0;
+    int n = 0;
+    for (const auto& spec : workloads::GpuBenchmarks::fig5_suite()) {
+      const AnyResult* b = index.find("fig5/" + spec.name + "/baseline");
+      const AnyResult* e = index.find("fig5/" + spec.name + "/enmpc");
+      if (!b || !e) continue;  // arm deselected by prefix
+      const GpuRunResult& rb = b->as<GpuRunResult>();
+      const GpuRunResult& re = e->as<GpuRunResult>();
+      const double g = 100.0 * (1.0 - re.gpu_energy_j / rb.gpu_energy_j);
+      const double p = 100.0 * (1.0 - re.pkg_energy_j / rb.pkg_energy_j);
+      const double d = 100.0 * (1.0 - re.pkg_dram_energy_j / rb.pkg_dram_energy_j);
+      sum_gpu += g;
+      sum_pkg += p;
+      sum_dram += d;
+      miss_base_total += rb.miss_rate();
+      miss_enmpc_total += re.miss_rate();
+      ++n;
+      t.add_row({spec.name, common::Table::fmt(g, 1), common::Table::fmt(p, 1),
+                 common::Table::fmt(d, 1), common::Table::fmt(100.0 * rb.miss_rate(), 2) + "%",
+                 common::Table::fmt(100.0 * re.miss_rate(), 2) + "%"});
     }
-    const auto tres = engine.run_any(tbatch);
-    json.write("fig5_enmpc", tres);
+    if (n > 0) {
+      printed_fig5 = true;
+      std::puts("=== Fig. 5: energy savings of explicit NMPC vs baseline governor ===");
+      t.add_row({"Average", common::Table::fmt(sum_gpu / n, 1),
+                 common::Table::fmt(sum_pkg / n, 1), common::Table::fmt(sum_dram / n, 1),
+                 common::Table::fmt(100.0 * miss_base_total / n, 2) + "%",
+                 common::Table::fmt(100.0 * miss_enmpc_total / n, 2) + "%"});
+      t.print(std::cout);
+      std::puts("\nPaper: GPU 5%..58% (avg ~25%), PKG ~15%, PKG+DRAM ~15%, perf overhead ~0.4%.");
+      std::printf("Performance overhead here: %.2f%% extra deadline misses on average.\n",
+                  100.0 * (miss_enmpc_total - miss_base_total) / n);
+    }
+  }
 
-    std::map<std::string, const AnyResult*> tres_by_id;
-    for (const auto& r : tres) tres_by_id.emplace(r.id(), &r);
-
-    common::Table tt({"Skin limit (C)", "Budget (W)", "Clamped", "Peak skin (C)",
-                      "GPU E (J)", "Miss rate"});
-    for (std::size_t i = 0; i < tres.size(); ++i) {
-      // run_any sorts by id; recover sweep order by lookup instead.
-      const AnyResult* r = tres_by_id.at("fig5_thermal/" + spec.name + "/skin" +
-                                         common::Table::fmt(skin_limits[i], 1));
+  {
+    common::Table tt({"Skin limit (C)", "Budget (W)", "Clamped", "Peak skin (C)", "GPU E (J)",
+                      "Miss rate"});
+    int n = 0;
+    for (double limit : skin_limits) {
+      const AnyResult* r = index.find("fig5_thermal/" + thermal_spec.name + "/skin" +
+                                      common::Table::fmt(limit, 1));
+      if (!r) continue;
+      ++n;
       const double clamp_pct = 100.0 * r->metric("clamped_frames") / r->metric("frames");
-      tt.add_row({common::Table::fmt(skin_limits[i], 1),
-                  common::Table::fmt(r->metric("final_budget_w"), 2),
+      tt.add_row({common::Table::fmt(limit, 1), common::Table::fmt(r->metric("final_budget_w"), 2),
                   common::Table::fmt(clamp_pct, 0) + "%",
                   common::Table::fmt(r->metric("peak_skin_c"), 1),
                   common::Table::fmt(r->metric("gpu_energy_j"), 2),
                   common::Table::fmt(100.0 * r->metric("miss_rate"), 2) + "%"});
     }
-    tt.print(std::cout);
-    std::puts("Tighter skin limits shrink the sustainable budget; the budgeter trades");
-    std::puts("deadline misses for skin safety once ENMPC's preferred configs no longer fit.");
+    if (n > 0) {
+      std::printf("%s=== ENMPC under a skin-temperature budget (hot enclosure, 35 C ambient) "
+                  "===\n",
+                  printed_fig5 ? "\n" : "");
+      tt.print(std::cout);
+      std::puts("Tighter skin limits shrink the sustainable budget; the budgeter trades");
+      std::puts("deadline misses for skin safety once ENMPC's preferred configs no longer fit.");
+    }
   }
   return 0;
 }

@@ -6,25 +6,62 @@
 // Paper values: ~1.00-1.01 on MiBench, 1.09-1.76 on Cortex, 1.47-1.86 on
 // PARSEC — the offline policy fails to generalize across suites.
 //
-// The nine per-app evaluations are independent scenarios executed in
-// parallel by ExperimentEngine; the offline policy is trained once and
-// shared read-only across scenarios (OfflineIlController never mutates it).
+// The nine per-app evaluations are ScenarioRegistry arms
+// ("table2/<benchmark>") executed in parallel; the offline policy is
+// trained once — after the --list fast path — and shared read-only across
+// scenarios (OfflineIlController never mutates it).
 #include <cstdio>
 #include <iostream>
-#include <map>
 #include <memory>
 
+#include "bench/driver.h"
 #include "common/table.h"
-#include "core/experiment.h"
 #include "core/online_il.h"
-#include "core/results_io.h"
 #include "core/scenario_factories.h"
+#include "core/scenario_registry.h"
 #include "workloads/cpu_benchmarks.h"
 
 using namespace oal;
 using namespace oal::core;
 
+namespace {
+
+/// Shared read-only artifacts, filled after the --list fast path (builders
+/// run at select() time, strictly later).
+struct SharedArtifacts {
+  std::shared_ptr<OracleCache> cache;
+  std::shared_ptr<const IlPolicy> policy;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  bench::BenchDriver driver("table2_offline_il");
+  if (!driver.parse(argc, argv)) return driver.exit_code();
+
+  struct Row {
+    const char* name;
+    const char* paper;
+  };
+  const Row rows[] = {{"BML", "1.00"},       {"Dijkstra", "1.01"}, {"FFT", "1.00"},
+                      {"Qsort", "1.00"},     {"MotionEst", "1.13"}, {"Spectral", "1.09"},
+                      {"Kmeans", "1.76"},    {"Blkschls-2T", "1.86"}, {"Blkschls-4T", "1.47"}};
+
+  auto shared = std::make_shared<SharedArtifacts>();
+  ScenarioRegistry registry;
+  for (const Row& row : rows) {
+    const auto& app = workloads::CpuBenchmarks::by_name(row.name);
+    registry.add(std::string("table2/") + row.name, [shared, app] {
+      Scenario s;
+      common::Rng trace_rng(300 + app.app_id);
+      s.trace = workloads::CpuBenchmarks::trace(app, 80, trace_rng);
+      s.oracle_cache = shared->cache;
+      s.make_controller = offline_il_factory(shared->policy);
+      return s;
+    });
+  }
+  if (driver.listing()) return driver.list(registry);
+
   std::puts("=== Table I: data collected in each snippet ===");
   common::Table t1({"Counter", "Counter"});
   t1.add_row({"Instructions Retired", "Noncache External Memory Requests"});
@@ -37,50 +74,33 @@ int main(int argc, char** argv) {
   // Offline phase: Oracle construction + IL training on MiBench only.
   soc::BigLittlePlatform plat;
   common::Rng rng(7);
-  auto cache = std::make_shared<OracleCache>();
+  shared->cache = std::make_shared<OracleCache>();
   const auto mibench = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
   const auto off =
       collect_offline_data(plat, mibench, Objective::kEnergy,
-                           /*snippets_per_app=*/40, /*configs_per_snippet=*/6, rng, cache.get());
-  auto policy = std::make_shared<IlPolicy>(plat.space());
-  policy->train_offline(off.policy, rng);
-  std::printf("\nOffline IL policy: %zu params, %zu bytes (paper budget: <20 KB)\n",
-              policy->num_params(), policy->storage_bytes());
-
-  struct Row {
-    const char* name;
-    const char* paper;
-  };
-  const Row rows[] = {{"BML", "1.00"},       {"Dijkstra", "1.01"}, {"FFT", "1.00"},
-                      {"Qsort", "1.00"},     {"MotionEst", "1.13"}, {"Spectral", "1.09"},
-                      {"Kmeans", "1.76"},    {"Blkschls-2T", "1.86"}, {"Blkschls-4T", "1.47"}};
-
-  std::vector<Scenario> batch;
-  for (const Row& row : rows) {
-    const auto& app = workloads::CpuBenchmarks::by_name(row.name);
-    Scenario s;
-    s.id = row.name;
-    common::Rng trace_rng(300 + app.app_id);
-    s.trace = workloads::CpuBenchmarks::trace(app, 80, trace_rng);
-    s.oracle_cache = cache;
-    s.make_controller = offline_il_factory(policy);
-    batch.push_back(std::move(s));
+                           /*snippets_per_app=*/40, /*configs_per_snippet=*/6, rng,
+                           shared->cache.get());
+  {
+    auto policy = std::make_shared<IlPolicy>(plat.space());
+    policy->train_offline(off.policy, rng);
+    shared->policy = policy;
   }
+  std::printf("\nOffline IL policy: %zu params, %zu bytes (paper budget: <20 KB)\n",
+              shared->policy->num_params(), shared->policy->storage_bytes());
 
   ExperimentEngine engine;
-  JsonlWriter json(json_path_arg(argc, argv));
-  std::map<std::string, RunResult> by_id;
-  for (auto& r : engine.run_batch(batch)) {
-    json.write_metrics("table2_offline_il", r.id, drm_metrics(r.run));
-    by_id.emplace(r.id, std::move(r.run));
-  }
+  const auto results = engine.run_any(driver.select(registry));
+  driver.json().write(driver.bench_name(), results);
+  const bench::ResultIndex index(results);
 
   std::puts("\n=== Table II: normalized energy of the offline-only IL policy ===");
   common::Table t2({"Suite", "Benchmark", "Normalized energy (this repro)", "Paper"});
   for (const Row& row : rows) {
+    const AnyResult* r = index.find(std::string("table2/") + row.name);
+    if (!r) continue;  // arm deselected by prefix
     const auto& app = workloads::CpuBenchmarks::by_name(row.name);
     t2.add_row({workloads::suite_name(app.suite), row.name,
-                common::Table::fmt(by_id.at(row.name).energy_ratio(), 2), row.paper});
+                common::Table::fmt(r->as<RunResult>().energy_ratio(), 2), row.paper});
   }
   t2.print(std::cout);
   std::puts("\nShape check: MiBench ~1.0 (training suite); Cortex and PARSEC");

@@ -10,7 +10,6 @@
 #include <memory>
 
 #include "common/table.h"
-#include "core/governors.h"
 #include "core/online_il.h"
 #include "core/scenario_factories.h"
 #include "core/scenario_registry.h"
@@ -43,20 +42,10 @@ int main() {
       return s;
     });
   };
-  add_governor("1-performance", [](ScenarioContext& ctx) {
-    return ControllerInstance{std::make_unique<PerformanceGovernor>(ctx.platform.space()),
-                              nullptr};
-  });
-  add_governor("2-powersave", [](ScenarioContext&) {
-    return ControllerInstance{std::make_unique<PowersaveGovernor>(), nullptr};
-  });
-  add_governor("3-ondemand", [](ScenarioContext& ctx) {
-    return ControllerInstance{std::make_unique<OndemandGovernor>(ctx.platform.space()), nullptr};
-  });
-  add_governor("4-interactive", [](ScenarioContext& ctx) {
-    return ControllerInstance{std::make_unique<InteractiveGovernor>(ctx.platform.space()),
-                              nullptr};
-  });
+  add_governor("1-performance", governor_factory("performance"));
+  add_governor("2-powersave", governor_factory("powersave"));
+  add_governor("3-ondemand", governor_factory("ondemand"));
+  add_governor("4-interactive", governor_factory("interactive"));
   add_governor("5-online-il", online_il_factory(off, /*train_seed=*/7));
 
   // Harvest the display name of each controller as its scenario runs.  Each

@@ -208,6 +208,21 @@ AnyScenario::AnyScenario(ThermalGpuScenario s) : id_(s.base.id) {
   run_ = [sp] { return run_thermal_gpu_scenario(*sp); };
 }
 
+AnyScenario AnyScenario::renamed(std::string id) const {
+  AnyScenario out;
+  out.id_ = id;
+  if (run_) {
+    // The inner closure bakes the original id into its AnyResult; rewrite it
+    // on the way out so callers only ever see the imposed name.
+    out.run_ = [inner = run_, id = std::move(id)] {
+      AnyResult r = inner();
+      r.id_ = id;
+      return r;
+    };
+  }
+  return out;
+}
+
 AnyResult AnyScenario::run() const {
   if (!run_) throw std::logic_error("AnyScenario::run: empty scenario");
   return run_();

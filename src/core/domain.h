@@ -81,6 +81,8 @@ class AnyResult {
   }
 
  private:
+  friend class AnyScenario;  // renamed(): registry names override payload ids
+
   std::string id_;
   Metrics metrics_;
   std::shared_ptr<const void> payload_;
@@ -208,6 +210,11 @@ class AnyScenario {
 
   const std::string& id() const { return id_; }
   bool runnable() const { return static_cast<bool>(run_); }
+
+  /// Copy under a different id; run() results carry the new id too.  This is
+  /// how ScenarioRegistry imposes its catalog name on a built scenario (the
+  /// same contract as build() overriding Scenario::id).
+  AnyScenario renamed(std::string id) const;
 
   /// Executes the scenario in the calling thread.
   AnyResult run() const;

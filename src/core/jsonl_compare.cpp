@@ -214,11 +214,64 @@ std::vector<JsonlRecord> read_jsonl_file(const std::string& path) {
   return read_jsonl(in);
 }
 
+namespace {
+
+/// '*'-terminated filter elements match by prefix, everything else exactly.
+bool metric_selector_matches(const std::string& selector, const std::string& name) {
+  if (!selector.empty() && selector.back() == '*')
+    return name.compare(0, selector.size() - 1, selector, 0, selector.size() - 1) == 0;
+  return name == selector;
+}
+
+}  // namespace
+
 JsonlCompareResult compare_jsonl(const std::vector<JsonlRecord>& baseline,
                                  const std::vector<JsonlRecord>& current,
                                  const JsonlCompareOptions& opts) {
   JsonlCompareResult res;
   const auto key_of = [](const JsonlRecord& r) { return r.bench + "\x1f" + r.id; };
+
+  // Validate the metric filter and the tolerance overrides against every
+  // metric name the baseline mentions (finite or null): a name that matches
+  // nothing is a typo that would silently gate nothing / override nothing.
+  const auto known_metric = [&](const std::string& selector) {
+    for (const JsonlRecord& r : baseline) {
+      for (const Metric& m : r.metrics)
+        if (metric_selector_matches(selector, m.first)) return true;
+      for (const std::string& n : r.null_metrics)
+        if (metric_selector_matches(selector, n)) return true;
+    }
+    return false;
+  };
+  for (const std::string& selector : opts.metrics)
+    if (!known_metric(selector))
+      res.issues.push_back("--metrics selector '" + selector +
+                           "' matches no metric in the baseline");
+  // Overrides are applied by exact name lookup, so validate them the same
+  // way — a prefix-form key ("sim_*") would pass the selector check yet
+  // silently override nothing.
+  const auto known_exact = [&](const std::string& name) {
+    for (const JsonlRecord& r : baseline) {
+      for (const Metric& m : r.metrics)
+        if (m.first == name) return true;
+      for (const std::string& n : r.null_metrics)
+        if (n == name) return true;
+    }
+    return false;
+  };
+  for (const auto* overrides : {&opts.rel_tol_for, &opts.abs_tol_for})
+    for (const auto& [name, tol] : *overrides) {
+      (void)tol;
+      if (!known_exact(name))
+        res.issues.push_back("tolerance override for unknown metric '" + name + "'");
+    }
+
+  const auto selected = [&](const std::string& name) {
+    if (opts.metrics.empty()) return true;
+    for (const std::string& selector : opts.metrics)
+      if (metric_selector_matches(selector, name)) return true;
+    return false;
+  };
   const auto flag_duplicates = [&](const std::vector<JsonlRecord>& records, const char* which) {
     std::map<std::string, std::size_t> seen;
     for (const JsonlRecord& r : records) {
@@ -251,10 +304,12 @@ JsonlCompareResult compare_jsonl(const std::vector<JsonlRecord>& baseline,
     // backwards for a metric that was broken on the day the baseline was
     // refreshed.  Surface it as a failure so the baseline gets fixed.
     for (const std::string& name : base.null_metrics)
-      res.issues.push_back(base.id + ": baseline metric '" + name +
-                           "' is null (non-finite) — ungatable; fix the bench or refresh the "
-                           "baseline");
+      if (selected(name))
+        res.issues.push_back(base.id + ": baseline metric '" + name +
+                             "' is null (non-finite) — ungatable; fix the bench or refresh the "
+                             "baseline");
     for (const Metric& bm : base.metrics) {
+      if (!selected(bm.first)) continue;
       if (!cur.metrics.empty()) {
         // Metrics keep insertion order; look up by name.
         const Metric* found = nullptr;
@@ -266,7 +321,11 @@ JsonlCompareResult compare_jsonl(const std::vector<JsonlRecord>& baseline,
         if (found) {
           ++res.metrics_compared;
           const double diff = std::abs(found->second - bm.second);
-          const double tol = std::max(opts.abs_tol, opts.rel_tol * std::abs(bm.second));
+          const auto rit = opts.rel_tol_for.find(bm.first);
+          const auto ait = opts.abs_tol_for.find(bm.first);
+          const double rel = rit != opts.rel_tol_for.end() ? rit->second : opts.rel_tol;
+          const double abs = ait != opts.abs_tol_for.end() ? ait->second : opts.abs_tol;
+          const double tol = std::max(abs, rel * std::abs(bm.second));
           if (diff > tol) {
             std::ostringstream msg;
             msg.precision(10);

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,19 @@ struct JsonlCompareOptions {
   /// (metrics do not declare whether higher or lower is better).
   double rel_tol = 0.02;
   double abs_tol = 1e-9;
+  /// When non-empty, only baseline metrics selected by these elements are
+  /// gated (an element ending in '*' matches by prefix, otherwise exactly);
+  /// everything else — including null baseline metrics — is ignored.  This
+  /// is how benches with chaotic metrics (libm divergence across compilers)
+  /// gate their stable subset.  An element that selects no metric present
+  /// anywhere in the baseline is an error: a typo would otherwise silently
+  /// gate nothing.
+  std::vector<std::string> metrics;
+  /// Per-metric-name tolerance overrides; keys are exact metric names (no
+  /// '*' prefixes) and must be present in the baseline — unknown keys are
+  /// errors so a typo cannot silently loosen nothing.
+  std::map<std::string, double> rel_tol_for;
+  std::map<std::string, double> abs_tol_for;
 };
 
 struct JsonlCompareResult {

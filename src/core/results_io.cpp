@@ -52,9 +52,9 @@ std::string json_path_arg(int argc, char** argv) {
   return "";
 }
 
-JsonlWriter::JsonlWriter(const std::string& path) {
+JsonlWriter::JsonlWriter(const std::string& path, Mode mode) {
   if (path.empty()) return;
-  out_.open(path, std::ios::out | std::ios::trunc);
+  out_.open(path, std::ios::out | (mode == Mode::kAppend ? std::ios::app : std::ios::trunc));
   if (!out_) throw std::runtime_error("JsonlWriter: cannot open '" + path + "'");
 }
 

@@ -21,9 +21,17 @@ std::string json_path_arg(int argc, char** argv);
 
 /// Append-per-call JSONL sink.  Constructing with an empty path disables all
 /// writes (so benches can call it unconditionally); a bad path throws.
+///
+/// The default open mode is kAppend, matching the append-per-call contract
+/// across processes: several benches pointed at one --json path each add
+/// their records instead of the last bench truncating the earlier ones.
+/// Pass kTruncate to start a file over (e.g. when refreshing a checked-in
+/// baseline in place).
 class JsonlWriter {
  public:
-  explicit JsonlWriter(const std::string& path);
+  enum class Mode { kAppend, kTruncate };
+
+  explicit JsonlWriter(const std::string& path, Mode mode = Mode::kAppend);
 
   bool enabled() const { return out_.is_open(); }
 

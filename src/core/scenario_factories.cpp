@@ -1,5 +1,9 @@
 #include "core/scenario_factories.h"
 
+#include <stdexcept>
+
+#include "core/governors.h"
+
 namespace oal::core {
 
 namespace {
@@ -30,6 +34,33 @@ ControllerInstance make_online_il(ScenarioContext& ctx, const OfflineData& off,
 }
 
 }  // namespace
+
+ControllerFactory governor_factory(const std::string& name) {
+  if (name == "ondemand") {
+    return [](ScenarioContext& ctx) {
+      return ControllerInstance{std::make_unique<OndemandGovernor>(ctx.platform.space()),
+                                nullptr};
+    };
+  }
+  if (name == "interactive") {
+    return [](ScenarioContext& ctx) {
+      return ControllerInstance{std::make_unique<InteractiveGovernor>(ctx.platform.space()),
+                                nullptr};
+    };
+  }
+  if (name == "performance") {
+    return [](ScenarioContext& ctx) {
+      return ControllerInstance{std::make_unique<PerformanceGovernor>(ctx.platform.space()),
+                                nullptr};
+    };
+  }
+  if (name == "powersave") {
+    return [](ScenarioContext&) {
+      return ControllerInstance{std::make_unique<PowersaveGovernor>(), nullptr};
+    };
+  }
+  throw std::invalid_argument("governor_factory: unknown governor '" + name + "'");
+}
 
 ControllerFactory offline_il_factory(std::shared_ptr<const IlPolicy> policy) {
   return [policy](ScenarioContext& ctx) {

@@ -19,6 +19,11 @@
 
 namespace oal::core {
 
+/// Linux-style heuristic governor by name ("ondemand", "interactive",
+/// "performance", "powersave") — the baselines every DRM study compares
+/// against.  Throws std::invalid_argument on unknown names.
+ControllerFactory governor_factory(const std::string& name);
+
 /// Frozen offline policy, shared read-only across scenarios
 /// (OfflineIlController never mutates it).
 ControllerFactory offline_il_factory(std::shared_ptr<const IlPolicy> policy);

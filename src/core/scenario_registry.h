@@ -1,13 +1,21 @@
-// Named scenario catalog.
+// Named scenario catalog across every experiment domain.
 //
-// Benches and examples describe their experiment arms as named Scenario
-// builders ("fig4/offline/FFT/il", "governors/ondemand", ...) registered
-// here, then hand a prefix-selected batch to ExperimentEngine.  Names use
-// '/'-separated segments so one registry can hold several scenario families
-// and a batch can be cut by family prefix; the builder runs lazily at
-// build() time so registering a large catalog stays free.  Built scenarios
-// get their registry name as Scenario::id, which is also the deterministic
-// result order of ExperimentEngine::run_batch.
+// Benches and examples describe their experiment arms as named scenario
+// builders ("fig4/offline/FFT/il", "fig5/SharkDash/enmpc",
+// "model/0/1", ...) registered here, then hand a prefix-selected batch to
+// ExperimentEngine.  Names use '/'-separated segments so one registry can
+// hold several scenario families and a batch can be cut by family prefix;
+// builders run lazily at build time so registering a large catalog stays
+// free (and --list never pays for a run).  Built scenarios get their
+// registry name as their id, which is also the deterministic result order
+// of ExperimentEngine::run_batch / run_any.
+//
+// Two builder flavors share one namespace:
+//  * Builder (DRM-typed) keeps the copy-free run_batch path for all-DRM
+//    catalogs and remains buildable through every accessor;
+//  * AnyBuilder catalogs any domain core/domain.h erases (GPU-ENMPC frame
+//    loops, NoC traffic points, thermally-constrained runs, custom
+//    closures) and is what the shared bench driver consumes.
 #pragma once
 
 #include <functional>
@@ -15,16 +23,25 @@
 #include <string>
 #include <vector>
 
+#include "core/domain.h"
 #include "core/experiment.h"
 
 namespace oal::core {
 
 class ScenarioRegistry {
  public:
-  using Builder = std::function<Scenario()>;
+  using Builder = std::function<Scenario()>;        ///< DRM-typed arm
+  using AnyBuilder = std::function<AnyScenario()>;  ///< any-domain arm
 
-  /// Registers a builder under a unique name (throws on duplicates).
+  /// Registers a DRM builder under a unique name (throws on duplicates —
+  /// the namespace is shared with add_any).  Entries registered here are
+  /// reachable through both the Scenario and the AnyScenario accessors.
   void add(const std::string& name, Builder builder);
+
+  /// Registers a cross-domain builder under a unique name.  Entries
+  /// registered here are reachable through build_any()/build_batch_any()
+  /// only; build() on them throws (there is no Scenario to return).
+  void add_any(const std::string& name, AnyBuilder builder);
 
   bool contains(const std::string& name) const { return builders_.count(name) != 0; }
   std::size_t size() const { return builders_.size(); }
@@ -36,15 +53,32 @@ class ScenarioRegistry {
   /// string-matches.  Empty selects everything.
   std::vector<std::string> names(const std::string& prefix = "") const;
 
-  /// Builds one scenario; its id is set to the registry name.
+  /// Builds one DRM scenario; its id is set to the registry name.  Throws
+  /// std::invalid_argument for unknown names and for names registered
+  /// through add_any.
   Scenario build(const std::string& name) const;
 
-  /// Builds every scenario `prefix` selects (same segment-boundary rules as
-  /// names()), in name order — ready for ExperimentEngine::run_batch.
+  /// Builds one scenario of any domain; its id is set to the registry name.
+  /// Works for both builder flavors (DRM entries are wrapped on the fly).
+  AnyScenario build_any(const std::string& name) const;
+
+  /// Builds every DRM scenario `prefix` selects (same segment-boundary rules
+  /// as names()), in name order — ready for ExperimentEngine::run_batch.
   std::vector<Scenario> build_batch(const std::string& prefix = "") const;
 
+  /// Builds every scenario `prefix` selects regardless of domain, in name
+  /// order — ready for ExperimentEngine::run_any.
+  std::vector<AnyScenario> build_batch_any(const std::string& prefix = "") const;
+
  private:
-  std::map<std::string, Builder> builders_;
+  struct Entry {
+    Builder drm;     ///< set for add() registrations (build_any wraps on the fly)
+    AnyBuilder any;  ///< set for add_any() registrations
+  };
+
+  void add_entry(const std::string& name, Entry entry, bool have_builder);
+
+  std::map<std::string, Entry> builders_;
 };
 
 }  // namespace oal::core

@@ -573,6 +573,104 @@ TEST(ScenarioRegistry, BuildsByPrefixInNameOrder) {
   EXPECT_THROW(reg.add("", [] { return Scenario{}; }), std::invalid_argument);
 }
 
+/// A small NoC traffic point for cross-domain registry batches.
+NocScenario noc_scenario(std::uint64_t seed) {
+  NocScenario s;
+  s.traffic = noc::TrafficMatrix::uniform(64, 0.008);
+  s.sim.seed = seed;
+  return s;
+}
+
+/// A four-domain catalog: DRM governors, GPU-ENMPC, NoC points, and
+/// thermally-constrained DRM, all behind AnyBuilder entries (plus one
+/// DRM-typed Builder to prove the flavors mix).
+ScenarioRegistry cross_domain_registry() {
+  ScenarioRegistry reg;
+  reg.add("drm/gov/0", [] { return governor_scenario("", "SHA", 31); });  // DRM-typed entry
+  reg.add_any("drm/gov/1", [] { return AnyScenario(governor_scenario("", "Kmeans", 32)); });
+  reg.add_any("gpu/enmpc/0", [] { return AnyScenario(gpu_enmpc_scenario("", 41)); });
+  reg.add_any("noc/uniform/0", [] { return AnyScenario(noc_scenario(7)); });
+  reg.add_any("noc/uniform/1", [] { return AnyScenario(noc_scenario(8)); });
+  reg.add_any("thermal/perf", [] {
+    return AnyScenario(ThermalDrmScenario{performance_scenario("", "Kmeans", 51),
+                                          binding_thermal_params()});
+  });
+  return reg;
+}
+
+TEST(ScenarioRegistry, CrossDomainBatchParallelMatchesSerialBitwise) {
+  // A registry-built mixed batch (DRM + GPU-ENMPC + NoC + thermal) must obey
+  // the engine's bitwise-determinism contract like a hand-built one.
+  const ScenarioRegistry reg = cross_domain_registry();
+  const auto batch = reg.build_batch_any();
+  ASSERT_EQ(batch.size(), 6u);
+
+  ExperimentEngine serial(ExperimentOptions{1});
+  ExperimentEngine parallel(ExperimentOptions{4});
+  const auto rs = serial.run_any(batch);
+  const auto rp = parallel.run_any(batch);
+  ASSERT_EQ(rs.size(), batch.size());
+  ASSERT_EQ(rp.size(), batch.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_EQ(rs[i].id(), rp[i].id());
+    ASSERT_EQ(rs[i].metrics().size(), rp[i].metrics().size());
+    for (std::size_t k = 0; k < rs[i].metrics().size(); ++k) {
+      EXPECT_EQ(rs[i].metrics()[k].first, rp[i].metrics()[k].first);
+      // Bitwise: doubles must match exactly, not within a tolerance.
+      EXPECT_EQ(rs[i].metrics()[k].second, rp[i].metrics()[k].second)
+          << rs[i].id() << " metric " << rs[i].metrics()[k].first;
+    }
+  }
+  // Registry names became both scenario and result ids, in name order.
+  EXPECT_EQ(rs[0].id(), "drm/gov/0");
+  EXPECT_EQ(rs[2].id(), "gpu/enmpc/0");
+  EXPECT_TRUE(rs[2].holds<GpuRunResult>());
+  EXPECT_TRUE(rs[3].holds<NocRunResult>());
+  EXPECT_TRUE(rs[5].holds<ThermalRunResult>());
+}
+
+TEST(ScenarioRegistry, PrefixSelectionAcrossFamilies) {
+  const ScenarioRegistry reg = cross_domain_registry();
+  // Family prefixes cut the catalog on segment boundaries regardless of the
+  // domain behind each name.
+  EXPECT_EQ(reg.names("noc").size(), 2u);
+  EXPECT_EQ(reg.names("noc/uniform").size(), 2u);
+  EXPECT_EQ(reg.names("noc/uniform/0").size(), 1u);
+  EXPECT_TRUE(reg.names("noc/uni").empty());  // partial segment matches nothing
+  EXPECT_EQ(reg.names("drm").size(), 2u);
+  EXPECT_EQ(reg.names().size(), 6u);
+
+  const auto batch = reg.build_batch_any("gpu");
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].id(), "gpu/enmpc/0");
+
+  ExperimentEngine engine(ExperimentOptions{2});
+  const auto res = engine.run_any(reg.build_batch_any("noc"));
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0].id(), "noc/uniform/0");
+  EXPECT_GT(res[0].metric("sim_avg_latency_cycles"), 0.0);
+}
+
+TEST(ScenarioRegistry, AnyBuilderErrors) {
+  ScenarioRegistry reg;
+  reg.add_any("any/0", [] { return AnyScenario(noc_scenario(1)); });
+  // Duplicates are rejected across both builder flavors (one namespace).
+  EXPECT_THROW(reg.add_any("any/0", [] { return AnyScenario(noc_scenario(2)); }),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add("any/0", [] { return Scenario{}; }), std::invalid_argument);
+  EXPECT_THROW(reg.add_any("", [] { return AnyScenario(noc_scenario(3)); }),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add_any("null", nullptr), std::invalid_argument);
+  EXPECT_THROW(reg.build_any("missing"), std::invalid_argument);
+  // A cross-domain entry has no DRM Scenario to return.
+  EXPECT_THROW(reg.build("any/0"), std::invalid_argument);
+  EXPECT_THROW(reg.build_batch(""), std::invalid_argument);
+  // ... but the any-typed accessors reach DRM-typed entries.
+  reg.add("drm/0", [] { return governor_scenario("", "SHA", 5); });
+  EXPECT_EQ(reg.build_any("drm/0").id(), "drm/0");
+  EXPECT_EQ(reg.build("drm/0").id, "drm/0");
+}
+
 TEST(ScenarioRegistry, RegistryBatchRunsOnEngine) {
   ScenarioRegistry reg;
   reg.add("run/0", [] { return governor_scenario("", "SHA", 21); });

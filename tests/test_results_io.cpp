@@ -79,6 +79,44 @@ TEST(JsonlWriter, EmptyPathDisablesWrites) {
   writer.write_metrics("b", "id", {});  // must not crash
 }
 
+TEST(JsonlWriter, SequentialWritersAppendByDefault) {
+  // Two benches pointed at one --json path must both land in the file: the
+  // advertised append-per-call contract holds across writer instances (the
+  // old std::ios::trunc default silently dropped the first bench's records).
+  TempFile tmp("jsonl_append.jsonl");
+  {
+    JsonlWriter first(tmp.path);
+    first.write_metrics("bench_a", "a/0", Metrics{{"m", 1.0}});
+  }
+  {
+    JsonlWriter second(tmp.path);
+    second.write_metrics("bench_b", "b/0", Metrics{{"m", 2.0}});
+  }
+  std::istringstream in(tmp.contents());
+  const auto recs = read_jsonl(in);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].bench, "bench_a");
+  EXPECT_EQ(recs[1].bench, "bench_b");
+  EXPECT_DOUBLE_EQ(recs[1].metrics[0].second, 2.0);
+}
+
+TEST(JsonlWriter, TruncateModeStartsOver) {
+  // Baseline refreshes want a clean slate; Mode::kTruncate restores it.
+  TempFile tmp("jsonl_trunc.jsonl");
+  {
+    JsonlWriter stale(tmp.path);
+    stale.write_metrics("old", "old/0", Metrics{{"m", 1.0}});
+  }
+  {
+    JsonlWriter fresh(tmp.path, JsonlWriter::Mode::kTruncate);
+    fresh.write_metrics("new", "new/0", Metrics{{"m", 3.0}});
+  }
+  std::istringstream in(tmp.contents());
+  const auto recs = read_jsonl(in);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].bench, "new");
+}
+
 TEST(JsonlParser, RejectsMalformedLines) {
   EXPECT_THROW(parse_jsonl_record("not json"), std::invalid_argument);
   EXPECT_THROW(parse_jsonl_record("{\"bench\":\"b\""), std::invalid_argument);
@@ -196,6 +234,103 @@ TEST(JsonlCompare, DuplicateRecordsAreFailures) {
     ASSERT_FALSE(res.ok());
     EXPECT_NE(res.issues[0].find("duplicate record in baseline"), std::string::npos);
   }
+}
+
+JsonlRecord make_record2(const std::string& id, double a, double b) {
+  JsonlRecord r;
+  r.bench = "bench";
+  r.id = id;
+  r.metrics.emplace_back("stable_metric", a);
+  r.metrics.emplace_back("chaotic_metric", b);
+  return r;
+}
+
+TEST(JsonlCompare, MetricFilterGatesOnlySelectedMetrics) {
+  const std::vector<JsonlRecord> base{make_record2("a", 100.0, 1.0)};
+  const std::vector<JsonlRecord> cur{make_record2("a", 100.5, 50.0)};  // chaotic drifted 50x
+  JsonlCompareOptions opts;
+  opts.rel_tol = 0.02;
+  opts.metrics = {"stable_metric"};
+  const auto res = compare_jsonl(base, cur, opts);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.metrics_compared, 1u);
+  // Without the filter the chaotic metric fails.
+  opts.metrics.clear();
+  EXPECT_FALSE(compare_jsonl(base, cur, opts).ok());
+}
+
+TEST(JsonlCompare, MetricFilterSupportsPrefixElements) {
+  const std::vector<JsonlRecord> base{make_record2("a", 100.0, 1.0)};
+  const std::vector<JsonlRecord> cur{make_record2("a", 100.0, 99.0)};
+  JsonlCompareOptions opts;
+  opts.metrics = {"stable_*"};
+  EXPECT_TRUE(compare_jsonl(base, cur, opts).ok());
+  opts.metrics = {"chaotic_*"};
+  EXPECT_FALSE(compare_jsonl(base, cur, opts).ok());
+}
+
+TEST(JsonlCompare, UnknownFilterAndOverrideNamesAreErrors) {
+  // A typo in --metrics or a tolerance override would otherwise silently
+  // gate (or loosen) nothing.
+  const std::vector<JsonlRecord> base{make_record2("a", 1.0, 2.0)};
+  {
+    JsonlCompareOptions opts;
+    opts.metrics = {"stable_metric", "tpyo_metric"};
+    const auto res = compare_jsonl(base, base, opts);
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.issues[0].find("tpyo_metric"), std::string::npos);
+  }
+  {
+    JsonlCompareOptions opts;
+    opts.metrics = {"nothing_*"};
+    EXPECT_FALSE(compare_jsonl(base, base, opts).ok());
+  }
+  {
+    JsonlCompareOptions opts;
+    opts.rel_tol_for["tpyo_metric"] = 0.5;
+    EXPECT_FALSE(compare_jsonl(base, base, opts).ok());
+  }
+  {
+    // Overrides are exact-name lookups; a prefix-form key would silently
+    // override nothing, so it is rejected too.
+    JsonlCompareOptions opts;
+    opts.rel_tol_for["stable_*"] = 0.5;
+    EXPECT_FALSE(compare_jsonl(base, base, opts).ok());
+  }
+}
+
+TEST(JsonlCompare, PerMetricToleranceOverrides) {
+  const std::vector<JsonlRecord> base{make_record2("a", 100.0, 100.0)};
+  const std::vector<JsonlRecord> cur{make_record2("a", 101.0, 110.0)};  // 1% and 10% drift
+  JsonlCompareOptions opts;
+  opts.rel_tol = 0.02;
+  // Globally the chaotic metric fails at 10%...
+  EXPECT_FALSE(compare_jsonl(base, cur, opts).ok());
+  // ...a per-metric loosening admits it without widening the stable gate.
+  opts.rel_tol_for["chaotic_metric"] = 0.2;
+  EXPECT_TRUE(compare_jsonl(base, cur, opts).ok());
+  // A per-metric tightening works the other way.
+  opts.rel_tol_for["stable_metric"] = 1e-4;
+  EXPECT_FALSE(compare_jsonl(base, cur, opts).ok());
+  // Absolute overrides govern near-zero metrics independently.
+  const std::vector<JsonlRecord> zbase{make_record2("z", 0.0, 0.0)};
+  const std::vector<JsonlRecord> zcur{make_record2("z", 1e-4, 0.0)};
+  JsonlCompareOptions zopts;
+  EXPECT_FALSE(compare_jsonl(zbase, zcur, zopts).ok());
+  zopts.abs_tol_for["stable_metric"] = 1e-3;
+  EXPECT_TRUE(compare_jsonl(zbase, zcur, zopts).ok());
+}
+
+TEST(JsonlCompare, FilteredOutNullBaselineMetricsAreIgnored) {
+  // The filter is how a bench with a known-broken metric gates the rest.
+  JsonlRecord base = make_record("a", 1.0);
+  base.null_metrics.push_back("broken_metric");
+  JsonlCompareOptions opts;
+  opts.metrics = {"metric"};
+  EXPECT_TRUE(compare_jsonl({base}, {make_record("a", 1.0)}, opts).ok());
+  // Selecting the null metric still fails loudly.
+  opts.metrics = {"metric", "broken_metric"};
+  EXPECT_FALSE(compare_jsonl({base}, {make_record("a", 1.0)}, opts).ok());
 }
 
 TEST(JsonPathArg, ParsesFlagPair) {

@@ -4,12 +4,53 @@
 //
 // Usage: jsonl_compare <baseline.jsonl> <current.jsonl>
 //                      [--rel-tol <frac>] [--abs-tol <v>]
+//                      [--metrics <name[,name|prefix*...]>]
+//                      [--metric-rel-tol <name>=<frac>]...
+//                      [--metric-abs-tol <name>=<v>]...
+//
+// --metrics gates only the named metrics (a trailing '*' matches by prefix),
+// so benches with chaotic metrics can check in baselines for their stable
+// subset; the per-metric tolerance flags loosen (or tighten) single metrics
+// without widening the whole gate.  Unknown metric names are errors.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <string>
 
 #include "core/jsonl_compare.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: jsonl_compare <baseline.jsonl> <current.jsonl> "
+    "[--rel-tol <frac>] [--abs-tol <v>] [--metrics <name[,name|prefix*...]>] "
+    "[--metric-rel-tol <name>=<frac>]... [--metric-abs-tol <name>=<v>]...";
+
+/// Parses a tolerance; exits 2 on non-numeric input (atof would silently
+/// turn a typo into 0.0 — a near-exact gate where a looser one was meant).
+double tolerance_value(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "jsonl_compare: %s expects a number, got '%s'\n", flag.c_str(), text);
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Splits "name=value"; exits 2 on a missing '=', an empty name, or a
+/// non-numeric value.
+std::pair<std::string, double> name_value(const std::string& flag, const std::string& arg) {
+  const std::size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    std::fprintf(stderr, "jsonl_compare: %s expects <name>=<value>, got '%s'\n", flag.c_str(),
+                 arg.c_str());
+    std::exit(2);
+  }
+  return {arg.substr(0, eq), tolerance_value(flag, arg.c_str() + eq + 1)};
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string baseline_path, current_path;
@@ -24,25 +65,48 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--rel-tol") {
-      opts.rel_tol = std::atof(value());
+      opts.rel_tol = tolerance_value(arg, value());
     } else if (arg == "--abs-tol") {
-      opts.abs_tol = std::atof(value());
+      opts.abs_tol = tolerance_value(arg, value());
+    } else if (arg == "--metrics") {
+      // Comma-separated names/prefixes, accumulated across repeats.
+      std::string list = value();
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string elem =
+            list.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+        if (!elem.empty()) opts.metrics.push_back(elem);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (opts.metrics.empty()) {
+        std::fprintf(stderr, "jsonl_compare: --metrics requires at least one metric name\n");
+        return 2;
+      }
+    } else if (arg == "--metric-rel-tol") {
+      const auto [name, tol] = name_value(arg, value());
+      opts.rel_tol_for[name] = tol;
+    } else if (arg == "--metric-abs-tol") {
+      const auto [name, tol] = name_value(arg, value());
+      opts.abs_tol_for[name] = tol;
     } else if (arg == "--help" || arg == "-h") {
-      std::puts("usage: jsonl_compare <baseline.jsonl> <current.jsonl> "
-                "[--rel-tol <frac>] [--abs-tol <v>]");
+      std::puts(kUsage);
       return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "jsonl_compare: unknown flag '%s'\n%s\n", arg.c_str(), kUsage);
+      return 2;
     } else if (baseline_path.empty()) {
       baseline_path = arg;
     } else if (current_path.empty()) {
       current_path = arg;
     } else {
-      std::fprintf(stderr, "jsonl_compare: unexpected argument '%s'\n", arg.c_str());
+      std::fprintf(stderr, "jsonl_compare: unexpected argument '%s'\n%s\n", arg.c_str(), kUsage);
       return 2;
     }
   }
   if (baseline_path.empty() || current_path.empty()) {
-    std::fprintf(stderr, "usage: jsonl_compare <baseline.jsonl> <current.jsonl> "
-                         "[--rel-tol <frac>] [--abs-tol <v>]\n");
+    std::fprintf(stderr, "%s\n", kUsage);
     return 2;
   }
 
