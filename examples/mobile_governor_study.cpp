@@ -4,11 +4,14 @@
 //
 // Each governor is a named scenario in a ScenarioRegistry; the whole
 // shoot-out is one parallel ExperimentEngine batch over the same sequence.
+// Argv goes through the shared bench driver (`--offline-per-app/--snippets`
+// scale-down, `--list`, prefix selection, exit-2 usage errors).
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <memory>
 
+#include "bench/driver.h"
 #include "common/table.h"
 #include "core/online_il.h"
 #include "core/scenario_factories.h"
@@ -18,20 +21,22 @@
 using namespace oal;
 using namespace oal::core;
 
-int main() {
-  soc::BigLittlePlatform plat;
-  common::Rng rng(7);
-  const auto mibench = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
-  const auto off = std::make_shared<OfflineData>(
-      collect_offline_data(plat, mibench, Objective::kEnergy, 30, 6, rng));
+int main(int argc, char** argv) {
+  std::size_t offline_per_app = 30;
+  std::size_t max_snippets = 1000;  // cap on the mixed-suite sequence
+  bench::BenchDriver driver("mobile_governor_study");
+  driver.add_size_option("--offline-per-app", &offline_per_app,
+                         "offline snippets per MiBench training app");
+  driver.add_size_option("--snippets", &max_snippets, "cap on the mixed-suite sequence length");
+  if (!driver.parse(argc, argv)) return driver.exit_code();
 
   // A mixed-suite sequence (one app from each suite).
   std::vector<workloads::AppSpec> apps{workloads::CpuBenchmarks::by_name("FFT"),
                                        workloads::CpuBenchmarks::by_name("Kmeans"),
                                        workloads::CpuBenchmarks::by_name("Blkschls-4T")};
   common::Rng seq_rng(17);
-  const auto seq = workloads::CpuBenchmarks::sequence(apps, seq_rng);
-  std::printf("Workload: FFT -> Kmeans -> Blkschls-4T, %zu snippets\n\n", seq.size());
+  auto seq = workloads::CpuBenchmarks::sequence(apps, seq_rng);
+  if (seq.size() > max_snippets) seq.resize(max_snippets);
 
   ScenarioRegistry registry;
   const auto add_governor = [&registry, &seq](const std::string& name, ControllerFactory make) {
@@ -46,20 +51,39 @@ int main() {
   add_governor("2-powersave", governor_factory("powersave"));
   add_governor("3-ondemand", governor_factory("ondemand"));
   add_governor("4-interactive", governor_factory("interactive"));
-  add_governor("5-online-il", online_il_factory(off, /*train_seed=*/7));
+  // Offline collection runs inside the factory (on the worker), so the
+  // --list fast path and deselected runs never pay for offline profiling.
+  add_governor("5-online-il",
+               online_il_collect_factory(workloads::CpuBenchmarks::of_suite(
+                                             workloads::Suite::kMiBench),
+                                         offline_per_app, /*configs_per_snippet=*/6,
+                                         /*collect_seed=*/7, /*train_seed=*/7));
+
+  if (driver.listing()) return driver.list(registry);
+  std::printf("Workload: FFT -> Kmeans -> Blkschls-4T, %zu snippets\n\n", seq.size());
 
   // Harvest the display name of each controller as its scenario runs.  Each
   // on_complete writes its own pre-inserted map slot — no shared mutation.
   auto names = std::make_shared<std::map<std::string, std::string>>();
-  std::vector<Scenario> batch = registry.build_batch("governors/");
+  std::vector<Scenario> batch;
+  for (const std::string& name : driver.selection(registry)) batch.push_back(registry.build(name));
   for (Scenario& s : batch) {
     std::string* slot = &(*names)[s.id];
     s.on_complete = [slot](DrmController& ctl, const RunResult&) { *slot = ctl.name(); };
   }
 
   ExperimentEngine engine;
+  const auto results = engine.run_batch(batch);
+  {
+    // The DRM-typed run_batch path has no AnyResults; wrap them so --json
+    // emits per-arm records like every other driver-ported binary.
+    std::vector<AnyResult> records;
+    records.reserve(results.size());
+    for (const auto& r : results) records.emplace_back(r.id, r.run, drm_metrics(r.run));
+    driver.json().write(driver.bench_name(), records);
+  }
   common::Table t({"Controller", "Energy (J)", "E/Oracle", "Time (s)"});
-  for (const auto& r : engine.run_batch(batch)) {
+  for (const auto& r : results) {
     t.add_row({names->at(r.id), common::Table::fmt(r.run.total_energy_j(), 2),
                common::Table::fmt(r.run.energy_ratio(), 2),
                common::Table::fmt(r.run.total_time_s(), 1)});

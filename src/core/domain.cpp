@@ -106,6 +106,10 @@ AnyResult run_thermal_gpu_scenario(const ThermalGpuScenario& s) {
         };
         hooks.observer = [adapter](const gpu::FrameDescriptor& f, const gpu::GpuConfig& applied,
                                    const gpu::FrameResult& r) { adapter->observe(f, applied, r); };
+        // Read-only channel: thermal-aware controllers (NmpcConfig::
+        // thermal_aware) observe it; blind controllers ignore it, keeping
+        // their runs bitwise identical.
+        hooks.telemetry = [adapter] { return adapter->telemetry(); };
       });
 
   ThermalGpuRunResult result;

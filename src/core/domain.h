@@ -174,7 +174,11 @@ struct ThermalRunResult {
 /// A GPU-ENMPC frame loop executed under a thermal power budget: a
 /// scenario-private soc::ThermalGpuAdapter maps frame energies onto the RC
 /// network's GPU + PCB nodes and clamps controller decisions to the
-/// skin/junction-derived budget (GpuRunner arbiter/observer hooks).
+/// skin/junction-derived budget (GpuRunner arbiter/observer hooks).  The
+/// adapter's telemetry is published through the runner's read-only channel,
+/// so budget-constrained NMPC controllers (NmpcConfig::thermal_aware)
+/// observe the budget they will be held to; blind controllers ignore the
+/// channel and stay bitwise identical to the pre-telemetry behavior.
 struct ThermalGpuScenario {
   GpuScenario base;
   soc::ThermalGpuConstraintParams thermal;

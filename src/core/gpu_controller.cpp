@@ -58,6 +58,7 @@ GpuRunResult GpuRunner::run(const std::vector<gpu::FrameDescriptor>& trace,
     ++out.frames;
 
     if (hooks_.observer) hooks_.observer(trace[i], current, r);
+    if (hooks_.telemetry) controller.observe_telemetry(hooks_.telemetry());
     gpu::GpuConfig next = controller.step(r, current, i);
     if (!platform_->valid(next))
       throw std::logic_error("GpuRunner: controller returned invalid config");

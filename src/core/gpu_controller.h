@@ -9,6 +9,7 @@
 
 #include "gpu/frame.h"
 #include "gpu/gpu_model.h"
+#include "soc/thermal_telemetry.h"
 
 namespace oal::core {
 
@@ -19,6 +20,12 @@ class GpuController {
   /// Observe the just-rendered frame, return the configuration for the next.
   virtual gpu::GpuConfig step(const gpu::FrameResult& result, const gpu::GpuConfig& current,
                               std::size_t frame_index) = 0;
+  /// Read-only thermal telemetry, published by GpuRunner before each step()
+  /// when a telemetry source is bound (e.g. a thermal budgeter) — the mirror
+  /// of DrmController::observe_telemetry.  The default controller is
+  /// thermally blind and ignores it, so binding a source never changes a
+  /// blind controller's decisions.
+  virtual void observe_telemetry(const soc::ThermalTelemetry& /*telemetry*/) {}
   virtual void begin_run(const gpu::GpuConfig& /*initial*/) {}
   /// Cumulative count of model/optimizer evaluations (overhead accounting).
   virtual std::size_t decision_evals() const { return 0; }
@@ -87,10 +94,19 @@ using GpuConfigArbiter =
 using GpuFrameObserver = std::function<void(const gpu::FrameDescriptor&, const gpu::GpuConfig&,
                                             const gpu::FrameResult&)>;
 
-/// Optional runner hooks, mirroring DrmRunner's arbiter/observer contract.
+/// Read-only channel publishing the current thermal state (temperatures +
+/// power budget) to the controller before each decision.  Sampled after the
+/// observer hook, so the controller sees the state the just-rendered frame
+/// produced.  Must be side-effect free: blind controllers ignore the
+/// snapshot and their runs stay bitwise identical with or without it.
+using GpuThermalTelemetrySource = std::function<soc::ThermalTelemetry()>;
+
+/// Optional runner hooks, mirroring DrmRunner's arbiter/observer/telemetry
+/// contract.
 struct GpuRunnerHooks {
   GpuConfigArbiter arbiter;    ///< empty = controller decisions apply verbatim
   GpuFrameObserver observer;   ///< empty = no per-frame observation
+  GpuThermalTelemetrySource telemetry;  ///< empty = controllers run thermally blind
 };
 
 class GpuRunner {

@@ -66,6 +66,16 @@ double GpuOnlineModels::predict_gpu_energy_j(const GpuWorkloadState& w, const gp
   return std::max(energy_model_.predict(energy_features(w, c, period_s)), 1e-9);
 }
 
+double GpuOnlineModels::producer_energy_prior_j(const GpuWorkloadState& w,
+                                                double period_s) const {
+  const auto& p = platform_->params();
+  const double t_cpu = w.cpu_cycles / (p.cpu_freq_ghz * 1e9);
+  const double cpu_energy = p.cpu_dyn_w_at_busy * std::min(t_cpu, period_s);
+  const double dram_energy =
+      w.mem_bytes * p.dram_energy_nj_per_byte * 1e-9 + p.dram_static_w * period_s;
+  return cpu_energy + p.pkg_base_w * period_s + dram_energy;
+}
+
 void GpuOnlineModels::update(const GpuWorkloadState& w_before, const gpu::GpuConfig& c,
                              double period_s, const gpu::FrameResult& observed) {
   time_model_.update(time_features(w_before, c), observed.frame_time_s);

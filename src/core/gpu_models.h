@@ -41,6 +41,14 @@ class GpuOnlineModels {
   /// Predicted GPU-scope energy over one deadline period.
   double predict_gpu_energy_j(const GpuWorkloadState& w, const gpu::GpuConfig& c,
                               double period_s) const;
+  /// Producer-side (PKG+DRAM minus GPU scope) energy over one period, from
+  /// the platform's deterministic power parameters and the workload state:
+  /// CPU frame work, package base rail, DRAM traffic + static power.  This
+  /// is config-independent, so it is the additive term that lifts the
+  /// learned GPU-energy prediction to the PKG+DRAM scope the thermal
+  /// budgeter arbitrates on.  Design-time prior only — at runtime the NMPC
+  /// controllers anchor it to the measured per-frame producer energy.
+  double producer_energy_prior_j(const GpuWorkloadState& w, double period_s) const;
 
   /// Adapt both models from an executed frame.
   void update(const GpuWorkloadState& w_before, const gpu::GpuConfig& c, double period_s,

@@ -17,6 +17,14 @@
 // low-discrepancy grid of the state space; at runtime the law is a handful
 // of multiply-accumulates while the adaptive sensitivity models keep the
 // fast loop application-specific.
+//
+// With NmpcConfig::thermal_aware both controllers additionally consume the
+// runner's read-only thermal-telemetry channel: the power budget published
+// by a thermal budgeter becomes a second feasibility predicate of the slow
+// solve (next to the deadline) and a ceiling of the fast trim, so the
+// controller proposes what the firmware budgeter would grant instead of
+// being throttled after the fact — the GPU mirror of the thermal-aware DRM
+// controllers.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +45,30 @@ struct NmpcConfig {
   std::size_t horizon_periods = 3;   ///< receding horizon of the slow loop
   int fast_max_step = 2;             ///< max freq steps per frame (fast loop)
   double fast_target_busy = 0.90;    ///< fast loop pulls busy toward this
+  /// Fold the runner's thermal-telemetry channel into the optimization: the
+  /// power budget becomes a feasibility predicate of the slow solve and a
+  /// ceiling of the fast trim (the same anticipate-don't-get-corrected loop
+  /// the DRM side closes with OnlineIlConfig::thermal_aware).  Off by
+  /// default: blind controllers ignore a bound telemetry source and stay
+  /// bitwise identical to the pre-telemetry behavior.
+  bool thermal_aware = false;
+  /// Fraction of the telemetry budget held back as slack for model error
+  /// (learned energy model + EWMA workload forecast vs the arbiter's ideal
+  /// model of the true next frame).  Without it the solver rides the exact
+  /// ceiling and every small underprediction bounces off the arbiter.
+  double budget_margin = 0.06;
+};
+
+/// Budget context of one slow/fast solve, derived from the last telemetry
+/// snapshot.  `other_energy_j` lifts the learned GPU-scope energy prediction
+/// to the PKG+DRAM scope the thermal budgeter (ThermalGpuAdapter) arbitrates
+/// on: predicted producer power of config c over a period T is
+/// (predict_gpu_energy_j(w, c, T) + other_energy_j) / T.  The default is the
+/// unconstrained state (no predicate, legacy behavior).
+struct GpuBudgetState {
+  bool constrained = false;
+  double budget_w = soc::ThermalTelemetry::kUnconstrainedBudgetW;
+  double other_energy_j = 0.0;  ///< non-GPU producer energy per period (J)
 };
 
 /// Implicit NMPC: exact enumeration at every slow tick (the reference).
@@ -48,17 +80,30 @@ class NmpcGpuController : public GpuController {
   std::string name() const override { return "NMPC"; }
   gpu::GpuConfig step(const gpu::FrameResult& result, const gpu::GpuConfig& current,
                       std::size_t frame_index) override;
+  void observe_telemetry(const soc::ThermalTelemetry& telemetry) override;
   void begin_run(const gpu::GpuConfig& initial) override;
   std::size_t decision_evals() const override { return evals_; }
 
   const GpuWorkloadState& workload_state() const { return state_; }
 
+  /// Budget context for the next solve, derived from the last telemetry
+  /// snapshot (unconstrained while blind or with no source bound).
+  GpuBudgetState budget_state() const;
+
   /// Exact slow-rate solve from an explicit state (shared with the sampler).
+  /// Feasibility = deadline AND (under `budget`) predicted PKG+DRAM power
+  /// within the budget; the infeasible fallback picks the least-over-budget
+  /// deadline-feasible config (the fastest when none meets the deadline) and
+  /// descends the firmware throttle ladder until the budget fits.
   gpu::GpuConfig solve_slow(const GpuWorkloadState& w, const gpu::GpuConfig& current,
-                            std::size_t* eval_counter) const;
-  /// Fast-rate frequency trim at fixed slice count.
+                            std::size_t* eval_counter,
+                            const GpuBudgetState& budget = {}) const;
+  /// Fast-rate frequency trim at fixed slice count.  Under `budget` the trim
+  /// never raises the frequency through the power budget, and tracks a
+  /// tightened budget downward (what the arbiter would grant anyway).
   gpu::GpuConfig fast_trim(const GpuWorkloadState& w, const gpu::GpuConfig& current,
-                           std::size_t* eval_counter) const;
+                           std::size_t* eval_counter,
+                           const GpuBudgetState& budget = {}) const;
 
  private:
   const gpu::GpuPlatform* platform_;
@@ -67,6 +112,8 @@ class NmpcGpuController : public GpuController {
   GpuWorkloadState state_;
   gpu::GpuConfig slow_cfg_{0, 1};
   std::size_t evals_ = 0;
+  soc::ThermalTelemetry telemetry_;   ///< last snapshot (neutral when blind)
+  double producer_energy_j_ = -1.0;   ///< measured non-GPU EWMA; < 0 = none yet
 };
 
 /// Explicit NMPC: offline-fitted control law + online-adaptive fast loop.
@@ -74,7 +121,10 @@ class ExplicitNmpcGpuController : public GpuController {
  public:
   /// Fits the explicit law by sampling the NMPC slow-rate solution on
   /// `num_samples` Sobol points of the (work, mem, current-config) state
-  /// space, using the provided (bootstrapped) models.
+  /// space, using the provided (bootstrapped) models.  With
+  /// cfg.thermal_aware the sampled state gains a power-budget dimension, so
+  /// the fitted law stays valid under throttling: at runtime the budget
+  /// feature comes from the telemetry channel (neutral = unconstrained).
   ExplicitNmpcGpuController(const gpu::GpuPlatform& platform, GpuOnlineModels& models,
                             NmpcConfig cfg = {}, std::size_t num_samples = 1500,
                             std::uint64_t seed = 2017);
@@ -82,15 +132,20 @@ class ExplicitNmpcGpuController : public GpuController {
   std::string name() const override { return "Explicit NMPC"; }
   gpu::GpuConfig step(const gpu::FrameResult& result, const gpu::GpuConfig& current,
                       std::size_t frame_index) override;
+  void observe_telemetry(const soc::ThermalTelemetry& telemetry) override;
   void begin_run(const gpu::GpuConfig& initial) override;
   std::size_t decision_evals() const override { return evals_; }
+
+  /// Budget context for the next decision (see NmpcGpuController).
+  GpuBudgetState budget_state() const;
 
   /// Offline construction cost (NMPC solves during sampling) — reported by
   /// the ablation bench; not counted against runtime overhead.
   std::size_t offline_evals() const { return offline_evals_; }
 
  private:
-  common::Vec law_features(const GpuWorkloadState& w, const gpu::GpuConfig& current) const;
+  common::Vec law_features(const GpuWorkloadState& w, const gpu::GpuConfig& current,
+                           double budget_w) const;
 
   const gpu::GpuPlatform* platform_;
   GpuOnlineModels* models_;
@@ -101,6 +156,8 @@ class ExplicitNmpcGpuController : public GpuController {
   ml::ClassificationTree slice_law_;
   std::size_t evals_ = 0;
   std::size_t offline_evals_ = 0;
+  soc::ThermalTelemetry telemetry_;   ///< last snapshot (neutral when blind)
+  double producer_energy_j_ = -1.0;   ///< measured non-GPU EWMA; < 0 = none yet
 };
 
 /// Offline profiling pass: renders random-config frames of a generic content

@@ -188,6 +188,17 @@ void ThermalGpuAdapter::refresh_budget() {
   }
 }
 
+bool gpu_throttle_step(gpu::GpuConfig& c) {
+  if (c.freq_idx > 0) {
+    --c.freq_idx;
+  } else if (c.num_slices > 1) {
+    --c.num_slices;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 gpu::GpuConfig ThermalGpuAdapter::arbitrate(const gpu::FrameDescriptor& f,
                                             const gpu::GpuConfig& proposed) {
   gpu::GpuConfig c = proposed;
@@ -196,17 +207,11 @@ gpu::GpuConfig ThermalGpuAdapter::arbitrate(const gpu::FrameDescriptor& f,
     // same total the observer injects into the RC network.
     return platform_->render_ideal(f, cc, period_s_).pkg_dram_energy_j / period_s_ > budget_w_;
   };
-  // Frequency first (fast, cheap actuation), then slice gating; bottoms out
-  // at 1 slice at minimum frequency (an infeasible budget runs the floor
-  // config and temperatures keep rising until the next refresh).
+  // Firmware throttle ladder; bottoms out at 1 slice at minimum frequency
+  // (an infeasible budget runs the floor config and temperatures keep rising
+  // until the next refresh).
   while (over_budget(c)) {
-    if (c.freq_idx > 0) {
-      --c.freq_idx;
-    } else if (c.num_slices > 1) {
-      --c.num_slices;
-    } else {
-      break;
-    }
+    if (!gpu_throttle_step(c)) break;
   }
   if (c != proposed) ++clamped_;
   return c;
@@ -241,6 +246,25 @@ void ThermalGpuAdapter::track_peaks() {
       peak_junction_c_ = std::max(peak_junction_c_, t[i]);
     }
   }
+}
+
+ThermalTelemetry ThermalGpuAdapter::telemetry() const {
+  ThermalTelemetry t;
+  t.constrained = true;
+  const common::Vec& temps = net_.temperatures();
+  double junction = temps[kGpuNode];
+  for (std::size_t i = 0; i < temps.size(); ++i) {
+    if (i == params_.limits.skin_node || i == kPcbNode) continue;
+    junction = std::max(junction, temps[i]);
+  }
+  t.junction_c = junction;
+  t.skin_c = temps[params_.limits.skin_node];
+  t.junction_limit_c = params_.limits.t_max_junction_c;
+  t.skin_limit_c = params_.limits.t_max_skin_c;
+  t.ambient_c = params_.ambient_c;
+  t.budget_w = budget_w_;
+  t.last_power_w = sum(shape_w_);
+  return t;
 }
 
 }  // namespace oal::soc

@@ -119,6 +119,14 @@ struct ThermalGpuConstraintParams {
                                 25.0};
 };
 
+/// One step down the GPU firmware throttle ladder: frequency first (fast,
+/// cheap actuation), then slice gating.  Returns false at the floor (1 slice
+/// at minimum frequency).  Shared by the budget arbiter and by the
+/// budget-aware NMPC fallback (mirroring soc::throttle_step on the DRM
+/// side): both must descend the *same* ladder or the controller's proposals
+/// diverge from what the arbiter would grant.
+bool gpu_throttle_step(gpu::GpuConfig& c);
+
 /// GpuRunner-facing thermal budgeter: clamps proposed GpuConfigs to the
 /// current power budget (frequency first, then slices; floor: 1 slice at
 /// minimum frequency) and advances the RC network from rendered frames.
@@ -145,6 +153,11 @@ class ThermalGpuAdapter {
   double peak_junction_c() const { return peak_junction_c_; }
   double peak_skin_c() const { return peak_skin_c_; }
   const thermal::RcThermalNetwork& network() const { return net_; }
+
+  /// Read-only snapshot of the current thermal state for the runner's
+  /// telemetry channel (temperatures, limits, budget, last observed power).
+  /// Side-effect free, so publishing it never perturbs a run.
+  ThermalTelemetry telemetry() const;
 
  private:
   void refresh_budget();

@@ -68,7 +68,10 @@ std::vector<Scenario> mixed_batch() {
 /// A small GPU-ENMPC scenario: models bootstrap + explicit-law fit run in
 /// the factory, drawing the law seed from the scenario-private stream so
 /// determinism across pool sizes covers the GPU domain's Rng plumbing too.
-GpuScenario gpu_enmpc_scenario(const std::string& id, std::uint64_t seed) {
+/// `thermal_aware` switches the controller to the budget-constrained variant
+/// (which also adds the budget dimension to the sampled explicit law).
+GpuScenario gpu_enmpc_scenario(const std::string& id, std::uint64_t seed,
+                               bool thermal_aware = false) {
   GpuScenario s;
   s.id = id;
   s.seed = seed;
@@ -76,13 +79,27 @@ GpuScenario gpu_enmpc_scenario(const std::string& id, std::uint64_t seed) {
   s.trace = workloads::GpuBenchmarks::trace(workloads::GpuBenchmarks::by_name("EpicCitadel"), 150,
                                             trng);
   s.initial = gpu::GpuConfig{9, s.platform.max_slices};
-  s.make_controller = [](GpuScenarioContext& ctx) {
+  s.make_controller = [thermal_aware](GpuScenarioContext& ctx) {
     NmpcConfig cfg;
     cfg.fps_target = ctx.scenario.fps_target;
+    cfg.thermal_aware = thermal_aware;
     return gpu_enmpc_factory(cfg, /*law_samples=*/150, /*bootstrap_frames=*/80,
                              /*bootstrap_seed=*/7, /*law_seed=*/ctx.rng.next_u64())(ctx);
   };
   return s;
+}
+
+/// Preheated transient-budget constraints: the budget is recomputed every
+/// frame from a transient_power_headroom horizon while the device cools.
+soc::ThermalGpuConstraintParams preheated_transient_gpu_params() {
+  soc::ThermalGpuConstraintParams p;
+  p.ambient_c = 35.0;
+  p.limits.t_max_skin_c = 40.0;
+  p.limits.t_max_junction_c = 75.0;
+  p.horizon_s = 240.0;
+  p.budget_interval_s = 1.0 / 30.0;
+  p.initial_temperature_c = {48.0, 46.0, 58.0, 45.0, 39.5};
+  return p;
 }
 
 /// Thermal constraints calibrated to bind: 40 C ambient + 3 K skin margin
@@ -468,6 +485,112 @@ TEST(Experiment, ThermalAwareMixedDomainParallelMatchesSerialBitwise) {
   ASSERT_EQ(gpu_s.run.configs.size(), gpu_p.run.configs.size());
   for (std::size_t k = 0; k < gpu_s.run.configs.size(); ++k)
     EXPECT_EQ(gpu_s.run.configs[k], gpu_p.run.configs[k]);
+}
+
+TEST(Experiment, PreheatedTransientGpuParallelMatchesSerialBitwise) {
+  // The transient-budget arms add moving-budget telemetry (recomputed every
+  // frame) feeding the budget-constrained NMPC — a new determinism surface
+  // that must stay bitwise identical across pool sizes.
+  std::vector<AnyScenario> batch;
+  batch.emplace_back(ThermalGpuScenario{gpu_enmpc_scenario("transient/blind", 90, false),
+                                        preheated_transient_gpu_params()});
+  batch.emplace_back(ThermalGpuScenario{gpu_enmpc_scenario("transient/aware", 90, true),
+                                        preheated_transient_gpu_params()});
+
+  ExperimentEngine serial(ExperimentOptions{1});
+  ExperimentEngine parallel(ExperimentOptions{4});
+  const auto rs = serial.run_any(batch);
+  const auto rp = parallel.run_any(batch);
+  ASSERT_EQ(rs.size(), batch.size());
+  ASSERT_EQ(rp.size(), batch.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_EQ(rs[i].id(), rp[i].id());
+    ASSERT_EQ(rs[i].metrics().size(), rp[i].metrics().size());
+    for (std::size_t k = 0; k < rs[i].metrics().size(); ++k)
+      EXPECT_EQ(rs[i].metrics()[k].second, rp[i].metrics()[k].second)
+          << rs[i].id() << " metric " << rs[i].metrics()[k].first;
+    const auto& s = rs[i].as<ThermalGpuRunResult>();
+    const auto& p = rp[i].as<ThermalGpuRunResult>();
+    EXPECT_EQ(s.clamped_frames, p.clamped_frames);
+    ASSERT_EQ(s.run.configs.size(), p.run.configs.size());
+    for (std::size_t k = 0; k < s.run.configs.size(); ++k)
+      EXPECT_EQ(s.run.configs[k], p.run.configs[k]);
+  }
+}
+
+TEST(Experiment, BudgetConstrainedNmpcAvoidsArbiterCorrections) {
+  // Under a binding-but-feasible budget the aware controller's proposals
+  // must pass the arbiter untouched (no corrections), while the blind twin
+  // is clamped; an infeasible budget must land both on the throttle floor
+  // with the run completing.
+  soc::ThermalGpuConstraintParams binding;
+  binding.ambient_c = 35.0;
+  binding.limits.t_max_skin_c = 37.0;
+  binding.limits.t_max_junction_c = 75.0;
+  binding.horizon_s = 0.0;
+
+  ExperimentEngine engine(ExperimentOptions{2});
+  const auto res = engine.run_any(
+      {ThermalGpuScenario{gpu_enmpc_scenario("budget/aware", 44, true), binding},
+       ThermalGpuScenario{gpu_enmpc_scenario("budget/blind", 44, false), binding}});
+  ASSERT_EQ(res.size(), 2u);
+  const auto& aware = res[0].as<ThermalGpuRunResult>();
+  const auto& blind = res[1].as<ThermalGpuRunResult>();
+  ASSERT_EQ(res[0].id(), "budget/aware");
+  EXPECT_GT(blind.clamped_frames, 0u);
+  EXPECT_LT(aware.clamped_frames, blind.clamped_frames / 4);
+
+  // Infeasible budget: skin limit essentially at ambient.
+  soc::ThermalGpuConstraintParams brutal = binding;
+  brutal.limits.t_max_skin_c = binding.ambient_c + 0.02;
+  const auto floor_res = engine.run_any(
+      {ThermalGpuScenario{gpu_enmpc_scenario("floor/aware", 44, true), brutal}});
+  const auto& floor_run = floor_res[0].as<ThermalGpuRunResult>();
+  EXPECT_EQ(floor_run.run.frames, 150u);  // the run completes
+  std::size_t at_floor = 0;
+  for (const gpu::GpuConfig& c : floor_run.run.configs)
+    if (c == gpu::GpuConfig{0, 1}) ++at_floor;
+  // Everything after the initial config's arbitration sits on the floor.
+  EXPECT_GE(at_floor + 1, floor_run.run.configs.size());
+}
+
+TEST(Experiment, GpuTelemetryChannelDoesNotPerturbBlindControllers) {
+  // A ThermalGpuScenario now binds a telemetry source; a thermally-blind
+  // GPU controller must produce byte-identical records to the PR 4 wiring
+  // (arbiter + observer only, no telemetry).
+  const GpuScenario s = gpu_enmpc_scenario("gpu-blind-check", 71, false);
+  soc::ThermalGpuConstraintParams params;
+  params.ambient_c = 35.0;
+  params.limits.t_max_skin_c = 39.0;
+  params.limits.t_max_junction_c = 75.0;
+  params.horizon_s = 0.0;
+
+  ExperimentEngine engine(ExperimentOptions{1});
+  const auto via_engine = engine.run_any({ThermalGpuScenario{s, params}});
+  ASSERT_EQ(via_engine.size(), 1u);
+  const GpuRunResult& with_telemetry = via_engine[0].as<ThermalGpuRunResult>().run;
+
+  // Manual replication of the pre-telemetry wiring.
+  gpu::GpuPlatform platform(s.platform, s.platform_noise_seed);
+  common::Rng rng(s.seed);
+  GpuScenarioContext ctx{s, platform, rng};
+  GpuControllerInstance instance = s.make_controller(ctx);
+  soc::ThermalGpuAdapter adapter(platform, 1.0 / s.fps_target, params);
+  GpuRunnerHooks hooks;
+  hooks.arbiter = [&adapter](const gpu::FrameDescriptor& f, const gpu::GpuConfig& proposed) {
+    return adapter.arbitrate(f, proposed);
+  };
+  hooks.observer = [&adapter](const gpu::FrameDescriptor& f, const gpu::GpuConfig& applied,
+                              const gpu::FrameResult& r) { adapter.observe(f, applied, r); };
+  GpuRunner runner(platform, s.fps_target, std::move(hooks));
+  const GpuRunResult without_telemetry = runner.run(s.trace, *instance.controller, s.initial);
+
+  ASSERT_EQ(with_telemetry.configs.size(), without_telemetry.configs.size());
+  for (std::size_t i = 0; i < with_telemetry.configs.size(); ++i)
+    EXPECT_EQ(with_telemetry.configs[i], without_telemetry.configs[i]);
+  EXPECT_EQ(with_telemetry.gpu_energy_j, without_telemetry.gpu_energy_j);
+  EXPECT_EQ(with_telemetry.pkg_dram_energy_j, without_telemetry.pkg_dram_energy_j);
+  EXPECT_EQ(with_telemetry.deadline_misses, without_telemetry.deadline_misses);
 }
 
 TEST(Experiment, ThermalGpuBindingBudgetClampsFrames) {

@@ -1,10 +1,12 @@
 // Tests for GPU online models, the multi-rate NMPC/explicit-NMPC controllers
+// (including the budget-feasibility predicate of the thermal-aware variant)
 // and the GPU frame-loop runner.
 #include <gtest/gtest.h>
 
 #include "core/gpu_controller.h"
 #include "core/gpu_models.h"
 #include "core/nmpc.h"
+#include "soc/thermal_platform.h"
 #include "workloads/gpu_benchmarks.h"
 
 namespace oal::core {
@@ -87,6 +89,102 @@ TEST_F(GpuModelsFixture, NmpcPrefersFewSlicesForLightLoad) {
   const auto sol_light = nmpc.solve_slow(light, {9, 4}, &evals);
   const auto sol_heavy = nmpc.solve_slow(heavy, {9, 4}, &evals);
   EXPECT_LT(sol_light.num_slices, sol_heavy.num_slices);
+}
+
+TEST_F(GpuModelsFixture, ProducerEnergyPriorMatchesPlatformProducerSide) {
+  gpu::FrameDescriptor f;
+  f.render_cycles = 25e6;
+  f.mem_bytes = 18e6;
+  f.cpu_cycles = 9e6;
+  GpuWorkloadState w;
+  w.cpu_cycles = f.cpu_cycles;
+  w.mem_bytes = f.mem_bytes;
+  const auto truth = plat_.render_ideal(f, {10, 2}, kPeriod);
+  // The prior mirrors render_ideal's config-independent producer side
+  // (CPU + package base + DRAM) exactly.
+  EXPECT_DOUBLE_EQ(models_->producer_energy_prior_j(w, kPeriod),
+                   truth.pkg_dram_energy_j - truth.gpu_energy_j);
+}
+
+TEST_F(GpuModelsFixture, BudgetPredicateConstrainsSlowSolve) {
+  NmpcGpuController nmpc(plat_, *models_);
+  GpuWorkloadState w;
+  w.work_cycles = 30e6;
+  w.mem_bytes = 15e6;
+  std::size_t evals = 0;
+  const gpu::GpuConfig blind = nmpc.solve_slow(w, {9, 4}, &evals);
+  const double blind_power =
+      (models_->predict_gpu_energy_j(w, blind, kPeriod) +
+       models_->producer_energy_prior_j(w, kPeriod)) / kPeriod;
+
+  // A budget below the blind pick's power forces a different, budget-feasible
+  // solution (the predicate, not the arbiter, does the work).
+  GpuBudgetState b;
+  b.constrained = true;
+  b.budget_w = 0.8 * blind_power;
+  b.other_energy_j = models_->producer_energy_prior_j(w, kPeriod);
+  const gpu::GpuConfig constrained = nmpc.solve_slow(w, {9, 4}, &evals, b);
+  EXPECT_TRUE(plat_.valid(constrained));
+  EXPECT_TRUE(constrained != blind);
+  EXPECT_LE((models_->predict_gpu_energy_j(w, constrained, kPeriod) + b.other_energy_j) /
+                kPeriod,
+            b.budget_w);
+}
+
+TEST_F(GpuModelsFixture, InfeasibleBudgetFallsToTheThrottleFloor) {
+  NmpcGpuController nmpc(plat_, *models_);
+  GpuWorkloadState w;
+  w.work_cycles = 30e6;
+  w.mem_bytes = 15e6;
+  GpuBudgetState b;
+  b.constrained = true;
+  b.budget_w = 0.05;  // below even the floor config's power
+  b.other_energy_j = models_->producer_energy_prior_j(w, kPeriod);
+  std::size_t evals = 0;
+  // The fallback descends the shared firmware ladder all the way down: the
+  // controller proposes the floor itself instead of bouncing off the arbiter.
+  const gpu::GpuConfig sol = nmpc.solve_slow(w, {9, 4}, &evals, b);
+  EXPECT_EQ(sol.freq_idx, 0);
+  EXPECT_EQ(sol.num_slices, 1);
+}
+
+TEST_F(GpuModelsFixture, FastTrimNeverTrimsUpThroughBudget) {
+  NmpcGpuController nmpc(plat_, *models_);
+  GpuWorkloadState heavy;  // misses the deadline at low frequency: the trim
+  heavy.work_cycles = 60e6;  // wants to escalate
+  heavy.mem_bytes = 30e6;
+  const gpu::GpuConfig current{4, 4};
+  std::size_t evals = 0;
+  const gpu::GpuConfig unconstrained = nmpc.fast_trim(heavy, current, &evals);
+  ASSERT_GT(unconstrained.freq_idx, current.freq_idx);
+
+  // Cap the budget at the current config's predicted power: the escalation
+  // must stop at the budget instead of punching through it.
+  GpuBudgetState b;
+  b.constrained = true;
+  b.other_energy_j = models_->producer_energy_prior_j(heavy, kPeriod);
+  b.budget_w = (models_->predict_gpu_energy_j(heavy, current, kPeriod) + b.other_energy_j) /
+               kPeriod;
+  const gpu::GpuConfig capped = nmpc.fast_trim(heavy, current, &evals, b);
+  EXPECT_LE(capped.freq_idx, current.freq_idx);
+  EXPECT_LE((models_->predict_gpu_energy_j(heavy, capped, kPeriod) + b.other_energy_j) /
+                kPeriod,
+            b.budget_w + 1e-12);
+}
+
+TEST(GpuThrottleStep, FrequencyFirstThenSlicesToFloor) {
+  gpu::GpuConfig c{2, 3};
+  EXPECT_TRUE(soc::gpu_throttle_step(c));
+  EXPECT_EQ(c, (gpu::GpuConfig{1, 3}));
+  EXPECT_TRUE(soc::gpu_throttle_step(c));
+  EXPECT_EQ(c, (gpu::GpuConfig{0, 3}));
+  EXPECT_TRUE(soc::gpu_throttle_step(c));
+  EXPECT_EQ(c, (gpu::GpuConfig{0, 2}));
+  EXPECT_TRUE(soc::gpu_throttle_step(c));
+  EXPECT_EQ(c, (gpu::GpuConfig{0, 1}));
+  // The floor: 1 slice at minimum frequency is never stepped through.
+  EXPECT_FALSE(soc::gpu_throttle_step(c));
+  EXPECT_EQ(c, (gpu::GpuConfig{0, 1}));
 }
 
 TEST_F(GpuModelsFixture, ExplicitLawApproximatesNmpc) {
@@ -173,6 +271,45 @@ TEST(GpuRunner, TransitionCostsCharged) {
   const auto res = runner.run(trace, flipper, {10, 1});
   EXPECT_EQ(res.slice_changes, 100u);
   EXPECT_GT(res.transition_energy_j, 0.05);
+}
+
+TEST(GpuRunner, TelemetryChannelDoesNotPerturbBlindControllers) {
+  // Binding a telemetry source must leave a thermally-blind controller's
+  // records byte-identical: the default observe_telemetry is a no-op and the
+  // source itself is side-effect free.
+  common::Rng rng(21);
+  const auto trace = workloads::GpuBenchmarks::trace(
+      workloads::GpuBenchmarks::by_name("EpicCitadel"), 120, rng);
+  const gpu::GpuConfig init{9, 4};
+
+  const auto run_with = [&](bool bind_telemetry) {
+    gpu::GpuPlatform plat({}, 5);
+    GpuRunnerHooks hooks;
+    if (bind_telemetry) {
+      hooks.telemetry = [] {
+        soc::ThermalTelemetry t;
+        t.constrained = true;
+        t.budget_w = 0.5;  // would bind hard if anything listened
+        return t;
+      };
+    }
+    GpuRunner runner(plat, 30.0, std::move(hooks));
+    GpuOnlineModels models(plat);
+    common::Rng boot(7);
+    bootstrap_gpu_models(plat, models, kPeriod, 200, boot);
+    NmpcConfig cfg;  // thermal_aware defaults to false: blind
+    ExplicitNmpcGpuController enmpc(plat, models, cfg, 300);
+    return runner.run(trace, enmpc, init);
+  };
+  const GpuRunResult without = run_with(false);
+  const GpuRunResult with = run_with(true);
+  ASSERT_EQ(without.configs.size(), with.configs.size());
+  for (std::size_t i = 0; i < without.configs.size(); ++i)
+    EXPECT_EQ(without.configs[i], with.configs[i]);
+  EXPECT_EQ(without.gpu_energy_j, with.gpu_energy_j);
+  EXPECT_EQ(without.pkg_dram_energy_j, with.pkg_dram_energy_j);
+  EXPECT_EQ(without.deadline_misses, with.deadline_misses);
+  EXPECT_EQ(without.decision_evals, with.decision_evals);
 }
 
 TEST(GpuWorkloadStateTest, ObserveTracksContent) {

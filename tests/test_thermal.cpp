@@ -393,5 +393,75 @@ TEST(ThermalGpuAdapter, RejectsBadConstruction) {
   EXPECT_THROW(soc::ThermalGpuAdapter(plat, 1.0 / 30.0, p), std::invalid_argument);
 }
 
+TEST(ThermalGpuAdapter, TelemetrySnapshotReflectsAdapterState) {
+  gpu::GpuPlatform plat;
+  soc::ThermalGpuConstraintParams p;
+  p.ambient_c = 35.0;
+  p.limits.t_max_skin_c = 39.0;
+  p.limits.t_max_junction_c = 75.0;
+  p.horizon_s = 0.0;
+  soc::ThermalGpuAdapter adapter(plat, 1.0 / 30.0, p);
+  const soc::ThermalTelemetry t = adapter.telemetry();
+  EXPECT_TRUE(t.constrained);
+  EXPECT_DOUBLE_EQ(t.budget_w, adapter.budget_w());
+  EXPECT_DOUBLE_EQ(t.junction_limit_c, p.limits.t_max_junction_c);
+  EXPECT_DOUBLE_EQ(t.skin_limit_c, p.limits.t_max_skin_c);
+  EXPECT_DOUBLE_EQ(t.ambient_c, p.ambient_c);
+  EXPECT_NEAR(t.junction_c, p.ambient_c, 1e-9);  // nothing rendered yet
+}
+
+TEST(ThermalGpuAdapter, TelemetryTracksMovingBudgetAcrossFrames) {
+  // A preheated device under a transient_power_headroom horizon with the
+  // budget recomputed every frame: heavy frames heat the RC network and the
+  // published budget tightens frame over frame; once throttled to the floor
+  // the network cools and the budget relaxes again.  The telemetry snapshot
+  // must track both directions.
+  gpu::GpuPlatform plat;
+  const double period_s = 1.0 / 30.0;
+  soc::ThermalGpuConstraintParams p;
+  p.ambient_c = 35.0;
+  p.limits.t_max_skin_c = 40.0;
+  p.limits.t_max_junction_c = 75.0;
+  p.horizon_s = 120.0;
+  p.budget_interval_s = period_s;  // refresh every frame
+  p.initial_temperature_c = {48.0, 46.0, 58.0, 45.0, 39.5};  // preheated
+  soc::ThermalGpuAdapter adapter(plat, period_s, p);
+
+  gpu::FrameDescriptor heavy;
+  heavy.render_cycles = 70e6;
+  heavy.mem_bytes = 40e6;
+  heavy.cpu_cycles = 12e6;
+  heavy.mem_exposed = 0.10;
+  const gpu::GpuConfig hot{static_cast<int>(plat.num_freqs()) - 1, plat.params().max_slices};
+
+  // Phase 1: render hot frames — the budget must tighten every frame.  (The
+  // first frame of each phase also swaps the observed power shape, so the
+  // monotonicity check starts at the second.)
+  double prev = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    adapter.observe(heavy, hot, plat.render_ideal(heavy, hot, period_s));
+    const double now = adapter.telemetry().budget_w;
+    if (i > 0) {
+      EXPECT_LT(now, prev) << "frame " << i << ": budget must tighten while heating";
+    }
+    prev = now;
+  }
+
+  // Phase 2: floor-config frames — cooling relaxes the budget every frame.
+  gpu::FrameDescriptor light;
+  light.render_cycles = 2e6;
+  light.mem_bytes = 1e6;
+  light.cpu_cycles = 1e6;
+  const gpu::GpuConfig floor{0, 1};
+  for (int i = 0; i < 8; ++i) {
+    adapter.observe(light, floor, plat.render_ideal(light, floor, period_s));
+    const double now = adapter.telemetry().budget_w;
+    if (i > 0) {
+      EXPECT_GT(now, prev) << "frame " << i << ": budget must relax while cooling";
+    }
+    prev = now;
+  }
+}
+
 }  // namespace
 }  // namespace oal::thermal
