@@ -55,6 +55,11 @@ Scenario online_arm_scenario(const OnlineIlConfig& cfg, std::shared_ptr<OracleCa
   s.make_controller = online_il_collect_factory(
       workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench), /*snippets_per_app=*/40,
       /*configs_per_snippet=*/6, /*collect_seed=*/7, /*train_seed=*/5, cfg, std::move(cache));
+  s.extra_metrics = [](const DrmController& ctl, const RunResult&) {
+    const auto& il = dynamic_cast<const OnlineIlController&>(ctl);
+    return Metrics{{"train_time_s", il.policy_train_time_s()},
+                   {"final_loss", il.policy_train_loss()}};
+  };
   return s;
 }
 
@@ -178,6 +183,34 @@ int main(int argc, char** argv) {
     registry.add(id, [cfg, cache] { return online_arm_scenario(cfg, cache); });
   }
 
+  // ---- Section E: policy optimizer (ml/optimizer.h) ------------------------
+  // Same online-IL pipeline, different parameter-update rule.  Learning
+  // rates are per-rule: plain SGD on cross-entropy needs a much larger step
+  // than Adam's adaptive one.
+  struct OptArm {
+    const char* name;
+    ml::OptimizerConfig opt;
+    double lr;  // 0 = keep the IlPolicyConfig default
+  };
+  std::vector<OptArm> opt_arms;
+  {
+    opt_arms.push_back({"Adam (default)", ml::OptimizerConfig{}, 0.0});
+    ml::OptimizerConfig sgd;
+    sgd.kind = ml::OptimizerConfig::Kind::kSgd;
+    opt_arms.push_back({"SGD", sgd, 0.1});
+    ml::OptimizerConfig mom = sgd;
+    mom.momentum = 0.9;
+    opt_arms.push_back({"SGD + momentum 0.9", mom, 0.05});
+  }
+  for (std::size_t i = 0; i < opt_arms.size(); ++i) {
+    OnlineIlConfig cfg;
+    cfg.policy.optimizer = opt_arms[i].opt;
+    if (opt_arms[i].lr > 0.0) cfg.policy.learning_rate = opt_arms[i].lr;
+    const std::string id = "ablate/optimizer/" + std::to_string(i);
+    configs[id] = cfg;
+    registry.add(id, [cfg, cache] { return online_arm_scenario(cfg, cache); });
+  }
+
   // ---- Section C: implicit vs explicit NMPC --------------------------------
   const double fps = 30.0;
   const std::vector<std::string> nmpc_workloads{"EpicCitadel", "SharkDash", "GFXBench-trex"};
@@ -244,6 +277,27 @@ int main(int argc, char** argv) {
     tb.print(std::cout);
     std::puts("Single-knob moves cannot cross the cluster-off/on energy valley, and");
     std::puts("without exploration the models lock into self-confirming states.\n");
+  }
+
+  bool have_opt = false;
+  for (std::size_t i = 0; i < opt_arms.size(); ++i)
+    have_opt |= index.has("ablate/optimizer/" + std::to_string(i));
+  if (have_opt) {
+    std::puts("=== E. Policy optimizer (update rule of the IL network) ===");
+    common::Table t({"Optimizer", "Energy/Oracle", "Tail E/Oracle", "Final loss"});
+    for (std::size_t i = 0; i < opt_arms.size(); ++i) {
+      const std::string id = "ablate/optimizer/" + std::to_string(i);
+      const AnyResult* r = index.find(id);
+      const auto it = arm.find(id);
+      if (!r || it == arm.end()) continue;
+      t.add_row({opt_arms[i].name, common::Table::fmt(it->second.energy_ratio, 3),
+                 common::Table::fmt(it->second.tail_ratio, 3),
+                 common::Table::fmt(r->metric("final_loss"), 3)});
+    }
+    t.print(std::cout);
+    std::puts("With per-rule learning rates all three land within a few percent; Adam");
+    std::puts("(the default) needs no per-task rate tuning.  The update rule is a");
+    std::puts("per-arm config knob (IlPolicyConfig::optimizer).\n");
   }
 
   bool have_nmpc = false;

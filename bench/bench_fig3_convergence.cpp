@@ -66,6 +66,13 @@ int main(int argc, char** argv) {
     s.on_complete = [il_updates](DrmController& ctl, const RunResult&) {
       *il_updates = dynamic_cast<OnlineIlController&>(ctl).policy_updates();
     };
+    // Training-cost telemetry for the JSONL record (regression-gated final
+    // loss; wall-time is reported but never gated — it is machine-dependent).
+    s.extra_metrics = [](const DrmController& ctl, const RunResult&) {
+      const auto& il = dynamic_cast<const OnlineIlController&>(ctl);
+      return Metrics{{"train_time_s", il.policy_train_time_s()},
+                     {"final_loss", il.policy_train_loss()}};
+    };
     return s;
   });
   registry.add("fig3/rl", [shared, seq, mibench] {
@@ -129,6 +136,9 @@ int main(int argc, char** argv) {
     }
   }
   const double total = res_il.records.back().start_time_s;
+  driver.json().write_metrics(driver.bench_name(), "fig3/summary",
+                              {{"convergence_t_s", conv_time},
+                               {"policy_updates", static_cast<double>(*il_updates)}});
   std::printf("\nOnline-IL converged (>=90%% window) at t = %.1f s (%.1f%% of %.1f s)\n",
               conv_time, 100.0 * conv_time / total, total);
   std::printf("Paper: ~6 s, about 4%% of the sequence; RL never converges.\n");

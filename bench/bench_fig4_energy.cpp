@@ -89,6 +89,13 @@ int main(int argc, char** argv) {
     s.trace = seq;
     s.oracle_cache = shared->cache;
     s.make_controller = online_il_factory(shared->off, /*train_seed=*/5);
+    // Training-cost telemetry for the JSONL record (regression-gated final
+    // loss; wall-time is reported but never gated — it is machine-dependent).
+    s.extra_metrics = [](const DrmController& ctl, const RunResult&) {
+      const auto& il = dynamic_cast<const OnlineIlController&>(ctl);
+      return Metrics{{"train_time_s", il.policy_train_time_s()},
+                     {"final_loss", il.policy_train_loss()}};
+    };
     return s;
   });
 
@@ -128,6 +135,9 @@ int main(int argc, char** argv) {
     auto policy = std::make_shared<IlPolicy>(plat.space());
     common::Rng il_rng(5);
     policy->train_offline(shared->off->policy, il_rng);
+    driver.json().write_metrics(driver.bench_name(), "fig4/offline_policy_training",
+                                {{"train_time_s", policy->train_time_s()},
+                                 {"final_loss", policy->last_train_loss()}});
     shared->policy = policy;
   }
   if (need_rl) {

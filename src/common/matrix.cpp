@@ -34,6 +34,16 @@ Mat Mat::diag(const Vec& d) {
   return m;
 }
 
+Mat Mat::from_rows(const std::vector<Vec>& rows) {
+  if (rows.empty()) throw std::invalid_argument("Mat::from_rows: no rows");
+  Mat m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols_) throw std::invalid_argument("Mat::from_rows: ragged rows");
+    for (std::size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
 Mat Mat::transpose() const {
   Mat t(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r)
@@ -172,6 +182,79 @@ Vec scale(const Vec& a, double s) {
 }
 
 double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
+
+// ---- GEMM kernels ----------------------------------------------------------
+//
+// Each element accumulates its reduction strictly in ascending index order
+// starting from 0.0 (no zero-skip shortcuts, unlike operator*), so batch
+// training built on these kernels is bitwise reproducible and a 1-row batch
+// reproduces the per-sample loops it replaced.
+
+Mat matmul(const Mat& a, const Mat& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dim mismatch");
+  const std::size_t m = a.rows(), kk = a.cols(), n = b.cols();
+  Mat r(m, n);
+  const double* __restrict__ ap = a.raw();
+  const double* __restrict__ bp = b.raw();
+  double* __restrict__ rp = r.raw();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t k = 0; k < kk; ++k) {
+      const double aik = ap[i * kk + k];
+      const double* brow = bp + k * n;
+      double* rrow = rp + i * n;
+      for (std::size_t j = 0; j < n; ++j) rrow[j] += aik * brow[j];
+    }
+  return r;
+}
+
+Mat matmul_tn(const Mat& a, const Mat& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_tn: leading dim mismatch");
+  const std::size_t m = a.cols(), kk = a.rows(), n = b.cols();
+  Mat r(m, n);
+  const double* __restrict__ ap = a.raw();
+  const double* __restrict__ bp = b.raw();
+  double* __restrict__ rp = r.raw();
+  for (std::size_t k = 0; k < kk; ++k)
+    for (std::size_t i = 0; i < m; ++i) {
+      const double aki = ap[k * m + i];
+      const double* brow = bp + k * n;
+      double* rrow = rp + i * n;
+      for (std::size_t j = 0; j < n; ++j) rrow[j] += aki * brow[j];
+    }
+  return r;
+}
+
+Mat matmul_nt(const Mat& a, const Mat& b) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("matmul_nt: trailing dim mismatch");
+  const std::size_t m = a.rows(), n = b.rows(), kk = a.cols();
+  Mat r(m, n);
+  const double* __restrict__ ap = a.raw();
+  const double* __restrict__ bp = b.raw();
+  double* __restrict__ rp = r.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = ap + i * kk;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = bp + j * kk;
+      double s = 0.0;
+      for (std::size_t k = 0; k < kk; ++k) s += arow[k] * brow[k];
+      rp[i * n + j] = s;
+    }
+  }
+  return r;
+}
+
+void add_row_broadcast(Mat& m, const Vec& v) {
+  if (v.size() != m.cols()) throw std::invalid_argument("add_row_broadcast: size mismatch");
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) += v[c];
+}
+
+Vec col_sums(const Mat& m) {
+  Vec s(m.cols(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) s[c] += m(r, c);
+  return s;
+}
 
 Mat outer(const Vec& a, const Vec& b) {
   Mat m(a.size(), b.size());

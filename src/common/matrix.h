@@ -25,6 +25,8 @@ class Mat {
   static Mat identity(std::size_t n);
   /// Diagonal matrix from a vector.
   static Mat diag(const Vec& d);
+  /// Stacks equal-length vectors as rows (batch-matrix construction).
+  static Mat from_rows(const std::vector<Vec>& rows);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -34,6 +36,13 @@ class Mat {
   double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
 
   const std::vector<double>& data() const { return data_; }
+
+  /// Raw row-major storage (rows*cols doubles).  The hot training kernels
+  /// (GEMM, optimizer steps) iterate flat arrays so the compiler can
+  /// vectorize; element order is unchanged, so results are bit-identical to
+  /// the indexed loops.
+  double* raw() { return data_.data(); }
+  const double* raw() const { return data_.data(); }
 
   Mat transpose() const;
   Mat operator+(const Mat& o) const;
@@ -76,6 +85,22 @@ Vec scale(const Vec& a, double s);
 double norm2(const Vec& a);
 /// Outer product a b^T.
 Mat outer(const Vec& a, const Vec& b);
+
+// ---- GEMM kernels ----------------------------------------------------------
+// Minibatch training kernels (rows = samples).  Every output element reduces
+// in ascending index order from 0.0 with no zero-skip, so results are bitwise
+// deterministic and a 1-row batch matches the per-sample scalar loops.
+
+/// C = A * B.
+Mat matmul(const Mat& a, const Mat& b);
+/// C = A^T * B (fused transpose; the batch weight-gradient kernel dY^T * X).
+Mat matmul_tn(const Mat& a, const Mat& b);
+/// C = A * B^T (fused transpose; the batch forward kernel X * W^T).
+Mat matmul_nt(const Mat& a, const Mat& b);
+/// m(r, :) += v for every row r (bias broadcast).
+void add_row_broadcast(Mat& m, const Vec& v);
+/// Column sums (the batch bias-gradient reduction).
+Vec col_sums(const Mat& m);
 
 // ---- Factorizations & solvers ---------------------------------------------
 

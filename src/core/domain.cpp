@@ -175,6 +175,7 @@ AnyResult run_thermal_scenario(const ThermalDrmScenario& s) {
   m.emplace_back("peak_junction_c", result.peak_junction_c);
   m.emplace_back("peak_skin_c", result.peak_skin_c);
   m.emplace_back("final_budget_w", result.final_budget_w);
+  for (Metric& e : base_result.extra) m.push_back(std::move(e));
   return AnyResult(s.base.id, std::move(result), std::move(m));
 }
 
@@ -188,6 +189,7 @@ AnyScenario::AnyScenario(Scenario s) : id_(s.id) {
   run_ = [sp] {
     ScenarioResult r = ExperimentEngine::run_scenario(*sp);
     Metrics m = drm_metrics(r.run);
+    for (Metric& e : r.extra) m.push_back(std::move(e));
     return AnyResult(r.id, std::move(r.run), std::move(m));
   };
 }

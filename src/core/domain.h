@@ -39,9 +39,8 @@
 
 namespace oal::core {
 
-/// Named scalar outputs of a run, in a deterministic (insertion) order.
-using Metric = std::pair<std::string, double>;
-using Metrics = std::vector<Metric>;
+// Metric/Metrics (named scalar run outputs) live in core/experiment.h so
+// Scenario::extra_metrics can name them without a circular include.
 
 /// Standard metric set of a DRM RunResult (energy ratio only when Oracle
 /// energies were recorded).  Shared by the DRM/thermal wrappers and by

@@ -36,8 +36,9 @@ ScenarioResult ExperimentEngine::run_scenario(const Scenario& s, const RunCustom
   opts.oracle_cache = s.oracle_cache;
   if (customize) customize(platform, opts);
   DrmRunner runner(platform, opts);
-  ScenarioResult result{s.id, runner.run(s.trace, *instance.controller, s.initial)};
+  ScenarioResult result{s.id, runner.run(s.trace, *instance.controller, s.initial), {}};
   if (s.on_complete) s.on_complete(*instance.controller, result.run);
+  if (s.extra_metrics) result.extra = s.extra_metrics(*instance.controller, result.run);
   return result;
 }
 

@@ -27,6 +27,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -40,6 +41,10 @@ namespace oal::core {
 struct Scenario;
 class AnyScenario;  // core/domain.h: type-erased cross-domain scenario
 class AnyResult;
+
+/// Named scalar outputs of a run, in a deterministic (insertion) order.
+using Metric = std::pair<std::string, double>;
+using Metrics = std::vector<Metric>;
 
 /// Scenario-private execution state handed to the controller factory.
 struct ScenarioContext {
@@ -81,11 +86,16 @@ struct Scenario {
   /// alive — the place to harvest controller statistics (policy updates,
   /// table sizes).  Must touch scenario-local state only.
   std::function<void(DrmController&, const RunResult&)> on_complete;
+  /// Like on_complete, but the returned metrics ride along in
+  /// ScenarioResult::extra and are appended to the standard drm_metrics of
+  /// the JSONL record (training wall-time, final loss, ...).
+  std::function<Metrics(const DrmController&, const RunResult&)> extra_metrics;
 };
 
 struct ScenarioResult {
   std::string id;
   RunResult run;
+  Metrics extra;  ///< Scenario::extra_metrics output (empty when unset)
 };
 
 struct ExperimentOptions {

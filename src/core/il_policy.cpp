@@ -1,5 +1,6 @@
 #include "core/il_policy.h"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace oal::core {
@@ -12,6 +13,8 @@ ml::MlpConfig make_net_config(const IlPolicyConfig& cfg) {
   m.learning_rate = cfg.learning_rate;
   m.l2 = cfg.l2;
   m.seed = cfg.seed;
+  m.optimizer = cfg.optimizer;
+  m.pool = cfg.pool;
   return m;
 }
 }  // namespace
@@ -21,11 +24,7 @@ IlPolicy::IlPolicy(const soc::ConfigSpace& space, IlPolicyConfig cfg)
       net_(FeatureExtractor(space, cfg.thermal_aware).policy_dim(), space.knob_cardinalities(),
            make_net_config(cfg)) {}
 
-double IlPolicy::train_offline(const PolicyDataset& data, common::Rng& rng) {
-  if (data.states.empty() || data.states.size() != data.labels.size())
-    throw std::invalid_argument("IlPolicy::train_offline: bad dataset");
-  scaler_ = ml::StandardScaler();
-  scaler_.fit(data.states);
+double IlPolicy::train(const PolicyDataset& data, std::size_t epochs, common::Rng& rng) {
   std::vector<common::Vec> xs;
   std::vector<std::vector<std::size_t>> ys;
   xs.reserve(data.states.size());
@@ -34,7 +33,19 @@ double IlPolicy::train_offline(const PolicyDataset& data, common::Rng& rng) {
     xs.push_back(scaler_.transform(data.states[i]));
     ys.push_back(labels_of(data.labels[i]));
   }
-  const double loss = net_.train(xs, ys, cfg_.offline_epochs, 32, rng);
+  const auto t0 = std::chrono::steady_clock::now();
+  const double loss = net_.train(xs, ys, epochs, cfg_.batch_size, rng);
+  train_time_s_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  last_train_loss_ = loss;
+  return loss;
+}
+
+double IlPolicy::train_offline(const PolicyDataset& data, common::Rng& rng) {
+  if (data.states.empty() || data.states.size() != data.labels.size())
+    throw std::invalid_argument("IlPolicy::train_offline: bad dataset");
+  scaler_ = ml::StandardScaler();
+  scaler_.fit(data.states);
+  const double loss = train(data, cfg_.offline_epochs, rng);
   trained_ = true;
   return loss;
 }
@@ -44,15 +55,7 @@ double IlPolicy::train_incremental(const PolicyDataset& data, std::size_t epochs
   if (!trained_) throw std::logic_error("IlPolicy::train_incremental before train_offline");
   if (data.states.empty() || data.states.size() != data.labels.size())
     throw std::invalid_argument("IlPolicy::train_incremental: bad dataset");
-  std::vector<common::Vec> xs;
-  std::vector<std::vector<std::size_t>> ys;
-  xs.reserve(data.states.size());
-  ys.reserve(data.labels.size());
-  for (std::size_t i = 0; i < data.states.size(); ++i) {
-    xs.push_back(scaler_.transform(data.states[i]));
-    ys.push_back(labels_of(data.labels[i]));
-  }
-  return net_.train(xs, ys, epochs, 32, rng);
+  return train(data, epochs, rng);
 }
 
 soc::SocConfig IlPolicy::decide(const common::Vec& state) const {

@@ -55,6 +55,10 @@ struct OnlineIlConfig {
   /// teach the policy the same behavior.  Off (default): bitwise-identical
   /// to the blind controller, telemetry ignored.
   bool thermal_aware = false;
+  /// Network/training configuration for arms whose scenario factory builds
+  /// the policy (optimizer, learning rate, batch size — swappable per arm).
+  /// thermal_aware above wins over policy.thermal_aware.
+  IlPolicyConfig policy{};
 };
 
 class OnlineIlController : public DrmController {
@@ -78,6 +82,10 @@ class OnlineIlController : public DrmController {
   std::size_t policy_updates() const { return policy_updates_; }
   std::size_t buffer_fill() const { return buffer_states_.size(); }
   double exploration_rate() const { return explore_; }
+  /// Wall-time the injected policy has spent in backprop so far (seconds).
+  double policy_train_time_s() const { return policy_->train_time_s(); }
+  /// Final-epoch loss of the policy's most recent (re)training.
+  double policy_train_loss() const { return policy_->last_train_loss(); }
 
  private:
   const soc::ConfigSpace* space_;

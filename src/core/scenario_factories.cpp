@@ -12,19 +12,15 @@ namespace {
 struct OnlineIlDeps {
   IlPolicy policy;
   OnlineSocModels models;
-  OnlineIlDeps(const soc::ConfigSpace& space, bool thermal_aware)
-      : policy(space,
-               [thermal_aware] {
-                 IlPolicyConfig c;
-                 c.thermal_aware = thermal_aware;
-                 return c;
-               }()),
-        models(space) {}
+  OnlineIlDeps(const soc::ConfigSpace& space, IlPolicyConfig policy_cfg)
+      : policy(space, policy_cfg), models(space) {}
 };
 
 ControllerInstance make_online_il(ScenarioContext& ctx, const OfflineData& off,
                                   std::uint64_t train_seed, const OnlineIlConfig& cfg) {
-  auto deps = std::make_shared<OnlineIlDeps>(ctx.platform.space(), cfg.thermal_aware);
+  IlPolicyConfig policy_cfg = cfg.policy;
+  policy_cfg.thermal_aware = cfg.thermal_aware;
+  auto deps = std::make_shared<OnlineIlDeps>(ctx.platform.space(), policy_cfg);
   common::Rng train_rng(train_seed);
   deps->policy.train_offline(off.policy, train_rng);
   deps->models.bootstrap(off.model_samples);

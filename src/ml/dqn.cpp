@@ -12,6 +12,7 @@ MlpConfig make_mlp_config(const DqnConfig& cfg, std::uint64_t seed_offset) {
   m.activation = Activation::kRelu;
   m.learning_rate = cfg.learning_rate;
   m.seed = cfg.seed + seed_offset;
+  m.optimizer = cfg.optimizer;
   return m;
 }
 }  // namespace
@@ -54,18 +55,31 @@ void Dqn::observe(const common::Vec& state, std::size_t action, double reward,
 }
 
 void Dqn::train_batch() {
-  for (std::size_t b = 0; b < cfg_.batch_size; ++b) {
-    const auto& tr = replay_[static_cast<std::size_t>(
+  // Sample the whole minibatch up front (same rng draw count and order as the
+  // historical per-transition loop), then evaluate it through one batched
+  // online/target forward pass each instead of per-transition vectors.
+  const std::size_t bsz = cfg_.batch_size;
+  std::vector<const Transition*> batch(bsz);
+  for (std::size_t b = 0; b < bsz; ++b)
+    batch[b] = &replay_[static_cast<std::size_t>(
         rng_.uniform_int(0, static_cast<int>(replay_.size()) - 1))];
-    const common::Vec next_q = target_.forward(tr.next_state);
-    const double best_next = *std::max_element(next_q.begin(), next_q.end());
-    const double td_target = tr.reward + cfg_.gamma * best_next;
-    common::Vec target = online_.forward(tr.state);
-    common::Vec mask(num_actions_, 0.0);
-    target[tr.action] = td_target;
-    mask[tr.action] = 1.0;
-    online_.train_step(tr.state, target, &mask);
+
+  common::Mat states(bsz, state_dim_), next_states(bsz, state_dim_);
+  for (std::size_t b = 0; b < bsz; ++b) {
+    states.set_row(b, batch[b]->state);
+    next_states.set_row(b, batch[b]->next_state);
   }
+
+  const common::Mat next_q = target_.forward_batch(next_states);
+  common::Mat targets = online_.forward_batch(states);
+  common::Mat mask(bsz, num_actions_, 0.0);
+  for (std::size_t b = 0; b < bsz; ++b) {
+    double best_next = next_q(b, 0);
+    for (std::size_t a = 1; a < num_actions_; ++a) best_next = std::max(best_next, next_q(b, a));
+    targets(b, batch[b]->action) = batch[b]->reward + cfg_.gamma * best_next;
+    mask(b, batch[b]->action) = 1.0;
+  }
+  online_.train_batch(states, targets, &mask);
 }
 
 }  // namespace oal::ml

@@ -28,6 +28,8 @@ struct DqnConfig {
   std::size_t target_sync_period = 64;  ///< steps between target-network syncs
   std::size_t min_replay = 64;          ///< do not train before this many samples
   std::uint64_t seed = 17;
+  /// Update rule for the online network (ml/optimizer.h).
+  OptimizerConfig optimizer{};
 };
 
 class Dqn {

@@ -5,12 +5,69 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/thread_pool.h"
+
 namespace oal::ml {
 
 namespace {
-constexpr double kAdamBeta1 = 0.9;
-constexpr double kAdamBeta2 = 0.999;
-constexpr double kAdamEps = 1e-8;
+
+// Minibatch rows per gradient shard.  The shard geometry is a property of the
+// batch, not of the executor: shard s always covers rows
+// [s*kGradShardRows, ...), and shard results are reduced in ascending shard
+// order, so training is bitwise identical serial vs. any thread count.
+constexpr std::size_t kGradShardRows = 8;
+
+common::Mat slice_rows(const common::Mat& m, std::size_t r0, std::size_t r1) {
+  common::Mat s(r1 - r0, m.cols());
+  for (std::size_t r = r0; r < r1; ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) s(r - r0, c) = m(r, c);
+  return s;
+}
+
+common::Vec activate_vec(Activation act, const common::Vec& z) {
+  common::Vec a(z.size());
+  if (act == Activation::kTanh) {
+    for (std::size_t i = 0; i < z.size(); ++i) a[i] = std::tanh(z[i]);
+  } else {
+    for (std::size_t i = 0; i < z.size(); ++i) a[i] = z[i] > 0.0 ? z[i] : 0.0;
+  }
+  return a;
+}
+
+void activate_inplace(Activation act, common::Mat& z) {
+  if (act == Activation::kTanh) {
+    for (std::size_t r = 0; r < z.rows(); ++r)
+      for (std::size_t c = 0; c < z.cols(); ++c) z(r, c) = std::tanh(z(r, c));
+  } else {
+    for (std::size_t r = 0; r < z.rows(); ++r)
+      for (std::size_t c = 0; c < z.cols(); ++c)
+        if (z(r, c) < 0.0) z(r, c) = 0.0;
+  }
+}
+
+/// g .*= activation'(z), recomputed from the *post*-activation a = act(z):
+/// tanh'(z) = 1 - a^2 (bitwise equal to 1 - tanh(z)^2) and relu'(z) =
+/// [a > 0], so the pre-activations never need caching.
+void scale_by_activation_grad(Activation act, const common::Mat& post, common::Mat& g) {
+  if (act == Activation::kTanh) {
+    for (std::size_t r = 0; r < post.rows(); ++r)
+      for (std::size_t c = 0; c < post.cols(); ++c) {
+        const double t = post(r, c);
+        g(r, c) *= 1.0 - t * t;
+      }
+  } else {
+    for (std::size_t r = 0; r < post.rows(); ++r)
+      for (std::size_t c = 0; c < post.cols(); ++c) g(r, c) *= post(r, c) > 0.0 ? 1.0 : 0.0;
+  }
+}
+
+/// Fisher-Yates shuffle with the caller's deterministic RNG (the only source
+/// of randomness in a training pass — no hidden engine-global state).
+void shuffle_order(std::vector<std::size_t>& order, common::Rng& rng) {
+  for (std::size_t i = order.size(); i-- > 1;)
+    std::swap(order[i], order[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(i)))]);
+}
+
 }  // namespace
 
 common::Vec softmax(const common::Vec& z) {
@@ -26,13 +83,27 @@ common::Vec softmax(const common::Vec& z) {
   return p;
 }
 
-DenseLayer::DenseLayer(std::size_t in, std::size_t out, common::Rng& rng)
-    : w_(out, in), b_(out, 0.0), gw_(out, in), gb_(out, 0.0), mw_(out, in), vw_(out, in),
-      mb_(out, 0.0), vb_(out, 0.0) {
+// ---- DenseLayer ------------------------------------------------------------
+
+DenseLayer::DenseLayer(std::size_t in, std::size_t out, common::Rng& rng,
+                       std::unique_ptr<Optimizer> opt)
+    : w_(out, in), b_(out, 0.0), opt_(std::move(opt)) {
   // Xavier/Glorot initialization.
   const double scale = std::sqrt(2.0 / static_cast<double>(in + out));
   for (std::size_t r = 0; r < out; ++r)
     for (std::size_t c = 0; c < in; ++c) w_(r, c) = rng.normal(0.0, scale);
+}
+
+DenseLayer::DenseLayer(const DenseLayer& o)
+    : w_(o.w_), b_(o.b_), opt_(o.opt_ ? o.opt_->clone() : nullptr) {}
+
+DenseLayer& DenseLayer::operator=(const DenseLayer& o) {
+  if (this != &o) {
+    w_ = o.w_;
+    b_ = o.b_;
+    opt_ = o.opt_ ? o.opt_->clone() : nullptr;
+  }
+  return *this;
 }
 
 common::Vec DenseLayer::forward(const common::Vec& x) const {
@@ -41,133 +112,198 @@ common::Vec DenseLayer::forward(const common::Vec& x) const {
   return y;
 }
 
-common::Vec DenseLayer::backward(const common::Vec& x, const common::Vec& dy) {
-  for (std::size_t r = 0; r < w_.rows(); ++r) {
-    gb_[r] += dy[r];
-    for (std::size_t c = 0; c < w_.cols(); ++c) gw_(r, c) += dy[r] * x[c];
-  }
-  common::Vec dx(w_.cols(), 0.0);
-  for (std::size_t r = 0; r < w_.rows(); ++r)
-    for (std::size_t c = 0; c < w_.cols(); ++c) dx[c] += w_(r, c) * dy[r];
-  return dx;
+common::Mat DenseLayer::forward_batch(const common::Mat& x) const {
+  common::Mat y = common::matmul_nt(x, w_);
+  common::add_row_broadcast(y, b_);
+  return y;
 }
 
-void DenseLayer::apply_adam(double lr, double l2, std::size_t t) {
-  const double bc1 = 1.0 - std::pow(kAdamBeta1, static_cast<double>(t));
-  const double bc2 = 1.0 - std::pow(kAdamBeta2, static_cast<double>(t));
-  for (std::size_t r = 0; r < w_.rows(); ++r) {
-    for (std::size_t c = 0; c < w_.cols(); ++c) {
-      const double g = gw_(r, c) + l2 * w_(r, c);
-      mw_(r, c) = kAdamBeta1 * mw_(r, c) + (1.0 - kAdamBeta1) * g;
-      vw_(r, c) = kAdamBeta2 * vw_(r, c) + (1.0 - kAdamBeta2) * g * g;
-      w_(r, c) -= lr * (mw_(r, c) / bc1) / (std::sqrt(vw_(r, c) / bc2) + kAdamEps);
-    }
-    const double g = gb_[r];
-    mb_[r] = kAdamBeta1 * mb_[r] + (1.0 - kAdamBeta1) * g;
-    vb_[r] = kAdamBeta2 * vb_[r] + (1.0 - kAdamBeta2) * g * g;
-    b_[r] -= lr * (mb_[r] / bc1) / (std::sqrt(vb_[r] / bc2) + kAdamEps);
-  }
+void DenseLayer::grads(const common::Mat& x, const common::Mat& dy, common::Mat& gw,
+                       common::Vec& gb) const {
+  gw = common::matmul_tn(dy, x);
+  gb = common::col_sums(dy);
 }
 
-void DenseLayer::zero_grad() {
-  gw_ *= 0.0;
-  std::fill(gb_.begin(), gb_.end(), 0.0);
+common::Mat DenseLayer::backprop_input(const common::Mat& dy) const {
+  return common::matmul(dy, w_);
+}
+
+void DenseLayer::apply(const common::Mat& gw, const common::Vec& gb) {
+  opt_->apply(w_, b_, gw, gb);
 }
 
 // ---- Mlp -------------------------------------------------------------------
 
 Mlp::Mlp(std::size_t input_dim, std::size_t output_dim, MlpConfig cfg)
-    : input_dim_(input_dim), output_dim_(output_dim), cfg_(cfg) {
+    : input_dim_(input_dim), output_dim_(output_dim), cfg_(std::move(cfg)) {
   if (input_dim == 0 || output_dim == 0) throw std::invalid_argument("Mlp: zero dimension");
   common::Rng rng(cfg_.seed);
   std::size_t prev = input_dim;
   for (std::size_t h : cfg_.hidden) {
-    layers_.emplace_back(prev, h, rng);
+    layers_.emplace_back(prev, h, rng,
+                         make_optimizer(cfg_.optimizer, cfg_.learning_rate, cfg_.l2));
     prev = h;
   }
-  layers_.emplace_back(prev, output_dim, rng);
-}
-
-common::Vec Mlp::activate(const common::Vec& z) const {
-  common::Vec a(z.size());
-  if (cfg_.activation == Activation::kTanh) {
-    for (std::size_t i = 0; i < z.size(); ++i) a[i] = std::tanh(z[i]);
-  } else {
-    for (std::size_t i = 0; i < z.size(); ++i) a[i] = z[i] > 0.0 ? z[i] : 0.0;
-  }
-  return a;
-}
-
-common::Vec Mlp::activate_grad(const common::Vec& z) const {
-  common::Vec g(z.size());
-  if (cfg_.activation == Activation::kTanh) {
-    for (std::size_t i = 0; i < z.size(); ++i) {
-      const double t = std::tanh(z[i]);
-      g[i] = 1.0 - t * t;
-    }
-  } else {
-    for (std::size_t i = 0; i < z.size(); ++i) g[i] = z[i] > 0.0 ? 1.0 : 0.0;
-  }
-  return g;
+  layers_.emplace_back(prev, output_dim, rng,
+                       make_optimizer(cfg_.optimizer, cfg_.learning_rate, cfg_.l2));
 }
 
 common::Vec Mlp::forward(const common::Vec& x) const {
   if (x.size() != input_dim_) throw std::invalid_argument("Mlp::forward: dim mismatch");
   common::Vec a = x;
-  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) a = activate(layers_[l].forward(a));
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l)
+    a = activate_vec(cfg_.activation, layers_[l].forward(a));
   return layers_.back().forward(a);
 }
 
-double Mlp::train_step(const common::Vec& x, const common::Vec& target, const common::Vec* mask) {
-  if (target.size() != output_dim_) throw std::invalid_argument("Mlp::train_step: target dim");
-  // Forward with caches.
-  std::vector<common::Vec> pre, post;
-  post.push_back(x);
-  common::Vec a = x;
+common::Mat Mlp::forward_batch(const common::Mat& x) const {
+  if (x.cols() != input_dim_) throw std::invalid_argument("Mlp::forward_batch: dim mismatch");
+  common::Mat a = x;
   for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
-    common::Vec z = layers_[l].forward(a);
-    pre.push_back(z);
-    a = activate(z);
-    post.push_back(a);
+    a = layers_[l].forward_batch(a);
+    activate_inplace(cfg_.activation, a);
   }
-  const common::Vec y = layers_.back().forward(a);
+  return layers_.back().forward_batch(a);
+}
 
-  common::Vec dy(output_dim_);
+Mlp::ShardGrads Mlp::backward_shard(const common::Mat& x, const common::Mat& targets,
+                                    const common::Mat* mask, std::size_t row0,
+                                    std::size_t row1) const {
+  const std::size_t n = row1 - row0;
+  common::Mat sliced;
+  const common::Mat* input = &x;
+  if (row0 != 0 || row1 != x.rows()) {
+    sliced = slice_rows(x, row0, row1);
+    input = &sliced;
+  }
+
+  // Forward; acts[l] = activated output of hidden layer l (inputs to layer
+  // l+1).  Pre-activations are not cached — see scale_by_activation_grad.
+  const std::size_t nlayers = layers_.size();
+  std::vector<common::Mat> acts;
+  acts.reserve(nlayers - 1);
+  for (std::size_t l = 0; l + 1 < nlayers; ++l) {
+    common::Mat z = layers_[l].forward_batch(l == 0 ? *input : acts.back());
+    activate_inplace(cfg_.activation, z);
+    acts.push_back(std::move(z));
+  }
+  const common::Mat y = layers_.back().forward_batch(nlayers == 1 ? *input : acts.back());
+
+  common::Mat dy(n, output_dim_);
   double loss = 0.0;
-  for (std::size_t i = 0; i < output_dim_; ++i) {
-    const double m = mask != nullptr ? (*mask)[i] : 1.0;
-    const double e = (y[i] - target[i]) * m;
-    dy[i] = e;
-    loss += 0.5 * e * e;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < output_dim_; ++j) {
+      const double m = mask != nullptr ? (*mask)(row0 + i, j) : 1.0;
+      const double e = (y(i, j) - targets(row0 + i, j)) * m;
+      dy(i, j) = e;
+      loss += 0.5 * e * e;
+    }
   }
 
-  for (auto& l : layers_) l.zero_grad();
-  common::Vec grad = layers_.back().backward(post.back(), dy);
-  for (std::size_t l = layers_.size() - 1; l-- > 0;) {
-    const common::Vec ag = activate_grad(pre[l]);
-    for (std::size_t i = 0; i < grad.size(); ++i) grad[i] *= ag[i];
-    grad = layers_[l].backward(post[l], grad);
+  ShardGrads sg;
+  sg.gw.resize(nlayers);
+  sg.gb.resize(nlayers);
+  sg.loss = loss;
+  common::Mat cur = std::move(dy);
+  for (std::size_t l = nlayers; l-- > 0;) {
+    const common::Mat& in = l == 0 ? *input : acts[l - 1];
+    layers_[l].grads(in, cur, sg.gw[l], sg.gb[l]);
+    if (l > 0) {
+      cur = layers_[l].backprop_input(cur);
+      scale_by_activation_grad(cfg_.activation, acts[l - 1], cur);
+    }
   }
-  ++adam_t_;
-  for (auto& l : layers_) l.apply_adam(cfg_.learning_rate, cfg_.l2, adam_t_);
-  return loss;
+  return sg;
+}
+
+double Mlp::train_batch(const common::Mat& x, const common::Mat& targets,
+                        const common::Mat* mask) {
+  if (x.rows() == 0 || x.rows() != targets.rows())
+    throw std::invalid_argument("Mlp::train_batch: bad batch");
+  if (x.cols() != input_dim_) throw std::invalid_argument("Mlp::train_batch: input dim");
+  if (targets.cols() != output_dim_) throw std::invalid_argument("Mlp::train_batch: target dim");
+  if (mask != nullptr && (mask->rows() != x.rows() || mask->cols() != output_dim_))
+    throw std::invalid_argument("Mlp::train_batch: mask shape");
+
+  const std::size_t bsz = x.rows();
+  const std::size_t nshards = (bsz + kGradShardRows - 1) / kGradShardRows;
+  std::vector<ShardGrads> shards(nshards);
+  const auto run = [&](std::size_t s) {
+    const std::size_t r0 = s * kGradShardRows;
+    shards[s] = backward_shard(x, targets, mask, r0, std::min(bsz, r0 + kGradShardRows));
+  };
+  if (cfg_.pool != nullptr && nshards > 1) {
+    cfg_.pool->run_indexed(nshards, run);
+  } else {
+    for (std::size_t s = 0; s < nshards; ++s) run(s);
+  }
+
+  // Fixed-order reduction: ascending shard index, independent of executor.
+  ShardGrads total = std::move(shards.front());
+  for (std::size_t s = 1; s < nshards; ++s) {
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      total.gw[l] += shards[s].gw[l];
+      for (std::size_t i = 0; i < total.gb[l].size(); ++i) total.gb[l][i] += shards[s].gb[l][i];
+    }
+    total.loss += shards[s].loss;
+  }
+
+  const double inv_b = 1.0 / static_cast<double>(bsz);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    total.gw[l] *= inv_b;
+    for (double& v : total.gb[l]) v *= inv_b;
+    layers_[l].apply(total.gw[l], total.gb[l]);
+  }
+  return total.loss * inv_b;
+}
+
+double Mlp::train_step(const common::Vec& x, const common::Vec& target, const common::Vec* mask) {
+  if (x.size() != input_dim_) throw std::invalid_argument("Mlp::train_step: input dim");
+  if (target.size() != output_dim_) throw std::invalid_argument("Mlp::train_step: target dim");
+  common::Mat xb(1, input_dim_), tb(1, output_dim_);
+  for (std::size_t i = 0; i < input_dim_; ++i) xb(0, i) = x[i];
+  for (std::size_t i = 0; i < output_dim_; ++i) tb(0, i) = target[i];
+  if (mask == nullptr) return train_batch(xb, tb);
+  if (mask->size() != output_dim_) throw std::invalid_argument("Mlp::train_step: mask dim");
+  common::Mat mb(1, output_dim_);
+  for (std::size_t i = 0; i < output_dim_; ++i) mb(0, i) = (*mask)[i];
+  return train_batch(xb, tb, &mb);
+}
+
+double Mlp::train_epoch(const common::Mat& xs, const common::Mat& targets,
+                        std::size_t batch_size, common::Rng& rng) {
+  if (xs.rows() == 0 || xs.rows() != targets.rows())
+    throw std::invalid_argument("Mlp::train_epoch: bad data");
+  const std::size_t n = xs.rows();
+  if (batch_size == 0) batch_size = n;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  shuffle_order(order, rng);
+  double loss_sum = 0.0;
+  common::Mat xb, tb;  // gather buffers, reallocated only on batch-size change
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t end = std::min(n, start + batch_size);
+    const std::size_t bs = end - start;
+    if (xb.rows() != bs) {
+      xb = common::Mat(bs, xs.cols());
+      tb = common::Mat(bs, targets.cols());
+    }
+    for (std::size_t i = start; i < end; ++i) {
+      for (std::size_t c = 0; c < xs.cols(); ++c) xb(i - start, c) = xs(order[i], c);
+      for (std::size_t c = 0; c < targets.cols(); ++c) tb(i - start, c) = targets(order[i], c);
+    }
+    loss_sum += train_batch(xb, tb) * static_cast<double>(bs);
+  }
+  return loss_sum / static_cast<double>(n);
 }
 
 double Mlp::train(const std::vector<common::Vec>& xs, const std::vector<common::Vec>& targets,
                   std::size_t epochs, std::size_t batch_size, common::Rng& rng) {
   if (xs.size() != targets.size() || xs.empty()) throw std::invalid_argument("Mlp::train: bad data");
-  (void)batch_size;  // per-sample Adam steps; batch_size kept for API symmetry
+  const common::Mat x = common::Mat::from_rows(xs);
+  const common::Mat t = common::Mat::from_rows(targets);
   double last_epoch_loss = 0.0;
-  std::vector<std::size_t> order(xs.size());
-  std::iota(order.begin(), order.end(), 0);
-  for (std::size_t e = 0; e < epochs; ++e) {
-    // Fisher-Yates shuffle with our deterministic RNG.
-    for (std::size_t i = order.size(); i-- > 1;)
-      std::swap(order[i], order[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(i)))]);
-    double loss = 0.0;
-    for (std::size_t idx : order) loss += train_step(xs[idx], targets[idx]);
-    last_epoch_loss = loss / static_cast<double>(xs.size());
-  }
+  for (std::size_t e = 0; e < epochs; ++e) last_epoch_loss = train_epoch(x, t, batch_size, rng);
   return last_epoch_loss;
 }
 
@@ -186,44 +322,29 @@ void Mlp::copy_params_from(const Mlp& other) {
 
 MultiHeadClassifier::MultiHeadClassifier(std::size_t input_dim, std::vector<std::size_t> head_sizes,
                                          MlpConfig cfg)
-    : input_dim_(input_dim), cfg_(cfg), head_sizes_(std::move(head_sizes)) {
+    : input_dim_(input_dim), cfg_(std::move(cfg)), head_sizes_(std::move(head_sizes)) {
   if (head_sizes_.empty()) throw std::invalid_argument("MultiHeadClassifier: no heads");
   common::Rng rng(cfg_.seed);
   std::size_t prev = input_dim;
   for (std::size_t h : cfg_.hidden) {
-    trunk_.emplace_back(prev, h, rng);
+    trunk_.emplace_back(prev, h, rng,
+                        make_optimizer(cfg_.optimizer, cfg_.learning_rate, cfg_.l2));
     prev = h;
   }
   for (std::size_t hs : head_sizes_) {
     if (hs < 2) throw std::invalid_argument("MultiHeadClassifier: head needs >= 2 classes");
-    heads_.emplace_back(prev, hs, rng);
+    heads_.emplace_back(prev, hs, rng,
+                        make_optimizer(cfg_.optimizer, cfg_.learning_rate, cfg_.l2));
   }
-}
-
-MultiHeadClassifier::TrunkCache MultiHeadClassifier::trunk_forward(const common::Vec& x) const {
-  TrunkCache c;
-  c.post.push_back(x);
-  common::Vec a = x;
-  for (const auto& layer : trunk_) {
-    common::Vec z = layer.forward(a);
-    c.pre.push_back(z);
-    a.resize(z.size());
-    if (cfg_.activation == Activation::kTanh) {
-      for (std::size_t i = 0; i < z.size(); ++i) a[i] = std::tanh(z[i]);
-    } else {
-      for (std::size_t i = 0; i < z.size(); ++i) a[i] = z[i] > 0.0 ? z[i] : 0.0;
-    }
-    c.post.push_back(a);
-  }
-  return c;
 }
 
 std::vector<common::Vec> MultiHeadClassifier::predict_proba(const common::Vec& x) const {
   if (x.size() != input_dim_) throw std::invalid_argument("MultiHeadClassifier: dim mismatch");
-  const TrunkCache c = trunk_forward(x);
+  common::Vec a = x;
+  for (const auto& layer : trunk_) a = activate_vec(cfg_.activation, layer.forward(a));
   std::vector<common::Vec> probs;
   probs.reserve(heads_.size());
-  for (const auto& head : heads_) probs.push_back(softmax(head.forward(c.post.back())));
+  for (const auto& head : heads_) probs.push_back(softmax(head.forward(a)));
   return probs;
 }
 
@@ -237,46 +358,146 @@ std::vector<std::size_t> MultiHeadClassifier::predict(const common::Vec& x) cons
   return cls;
 }
 
-double MultiHeadClassifier::train_step(const common::Vec& x, const std::vector<std::size_t>& labels) {
-  if (labels.size() != heads_.size())
-    throw std::invalid_argument("MultiHeadClassifier::train_step: label count mismatch");
-  const TrunkCache c = trunk_forward(x);
+MultiHeadClassifier::ShardGrads MultiHeadClassifier::backward_shard(
+    const common::Mat& x, const std::vector<std::vector<std::size_t>>& labels, std::size_t row0,
+    std::size_t row1) const {
+  const std::size_t n = row1 - row0;
+  common::Mat sliced;
+  const common::Mat* input = &x;
+  if (row0 != 0 || row1 != x.rows()) {
+    sliced = slice_rows(x, row0, row1);
+    input = &sliced;
+  }
 
-  for (auto& l : trunk_) l.zero_grad();
-  for (auto& h : heads_) h.zero_grad();
+  // Trunk forward; acts[l] = activated output of trunk layer l.
+  std::vector<common::Mat> acts;
+  acts.reserve(trunk_.size());
+  for (std::size_t l = 0; l < trunk_.size(); ++l) {
+    common::Mat z = trunk_[l].forward_batch(l == 0 ? *input : acts.back());
+    activate_inplace(cfg_.activation, z);
+    acts.push_back(std::move(z));
+  }
+  const common::Mat& feat = trunk_.empty() ? *input : acts.back();
 
-  double loss = 0.0;
-  common::Vec dtrunk(c.post.back().size(), 0.0);
+  ShardGrads sg;
+  sg.gw.resize(trunk_.size() + heads_.size());
+  sg.gb.resize(trunk_.size() + heads_.size());
+
+  common::Mat dtrunk(n, feat.cols());
   for (std::size_t h = 0; h < heads_.size(); ++h) {
-    if (labels[h] >= head_sizes_[h])
-      throw std::invalid_argument("MultiHeadClassifier::train_step: label out of range");
-    const common::Vec z = heads_[h].forward(c.post.back());
-    common::Vec p = softmax(z);
-    loss += -std::log(std::max(p[labels[h]], 1e-12));
-    // dL/dz = p - onehot(label)
-    p[labels[h]] -= 1.0;
-    const common::Vec dx = heads_[h].backward(c.post.back(), p);
-    for (std::size_t i = 0; i < dtrunk.size(); ++i) dtrunk[i] += dx[i];
-  }
-
-  common::Vec grad = dtrunk;
-  for (std::size_t l = trunk_.size(); l-- > 0;) {
-    const common::Vec& z = c.pre[l];
-    if (cfg_.activation == Activation::kTanh) {
-      for (std::size_t i = 0; i < grad.size(); ++i) {
-        const double t = std::tanh(z[i]);
-        grad[i] *= 1.0 - t * t;
+    // Head logits become dL/dz in place: softmax each row (same arithmetic
+    // as ml::softmax), then subtract the one-hot label.
+    common::Mat dz = heads_[h].forward_batch(feat);
+    const std::size_t classes = head_sizes_[h];
+    for (std::size_t i = 0; i < n; ++i) {
+      double mx = dz(i, 0);
+      for (std::size_t j = 0; j < classes; ++j) mx = std::max(mx, dz(i, j));
+      double sum = 0.0;
+      for (std::size_t j = 0; j < classes; ++j) {
+        dz(i, j) = std::exp(dz(i, j) - mx);
+        sum += dz(i, j);
       }
-    } else {
-      for (std::size_t i = 0; i < grad.size(); ++i) grad[i] *= z[i] > 0.0 ? 1.0 : 0.0;
+      for (std::size_t j = 0; j < classes; ++j) dz(i, j) /= sum;
+      const std::size_t label = labels[row0 + i][h];
+      sg.loss += -std::log(std::max(dz(i, label), 1e-12));
+      dz(i, label) -= 1.0;
     }
-    grad = trunk_[l].backward(c.post[l], grad);
+    heads_[h].grads(feat, dz, sg.gw[trunk_.size() + h], sg.gb[trunk_.size() + h]);
+    dtrunk += heads_[h].backprop_input(dz);
   }
 
-  ++adam_t_;
-  for (auto& l : trunk_) l.apply_adam(cfg_.learning_rate, cfg_.l2, adam_t_);
-  for (auto& h : heads_) h.apply_adam(cfg_.learning_rate, cfg_.l2, adam_t_);
-  return loss;
+  common::Mat cur = std::move(dtrunk);
+  for (std::size_t l = trunk_.size(); l-- > 0;) {
+    scale_by_activation_grad(cfg_.activation, acts[l], cur);
+    const common::Mat& in = l == 0 ? *input : acts[l - 1];
+    trunk_[l].grads(in, cur, sg.gw[l], sg.gb[l]);
+    if (l > 0) cur = trunk_[l].backprop_input(cur);
+  }
+  return sg;
+}
+
+double MultiHeadClassifier::train_batch(const common::Mat& x,
+                                        const std::vector<std::vector<std::size_t>>& labels) {
+  if (x.rows() == 0 || x.rows() != labels.size())
+    throw std::invalid_argument("MultiHeadClassifier::train_batch: bad batch");
+  if (x.cols() != input_dim_)
+    throw std::invalid_argument("MultiHeadClassifier::train_batch: input dim");
+  for (const auto& row : labels) {
+    if (row.size() != heads_.size())
+      throw std::invalid_argument("MultiHeadClassifier::train_batch: label count mismatch");
+    for (std::size_t h = 0; h < heads_.size(); ++h)
+      if (row[h] >= head_sizes_[h])
+        throw std::invalid_argument("MultiHeadClassifier::train_batch: label out of range");
+  }
+
+  const std::size_t bsz = x.rows();
+  const std::size_t nshards = (bsz + kGradShardRows - 1) / kGradShardRows;
+  std::vector<ShardGrads> shards(nshards);
+  const auto run = [&](std::size_t s) {
+    const std::size_t r0 = s * kGradShardRows;
+    shards[s] = backward_shard(x, labels, r0, std::min(bsz, r0 + kGradShardRows));
+  };
+  if (cfg_.pool != nullptr && nshards > 1) {
+    cfg_.pool->run_indexed(nshards, run);
+  } else {
+    for (std::size_t s = 0; s < nshards; ++s) run(s);
+  }
+
+  ShardGrads total = std::move(shards.front());
+  const std::size_t nlayers = trunk_.size() + heads_.size();
+  for (std::size_t s = 1; s < nshards; ++s) {
+    for (std::size_t l = 0; l < nlayers; ++l) {
+      total.gw[l] += shards[s].gw[l];
+      for (std::size_t i = 0; i < total.gb[l].size(); ++i) total.gb[l][i] += shards[s].gb[l][i];
+    }
+    total.loss += shards[s].loss;
+  }
+
+  const double inv_b = 1.0 / static_cast<double>(bsz);
+  for (std::size_t l = 0; l < nlayers; ++l) {
+    total.gw[l] *= inv_b;
+    for (double& v : total.gb[l]) v *= inv_b;
+  }
+  for (std::size_t l = 0; l < trunk_.size(); ++l) trunk_[l].apply(total.gw[l], total.gb[l]);
+  for (std::size_t h = 0; h < heads_.size(); ++h)
+    heads_[h].apply(total.gw[trunk_.size() + h], total.gb[trunk_.size() + h]);
+  return total.loss * inv_b;
+}
+
+double MultiHeadClassifier::train_step(const common::Vec& x,
+                                       const std::vector<std::size_t>& labels) {
+  if (x.size() != input_dim_)
+    throw std::invalid_argument("MultiHeadClassifier::train_step: dim mismatch");
+  common::Mat xb(1, input_dim_);
+  for (std::size_t i = 0; i < input_dim_; ++i) xb(0, i) = x[i];
+  return train_batch(xb, {labels});
+}
+
+double MultiHeadClassifier::train_epoch(const std::vector<common::Vec>& xs,
+                                        const std::vector<std::vector<std::size_t>>& labels,
+                                        std::size_t batch_size, common::Rng& rng) {
+  if (xs.size() != labels.size() || xs.empty())
+    throw std::invalid_argument("MultiHeadClassifier::train_epoch: bad data");
+  const std::size_t n = xs.size();
+  if (batch_size == 0) batch_size = n;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  shuffle_order(order, rng);
+  double loss_sum = 0.0;
+  common::Mat xb;  // gather buffers, reallocated only on batch-size change
+  std::vector<std::vector<std::size_t>> lb;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t end = std::min(n, start + batch_size);
+    const std::size_t bs = end - start;
+    if (xb.rows() != bs) xb = common::Mat(bs, input_dim_);
+    lb.resize(bs);
+    for (std::size_t i = start; i < end; ++i) {
+      xb.set_row(i - start, xs[order[i]]);
+      lb[i - start] = labels[order[i]];
+    }
+    loss_sum += train_batch(xb, lb) * static_cast<double>(bs);
+  }
+  return loss_sum / static_cast<double>(n);
 }
 
 double MultiHeadClassifier::train(const std::vector<common::Vec>& xs,
@@ -284,17 +505,8 @@ double MultiHeadClassifier::train(const std::vector<common::Vec>& xs,
                                   std::size_t epochs, std::size_t batch_size, common::Rng& rng) {
   if (xs.size() != labels.size() || xs.empty())
     throw std::invalid_argument("MultiHeadClassifier::train: bad data");
-  (void)batch_size;
-  std::vector<std::size_t> order(xs.size());
-  std::iota(order.begin(), order.end(), 0);
   double last = 0.0;
-  for (std::size_t e = 0; e < epochs; ++e) {
-    for (std::size_t i = order.size(); i-- > 1;)
-      std::swap(order[i], order[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(i)))]);
-    double loss = 0.0;
-    for (std::size_t idx : order) loss += train_step(xs[idx], labels[idx]);
-    last = loss / static_cast<double>(xs.size());
-  }
+  for (std::size_t e = 0; e < epochs; ++e) last = train_epoch(xs, labels, batch_size, rng);
   return last;
 }
 

@@ -2,6 +2,17 @@
 // "the policy is represented as a neural network and it is updated using the
 // back-propagation algorithm").
 //
+// Training is batch-first: minibatches travel as matrices (rows = samples)
+// through GEMM kernels (common/matrix.h), gradients are reduced over
+// fixed-size row shards in ascending shard order, and the reduced gradient is
+// handed to a pluggable ml::Optimizer (ml/optimizer.h) for the parameter
+// step.  The fixed shard geometry makes training bitwise reproducible at any
+// thread count: an optional common::ThreadPool only decides *who* computes a
+// shard, never how the reduction is ordered (the engine's parallel == serial
+// contract, extended to training).  The scalar train_step routes through the
+// batch path as a 1-row batch, so there is exactly one backprop
+// implementation.
+//
 // Two variants are provided:
 //  * Mlp — generic regression network with linear outputs (used by the DQN
 //    baseline and by function-approximation experiments).
@@ -12,27 +23,45 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/matrix.h"
 #include "common/rng.h"
+#include "ml/optimizer.h"
+
+namespace oal::common {
+class ThreadPool;
+}  // namespace oal::common
 
 namespace oal::ml {
 
 enum class Activation { kTanh, kRelu };
 
-/// One dense layer with Adam optimizer state.
+/// One dense layer.  Parameters plus the layer's optimizer; gradients live in
+/// caller-owned buffers so shards can backprop concurrently through a const
+/// layer.
 class DenseLayer {
  public:
-  DenseLayer(std::size_t in, std::size_t out, common::Rng& rng);
+  DenseLayer(std::size_t in, std::size_t out, common::Rng& rng,
+             std::unique_ptr<Optimizer> opt);
+  DenseLayer(const DenseLayer& o);
+  DenseLayer& operator=(const DenseLayer& o);
+  DenseLayer(DenseLayer&&) = default;
+  DenseLayer& operator=(DenseLayer&&) = default;
 
   common::Vec forward(const common::Vec& x) const;
-  /// Backward pass: given dL/dy and the cached input, accumulates parameter
-  /// gradients and returns dL/dx.
-  common::Vec backward(const common::Vec& x, const common::Vec& dy);
+  /// Batch forward: Y = X * W^T + b (rows = samples).
+  common::Mat forward_batch(const common::Mat& x) const;
 
-  void apply_adam(double lr, double l2, std::size_t t);
-  void zero_grad();
+  /// Parameter gradients of a batch: gw = dY^T * X, gb = column sums of dY.
+  void grads(const common::Mat& x, const common::Mat& dy, common::Mat& gw,
+             common::Vec& gb) const;
+  /// Input gradient of a batch: dX = dY * W.
+  common::Mat backprop_input(const common::Mat& dy) const;
+
+  /// One optimizer step on the (batch-averaged) gradients.
+  void apply(const common::Mat& gw, const common::Vec& gb);
 
   std::size_t in_dim() const { return w_.cols(); }
   std::size_t out_dim() const { return w_.rows(); }
@@ -41,12 +70,9 @@ class DenseLayer {
   const common::Mat& weights() const { return w_; }
 
  private:
-  common::Mat w_;       // out x in
-  common::Vec b_;       // out
-  common::Mat gw_;      // gradient accumulators
-  common::Vec gb_;
-  common::Mat mw_, vw_; // Adam moments
-  common::Vec mb_, vb_;
+  common::Mat w_;  // out x in
+  common::Vec b_;  // out
+  std::unique_ptr<Optimizer> opt_;
 };
 
 struct MlpConfig {
@@ -55,6 +81,13 @@ struct MlpConfig {
   double learning_rate = 1e-3;
   double l2 = 0.0;
   std::uint64_t seed = 1;
+  /// Update rule (ml/optimizer.h); default Adam matches the historical update.
+  OptimizerConfig optimizer{};
+  /// Optional pool for shard-parallel gradient computation.  Results are
+  /// bitwise identical with or without it.  Must not be the pool this
+  /// network trains *on* (pool tasks may not block on their own pool), so
+  /// controllers built inside ExperimentEngine workers leave it null.
+  common::ThreadPool* pool = nullptr;
 };
 
 /// Regression MLP with linear outputs, trained on (optionally masked) MSE.
@@ -63,11 +96,25 @@ class Mlp {
   Mlp(std::size_t input_dim, std::size_t output_dim, MlpConfig cfg = {});
 
   common::Vec forward(const common::Vec& x) const;
+  /// Batch inference: rows = samples.
+  common::Mat forward_batch(const common::Mat& x) const;
 
-  /// One SGD/Adam step on 0.5*||mask .* (f(x) - target)||^2; returns the loss.
-  /// mask == nullptr means all outputs contribute.
+  /// One optimizer step on 0.5*||mask .* (f(x) - target)||^2; returns the
+  /// loss.  mask == nullptr means all outputs contribute.  Routed through
+  /// train_batch as a 1-row batch.
   double train_step(const common::Vec& x, const common::Vec& target,
                     const common::Vec* mask = nullptr);
+
+  /// One optimizer step on a minibatch (rows = samples); returns the mean
+  /// per-sample loss.  mask, when given, has the same shape as targets.
+  double train_batch(const common::Mat& x, const common::Mat& targets,
+                     const common::Mat* mask = nullptr);
+
+  /// One pass over the dataset in minibatches of `batch_size`, visiting
+  /// samples in an order drawn from the caller's seeded rng; returns the
+  /// mean per-sample loss of the pass.
+  double train_epoch(const common::Mat& xs, const common::Mat& targets,
+                     std::size_t batch_size, common::Rng& rng);
 
   /// Mini-batch training over a dataset; returns mean loss of the last epoch.
   double train(const std::vector<common::Vec>& xs, const std::vector<common::Vec>& targets,
@@ -77,20 +124,24 @@ class Mlp {
   std::size_t output_dim() const { return output_dim_; }
   std::size_t num_params() const;
 
-  /// Copies all parameters from another network of identical shape (used for
-  /// DQN target networks).
+  /// Copies all parameters (and optimizer state) from another network of
+  /// identical shape (used for DQN target networks).
   void copy_params_from(const Mlp& other);
 
  private:
-  friend class MultiHeadClassifier;
-  common::Vec activate(const common::Vec& z) const;
-  common::Vec activate_grad(const common::Vec& z) const;
+  struct ShardGrads {
+    std::vector<common::Mat> gw;
+    std::vector<common::Vec> gb;
+    double loss = 0.0;
+  };
+  ShardGrads backward_shard(const common::Mat& x, const common::Mat& targets,
+                            const common::Mat* mask, std::size_t row0,
+                            std::size_t row1) const;
 
   std::size_t input_dim_;
   std::size_t output_dim_;
   MlpConfig cfg_;
   std::vector<DenseLayer> layers_;
-  std::size_t adam_t_ = 0;
 };
 
 /// Shared-trunk multi-head softmax classifier: the IL policy network.
@@ -105,8 +156,20 @@ class MultiHeadClassifier {
   /// Per-head argmax class.
   std::vector<std::size_t> predict(const common::Vec& x) const;
 
-  /// One Adam step on the summed cross-entropy of all heads; returns loss.
+  /// One optimizer step on the summed cross-entropy of all heads; returns
+  /// the loss.  Routed through train_batch as a 1-row batch.
   double train_step(const common::Vec& x, const std::vector<std::size_t>& labels);
+
+  /// One optimizer step on a minibatch (rows = samples); labels[i] holds one
+  /// class per head for sample i.  Returns the mean per-sample loss.
+  double train_batch(const common::Mat& x,
+                     const std::vector<std::vector<std::size_t>>& labels);
+
+  /// One pass over the dataset in minibatches of `batch_size`; sample order
+  /// is drawn from the caller's seeded rng.  Returns the mean loss.
+  double train_epoch(const std::vector<common::Vec>& xs,
+                     const std::vector<std::vector<std::size_t>>& labels,
+                     std::size_t batch_size, common::Rng& rng);
 
   /// Mini-batch training; returns mean loss of the final epoch.
   double train(const std::vector<common::Vec>& xs,
@@ -120,18 +183,20 @@ class MultiHeadClassifier {
   std::size_t storage_bytes() const { return num_params() * 4; }
 
  private:
-  struct TrunkCache {
-    std::vector<common::Vec> pre;   // pre-activation per layer
-    std::vector<common::Vec> post;  // post-activation per layer (post[0] = input)
+  struct ShardGrads {
+    std::vector<common::Mat> gw;  // trunk layers, then heads
+    std::vector<common::Vec> gb;
+    double loss = 0.0;
   };
-  TrunkCache trunk_forward(const common::Vec& x) const;
+  ShardGrads backward_shard(const common::Mat& x,
+                            const std::vector<std::vector<std::size_t>>& labels,
+                            std::size_t row0, std::size_t row1) const;
 
   std::size_t input_dim_;
   MlpConfig cfg_;
   std::vector<DenseLayer> trunk_;
   std::vector<DenseLayer> heads_;
   std::vector<std::size_t> head_sizes_;
-  std::size_t adam_t_ = 0;
 };
 
 /// Numerically-stable softmax.

@@ -1,0 +1,99 @@
+// Pluggable parameter-update rules for the neural-network trainers.
+//
+// The batch training engine (ml/mlp.h) reduces minibatch gradients into one
+// (gw, gb) pair per layer and hands them to an Optimizer for the actual
+// parameter step.  Each layer owns one Optimizer instance, so per-layer
+// state (momentum buffers, Adam moments, the bias-correction step count)
+// lives inside the optimizer and copies with the network (DQN target syncs
+// clone optimizer state along with the weights, exactly as the pre-refactor
+// per-layer Adam buffers did).
+//
+// Implementations must be deterministic: apply() may only depend on its
+// arguments and the optimizer's own state, and must traverse parameters in
+// row-major order so training stays bitwise reproducible.
+#pragma once
+
+#include <memory>
+
+#include "common/matrix.h"
+
+namespace oal::ml {
+
+/// Per-layer update rule: consumes the reduced minibatch gradients and steps
+/// the parameters in place.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// One update step.  `w`/`b` are the layer parameters, `gw`/`gb` the
+  /// (already batch-averaged) loss gradients of the same shapes.
+  virtual void apply(common::Mat& w, common::Vec& b, const common::Mat& gw,
+                     const common::Vec& gb) = 0;
+
+  /// Deep copy including accumulated state (moments, step counts).
+  virtual std::unique_ptr<Optimizer> clone() const = 0;
+};
+
+/// Optimizer selection carried by MlpConfig/DqnConfig (copyable config, the
+/// polymorphic instances are materialized per layer by make_optimizer).
+struct OptimizerConfig {
+  enum class Kind { kSgd, kAdam };
+  /// Adam is the default: it is the update rule this library has always
+  /// used, and the Adam implementation is bitwise-identical to the
+  /// pre-optimizer-interface per-layer update.
+  Kind kind = Kind::kAdam;
+  /// Sgd: classical momentum (0 = plain gradient descent).
+  double momentum = 0.0;
+  /// Adam moments/stability (SNIPPETS.md OptimizerAdam shape).
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+/// Plain SGD with optional classical momentum and L2 weight decay:
+///   v = momentum * v - lr * (g + l2 * w);  w += v.
+class Sgd : public Optimizer {
+ public:
+  Sgd(double learning_rate, double l2, double momentum = 0.0);
+
+  void apply(common::Mat& w, common::Vec& b, const common::Mat& gw,
+             const common::Vec& gb) override;
+  std::unique_ptr<Optimizer> clone() const override;
+
+ private:
+  double lr_;
+  double l2_;
+  double momentum_;
+  common::Mat vw_;  ///< momentum buffers, lazily sized on first apply
+  common::Vec vb_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and L2 weight decay folded into
+/// the gradient.  The arithmetic and parameter traversal order match the
+/// pre-refactor DenseLayer::apply_adam exactly, so a default-configured
+/// network trains bitwise-identically to the old implementation.
+class Adam : public Optimizer {
+ public:
+  Adam(double learning_rate, double l2, double beta1 = 0.9, double beta2 = 0.999,
+       double epsilon = 1e-8);
+
+  void apply(common::Mat& w, common::Vec& b, const common::Mat& gw,
+             const common::Vec& gb) override;
+  std::unique_ptr<Optimizer> clone() const override;
+
+ private:
+  double lr_;
+  double l2_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  std::size_t t_ = 0;       ///< step count for bias correction
+  common::Mat mw_, vw_;     ///< first/second moments, lazily sized
+  common::Vec mb_, vb_;
+};
+
+/// Materializes the configured optimizer for one layer.
+std::unique_ptr<Optimizer> make_optimizer(const OptimizerConfig& cfg, double learning_rate,
+                                          double l2);
+
+}  // namespace oal::ml

@@ -168,6 +168,83 @@ TEST(Eigenvalues, TraceInvariantOnLargerMatrix) {
   EXPECT_NEAR(sum_re, a.trace(), 1e-7);
 }
 
+TEST(Gemm, FromRowsStacksVectors) {
+  const Mat m = Mat::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+  EXPECT_THROW(Mat::from_rows({}), std::invalid_argument);
+  EXPECT_THROW(Mat::from_rows({{1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+// The training kernels must agree with the reference operators bitwise on
+// zero-free inputs; unlike operator* they must also keep exact accumulation
+// order when elements are zero (no zero-skip), which the masked-gradient
+// training path relies on.
+TEST(Gemm, MatmulMatchesOperator) {
+  Mat a(3, 4), b(4, 5);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = 0.3 * static_cast<double>(i) - 0.7 * static_cast<double>(j) + 0.1;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 5; ++j) b(i, j) = 1.1 * static_cast<double>(i) + 0.2 * static_cast<double>(j) - 1.0;
+  const Mat ref = a * b;
+  const Mat c = matmul(a, b);
+  ASSERT_EQ(c.rows(), ref.rows());
+  ASSERT_EQ(c.cols(), ref.cols());
+  for (std::size_t i = 0; i < c.rows(); ++i)
+    for (std::size_t j = 0; j < c.cols(); ++j) EXPECT_NEAR(c(i, j), ref(i, j), 1e-12);
+  EXPECT_THROW(matmul(a, a), std::invalid_argument);
+}
+
+TEST(Gemm, FusedTransposesMatchExplicitTranspose) {
+  Mat a(4, 3), b(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = std::sin(1.0 + static_cast<double>(3 * i + j));
+    for (std::size_t j = 0; j < 2; ++j) b(i, j) = std::cos(2.0 + static_cast<double>(2 * i + j));
+  }
+  const Mat tn = matmul_tn(a, b);  // A^T * B: (3x2)
+  const Mat tn_ref = a.transpose() * b;
+  ASSERT_EQ(tn.rows(), 3u);
+  ASSERT_EQ(tn.cols(), 2u);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) EXPECT_NEAR(tn(i, j), tn_ref(i, j), 1e-12);
+
+  const Mat nt = matmul_nt(a.transpose(), b.transpose());  // (3x4)*(4x2)^T^T... A^T * B
+  ASSERT_EQ(nt.rows(), 3u);
+  ASSERT_EQ(nt.cols(), 2u);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) EXPECT_NEAR(nt(i, j), tn_ref(i, j), 1e-12);
+
+  EXPECT_THROW(matmul_tn(a, Mat(3, 2)), std::invalid_argument);
+  EXPECT_THROW(matmul_nt(a, Mat(2, 2)), std::invalid_argument);
+}
+
+TEST(Gemm, KernelsDoNotSkipZeros) {
+  // A one-hot row times a weight matrix must pick the matching row exactly —
+  // including when other entries are exactly zero (operator*'s zero-skip
+  // would change the accumulation pattern the bitwise contract fixes).
+  Mat onehot(1, 3);
+  onehot(0, 1) = 1.0;
+  Mat w(3, 2);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) w(i, j) = static_cast<double>(10 * i + j);
+  const Mat r = matmul(onehot, w);
+  EXPECT_DOUBLE_EQ(r(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(r(0, 1), 11.0);
+}
+
+TEST(Gemm, RowBroadcastAndColSums) {
+  Mat m{{1, 2}, {3, 4}, {5, 6}};
+  add_row_broadcast(m, {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(m(2, 1), 26.0);
+  const Vec s = col_sums(m);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 39.0);
+  EXPECT_DOUBLE_EQ(s[1], 72.0);
+  EXPECT_THROW(add_row_broadcast(m, {1.0}), std::invalid_argument);
+}
+
 TEST(SpectralRadius, StableSystemBelowOne) {
   const Mat a{{0.5, 0.1}, {0.0, 0.3}};
   EXPECT_NEAR(spectral_radius(a), 0.5, 1e-9);
