@@ -11,6 +11,7 @@
 // controller factory, i.e. on the pool), C and D are custom AnyScenario
 // closures that own all their state.  One parallel batch executes whatever
 // the driver's prefixes select.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -146,10 +147,15 @@ AnyScenario staff_arm(const std::string& id, const ml::StaffConfig& cfg) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto wall_t0 = std::chrono::steady_clock::now();
   bench::BenchDriver driver("ablations");
   if (!driver.parse(argc, argv)) return driver.exit_code();
 
-  auto cache = std::make_shared<OracleCache>();
+  // The engine outlives the cache that borrows its pool: cold Oracle
+  // searches issued from inside arm workers shard across the same pool via
+  // its helping-drain path, and --store makes them persistent.
+  ExperimentEngine engine;
+  auto cache = std::make_shared<OracleCache>(driver.store(), &engine.pool());
   ScenarioRegistry registry;
 
   // ---- Sections A + B: online-IL configuration ablations -------------------
@@ -238,9 +244,11 @@ int main(int argc, char** argv) {
 
   if (driver.listing()) return driver.list(registry);
 
-  ExperimentEngine engine;
   const auto results = engine.run_any(driver.select(registry));
   driver.json().write(driver.bench_name(), results);
+  write_oracle_stats(
+      driver, *cache,
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_t0).count());
   const bench::ResultIndex index(results);
 
   std::map<std::string, OnlineArmResult> arm;

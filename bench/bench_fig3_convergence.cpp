@@ -10,6 +10,7 @@
 // The IL and RL arms are ScenarioRegistry entries ("fig3/il", "fig3/rl")
 // sharing the same trace and offline dataset; each arm trains its own
 // policy copy and the RL arm pre-trains through the Scenario warmup trace.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -46,6 +47,7 @@ struct SharedArtifacts {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto wall_t0 = std::chrono::steady_clock::now();
   bench::BenchDriver driver("fig3_convergence");
   if (!driver.parse(argc, argv)) return driver.exit_code();
 
@@ -91,23 +93,29 @@ int main(int argc, char** argv) {
   if (driver.listing()) return driver.list(registry);
 
   // Both arms evaluate the same trace, so the exhaustive Oracle search runs
-  // once per snippet instead of once per arm.  The offline dataset is only
+  // once per snippet instead of once per arm.  The engine's pool shards each
+  // cold search and labels the collection trace in parallel; --store makes
+  // the searches persistent across invocations.  The offline dataset is only
   // collected when the IL arm actually runs.
+  ExperimentEngine engine;
   const auto selected = driver.selection(registry);
-  shared->cache = std::make_shared<OracleCache>();
+  shared->cache = std::make_shared<OracleCache>(driver.store(), &engine.pool());
   for (const std::string& name : selected) {
     if (name != "fig3/il") continue;
     soc::BigLittlePlatform plat;
     common::Rng rng(7);
     shared->off = std::make_shared<OfflineData>(
-        collect_offline_data(plat, mibench, Objective::kEnergy, 40, 6, rng, shared->cache.get()));
+        collect_offline_data(plat, mibench, Objective::kEnergy, 40, 6, rng, shared->cache.get(),
+                             /*thermal_aware=*/false, &engine.pool()));
   }
   std::printf("Online sequence: %zu snippets (Cortex + PARSEC), offline training: MiBench\n",
               seq.size());
 
-  ExperimentEngine engine;
   const auto results = engine.run_any(driver.select(registry));
   driver.json().write(driver.bench_name(), results);
+  write_oracle_stats(
+      driver, *shared->cache,
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_t0).count());
   const bench::ResultIndex index(results);
   const AnyResult* any_il = index.find("fig3/il");
   const AnyResult* any_rl = index.find("fig3/rl");

@@ -4,6 +4,10 @@
 // governors/firmware.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
+#include "common/thread_pool.h"
+#include "core/artifact_store.h"
 #include "core/nmpc.h"
 #include "core/online_il.h"
 #include "core/oracle.h"
@@ -53,6 +57,64 @@ static void BM_OracleExhaustiveSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OracleExhaustiveSearch)->Unit(benchmark::kMicrosecond);
+
+// ---- Oracle-search floor: sharded search, memoization, persistence ---------
+// The PR-7 levers against the exhaustive-search cost, each isolated: the
+// pooled search (same 4940-config sweep, sharded across workers), a warm
+// in-memory cache hit (the common case inside one process), a cold miss
+// (cache bookkeeping + full search), and reloading memoized searches from
+// the on-disk store (the cross-process warm path CI exercises).
+
+static void BM_OracleSearchPooled(benchmark::State& state) {
+  auto& f = cpu_fixture();
+  static common::ThreadPool pool;  // sized to the hardware, shared across iterations
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle_search(f.plat, f.snippet, Objective::kEnergy, &pool));
+  }
+}
+BENCHMARK(BM_OracleSearchPooled)->Unit(benchmark::kMicrosecond);
+
+static void BM_OracleCacheWarmHit(benchmark::State& state) {
+  auto& f = cpu_fixture();
+  OracleCache cache;
+  (void)cache.config(f.plat, f.snippet, Objective::kEnergy);  // populate
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.config(f.plat, f.snippet, Objective::kEnergy));
+  }
+}
+BENCHMARK(BM_OracleCacheWarmHit)->Unit(benchmark::kNanosecond);
+
+static void BM_OracleCacheColdSearch(benchmark::State& state) {
+  auto& f = cpu_fixture();
+  for (auto _ : state) {
+    OracleCache cache;
+    benchmark::DoNotOptimize(cache.config(f.plat, f.snippet, Objective::kEnergy));
+  }
+}
+BENCHMARK(BM_OracleCacheColdSearch)->Unit(benchmark::kMicrosecond);
+
+static void BM_ArtifactStoreWarmLoad(benchmark::State& state) {
+  auto& f = cpu_fixture();
+  const auto dir = std::filesystem::temp_directory_path() / "oal-bench-overhead-store";
+  std::filesystem::remove_all(dir);
+  {
+    // Seed the store with the fixture's collection worth of searches.
+    auto store = std::make_shared<ArtifactStore>(dir.string());
+    OracleCache cache(store);
+    common::Rng trng(3);
+    for (const auto& s : workloads::CpuBenchmarks::trace(
+             workloads::CpuBenchmarks::by_name("Kmeans"), 32, trng)) {
+      (void)cache.config(f.plat, s, Objective::kEnergy);
+    }
+    cache.flush();
+  }
+  ArtifactStore store(dir.string());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.load_oracle_entries());
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_ArtifactStoreWarmLoad)->Unit(benchmark::kMicrosecond);
 
 static void BM_IlPolicyDecision(benchmark::State& state) {
   auto& f = cpu_fixture();

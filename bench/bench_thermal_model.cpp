@@ -12,6 +12,7 @@
 // ("thermal", "thermal_drm/budget", "thermal_aware", ...); report sections
 // whose arms were deselected are skipped.
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -83,6 +84,7 @@ struct SensorArm {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto wall_t0 = std::chrono::steady_clock::now();
   bench::BenchDriver driver("thermal_model");
   if (!driver.parse(argc, argv)) return driver.exit_code();
 
@@ -180,8 +182,11 @@ int main(int argc, char** argv) {
   // ---- Thermally-constrained DRM: do controller rankings survive a budget? --
   // Each controller runs the same trace twice — unconstrained, and on a
   // preheated device with tight junction/skin limits (soc::ThermalSocAdapter
-  // clamping every decision).  One OracleCache serves every DRM arm.
-  auto cache = std::make_shared<OracleCache>();
+  // clamping every decision).  One OracleCache serves every DRM arm; the
+  // engine pool (declared before the cache that borrows it) shards its cold
+  // searches, and --store keeps them across invocations.
+  ExperimentEngine engine;
+  auto cache = std::make_shared<OracleCache>(driver.store(), &engine.pool());
   std::vector<soc::SnippetDescriptor> trace;
   {
     common::Rng trace_rng(414);
@@ -279,9 +284,11 @@ int main(int argc, char** argv) {
 
   if (driver.listing()) return driver.list(registry);
 
-  ExperimentEngine engine;
   const auto results = engine.run_any(driver.select(registry));
   driver.json().write(driver.bench_name(), results);
+  write_oracle_stats(
+      driver, *cache,
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_t0).count());
   const bench::ResultIndex index(results);
 
   // ---- Report: fixed points -------------------------------------------------

@@ -30,13 +30,14 @@ void BenchDriver::add_size_option(const std::string& flag, std::size_t* value,
 }
 
 std::string BenchDriver::usage() const {
-  std::string out = "usage: " + bench_name_ + " [prefix...] [--list] [--json <path>]";
+  std::string out = "usage: " + bench_name_ + " [prefix...] [--list] [--json <path>] [--store <dir>]";
   for (const SizeOption& opt : size_options_) {
     out += " [" + opt.flag + " <n>]";
   }
   out += "\n  prefix       run only arms selected by the '/'-segment prefix (see --list)";
   out += "\n  --list       print the selected arm names and exit";
   out += "\n  --json       append one JSONL record per arm to <path>";
+  out += "\n  --store      persist Oracle searches + pretrained weights in <dir> (warm reuse)";
   for (const SizeOption& opt : size_options_) {
     out += "\n  " + opt.flag + "  " + opt.help + " (default " + std::to_string(*opt.value) + ")";
   }
@@ -68,6 +69,12 @@ bool BenchDriver::parse(int argc, char** argv) {
       json_path_ = path;
       continue;
     }
+    if (arg == "--store") {
+      const char* dir = value();
+      if (!dir) return fail("--store requires a directory argument");
+      store_dir_ = dir;
+      continue;
+    }
     bool matched = false;
     for (const SizeOption& opt : size_options_) {
       if (arg != opt.flag) continue;
@@ -89,6 +96,13 @@ bool BenchDriver::parse(int argc, char** argv) {
   if (!json_path_.empty()) {
     try {
       json_ = std::make_unique<core::JsonlWriter>(json_path_);
+    } catch (const std::exception& e) {
+      return fail(e.what());
+    }
+  }
+  if (!store_dir_.empty()) {
+    try {
+      store_ = std::make_shared<core::ArtifactStore>(store_dir_);
     } catch (const std::exception& e) {
       return fail(e.what());
     }
@@ -146,6 +160,18 @@ core::JsonlWriter& BenchDriver::json() {
   // disabled sink (empty path), same as the old json_path_arg protocol.
   if (!json_) json_ = std::make_unique<core::JsonlWriter>("");
   return *json_;
+}
+
+void write_oracle_stats(BenchDriver& driver, core::OracleCache& cache, double wall_time_s) {
+  const double spilled = static_cast<double>(cache.flush());
+  driver.json().write_metrics(driver.bench_name(), driver.bench_name() + "/oracle_stats",
+                              {{"lookups", static_cast<double>(cache.lookups())},
+                               {"searches", static_cast<double>(cache.searches())},
+                               {"hits", static_cast<double>(cache.hits())},
+                               {"entries", static_cast<double>(cache.size())},
+                               {"store_loaded", static_cast<double>(cache.store_loaded())},
+                               {"store_spilled", spilled},
+                               {"wall_time_s", wall_time_s}});
 }
 
 }  // namespace oal::bench

@@ -24,7 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "core/artifact_store.h"
 #include "core/domain.h"
+#include "core/oracle.h"
 #include "core/results_io.h"
 #include "core/scenario_registry.h"
 
@@ -84,6 +86,11 @@ class BenchDriver {
   /// in append mode so several benches can share one path.
   core::JsonlWriter& json();
 
+  /// Persistent artifact store bound to --store; nullptr when the flag was
+  /// absent.  Benches hand it to OracleCache (cross-process warm searches)
+  /// and use its blobs for pretrained weights.
+  const std::shared_ptr<core::ArtifactStore>& store() const { return store_; }
+
   const std::string& bench_name() const { return bench_name_; }
   const std::vector<std::string>& prefixes() const { return prefixes_; }
 
@@ -105,9 +112,19 @@ class BenchDriver {
   std::vector<SizeOption> size_options_;
   std::vector<std::string> prefixes_;
   std::string json_path_;
+  std::string store_dir_;
   bool list_ = false;
   int exit_code_ = 0;
   std::unique_ptr<core::JsonlWriter> json_;
+  std::shared_ptr<core::ArtifactStore> store_;
 };
+
+/// Flushes `cache` to its backing store (if any) and appends the
+/// "<bench>/oracle_stats" JSONL record: Oracle-cache telemetry (lookups /
+/// searches / hits are deterministic run-to-run, see OracleCache) plus the
+/// process wall time.  JSONL only — wall time must never reach stdout, which
+/// the repo determinism probe diffs across invocations.  The CI warm-store
+/// pass asserts "searches":0 on these records.
+void write_oracle_stats(BenchDriver& driver, core::OracleCache& cache, double wall_time_s);
 
 }  // namespace oal::bench

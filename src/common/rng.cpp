@@ -96,4 +96,10 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+void Rng::set_state(const State& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  has_cached_normal_ = st.has_cached_normal;
+  cached_normal_ = st.cached_normal;
+}
+
 }  // namespace oal::common

@@ -42,6 +42,19 @@ class Rng {
   /// Derives an independent child stream (for per-component seeding).
   Rng fork();
 
+  /// Complete generator state, for persisting mid-stream positions (e.g. a
+  /// pretrained controller whose exploration stream must resume exactly
+  /// where pretraining left it).  Restoring a snapshot makes the subsequent
+  /// draw sequence bitwise identical to the original's.
+  struct State {
+    std::uint64_t s[4];
+    bool has_cached_normal;
+    double cached_normal;
+  };
+  State state() const { return State{{s_[0], s_[1], s_[2], s_[3]}, has_cached_normal_,
+                                     cached_normal_}; }
+  void set_state(const State& st);
+
  private:
   std::uint64_t s_[4];
   bool has_cached_normal_ = false;

@@ -119,4 +119,50 @@ void ThreadPool::run_indexed(std::size_t n, const std::function<void(std::size_t
     if (batch->errors[i]) std::rethrow_exception(batch->errors[i]);
 }
 
+void ThreadPool::run_helping(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // All shared state lives behind a shared_ptr: helper tasks may start after
+  // the caller has drained every index and returned, so they must never touch
+  // the caller's stack frame.  The cursor check guards the fn reference —
+  // helpers that find the cursor exhausted exit without dereferencing it.
+  struct Batch {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> remaining;
+    std::size_t n = 0;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::vector<std::exception_ptr> errors;
+    const std::function<void(std::size_t)>* fn = nullptr;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->remaining.store(n);
+  batch->n = n;
+  batch->errors.resize(n);
+  batch->fn = &fn;
+  auto drain = [](const std::shared_ptr<Batch>& b) {
+    for (;;) {
+      const std::size_t i = b->next.fetch_add(1);
+      if (i >= b->n) return;
+      try {
+        (*b->fn)(i);
+      } catch (...) {
+        b->errors[i] = std::current_exception();
+      }
+      if (b->remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(b->mutex);
+        b->done_cv.notify_all();
+      }
+    }
+  };
+  const std::size_t helpers = std::min(size(), n);
+  for (std::size_t h = 0; h < helpers; ++h) submit([batch, drain] { drain(batch); });
+  drain(batch);
+  // `fn` stays alive until remaining hits 0, because only completed calls
+  // decrement it; the wait below therefore also fences helpers off `fn`.
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done_cv.wait(lock, [&] { return batch->remaining.load() == 0; });
+  for (std::size_t i = 0; i < n; ++i)
+    if (batch->errors[i]) std::rethrow_exception(batch->errors[i]);
+}
+
 }  // namespace oal::common

@@ -39,6 +39,17 @@ class ThreadPool {
   /// every task has finished — deterministic regardless of scheduling.
   void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Like run_indexed, but the caller *participates*: indices are handed out
+  /// through an atomic cursor that the calling thread drains alongside
+  /// helper tasks queued on the pool.  Because the caller can complete every
+  /// index alone (helpers that arrive after the cursor is exhausted no-op),
+  /// this is safe to call from inside a pool worker — including nested —
+  /// where run_indexed would deadlock waiting for its own thread.  Same
+  /// exception contract: the lowest-index exception is rethrown after all
+  /// indices finish.  Which thread runs an index is scheduling-dependent, so
+  /// fn must make results index-deterministic (write only out[i]).
+  void run_helping(std::size_t n, const std::function<void(std::size_t)>& fn);
+
   /// Deterministic parallel map: out[i] = fn(items[i], i), order-independent.
   template <typename T, typename F>
   auto parallel_map(const std::vector<T>& items, F&& fn)

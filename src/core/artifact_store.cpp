@@ -1,0 +1,323 @@
+#include "core/artifact_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <system_error>
+
+namespace fs = std::filesystem;
+
+namespace oal::core {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a_bytes(const unsigned char* p, std::size_t n) {
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void append_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+}
+
+void append_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+}
+
+void append_i32(std::vector<unsigned char>& out, std::int32_t v) {
+  append_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void append_f64(std::vector<unsigned char>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  append_u64(out, bits);
+}
+
+/// Bounds-checked little-endian reader; `ok` latches false on any overrun.
+struct Reader {
+  const unsigned char* p;
+  std::size_t n;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint64_t u64() {
+    if (pos + 8 > n) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[pos + i]) << (8 * i);
+    pos += 8;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (pos + 4 > n) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[pos + i]) << (8 * i);
+    pos += 4;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+};
+
+constexpr std::size_t kHeaderBytes = 32;
+constexpr std::size_t kOracleRecordBytes = 96;  // 8 + 7*8 + 4 + 4 + 4*4 + 8
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+void serialize_entry(std::vector<unsigned char>& out, const OracleStoreEntry& e) {
+  append_u64(out, e.platform_fingerprint);
+  for (double f : e.fields) append_f64(out, f);
+  append_i32(out, e.max_threads);
+  append_i32(out, e.objective);
+  for (std::int32_t c : e.config) append_i32(out, c);
+  append_f64(out, e.cost);
+}
+
+OracleStoreEntry deserialize_entry(Reader& r) {
+  OracleStoreEntry e;
+  e.platform_fingerprint = r.u64();
+  for (double& f : e.fields) f = r.f64();
+  e.max_threads = r.i32();
+  e.objective = r.i32();
+  for (std::int32_t& c : e.config) c = r.i32();
+  e.cost = r.f64();
+  return e;
+}
+
+/// The identifying prefix of an entry's bytes (everything but config+cost),
+/// used as the dedup key during merges.
+std::string entry_key_bytes(const OracleStoreEntry& e) {
+  std::vector<unsigned char> buf;
+  append_u64(buf, e.platform_fingerprint);
+  for (double f : e.fields) append_f64(buf, f);
+  append_i32(buf, e.max_threads);
+  append_i32(buf, e.objective);
+  return std::string(buf.begin(), buf.end());
+}
+
+struct ParsedFile {
+  bool valid = false;
+  std::uint32_t kind = 0;
+  std::uint64_t count = 0;
+  std::vector<unsigned char> payload;
+  std::string detail;
+};
+
+ParsedFile parse_file(const std::string& path) {
+  ParsedFile out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.detail = "unreadable";
+    return out;
+  }
+  std::vector<unsigned char> bytes((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+  if (bytes.size() < kHeaderBytes) {
+    out.detail = "truncated header";
+    return out;
+  }
+  Reader r{bytes.data(), bytes.size()};
+  const std::uint64_t magic = r.u64();
+  const std::uint32_t version = r.u32();
+  out.kind = r.u32();
+  out.count = r.u64();
+  const std::uint64_t checksum = r.u64();
+  if (magic != ArtifactStore::kMagic) {
+    out.detail = "bad magic";
+    return out;
+  }
+  if (version != ArtifactStore::kVersion) {
+    out.detail = "version mismatch (file v" + std::to_string(version) + ", expected v" +
+                 std::to_string(ArtifactStore::kVersion) + ")";
+    return out;
+  }
+  std::size_t expected = 0;
+  if (out.kind == ArtifactStore::kKindOracle) {
+    expected = static_cast<std::size_t>(out.count) * kOracleRecordBytes;
+  } else if (out.kind == ArtifactStore::kKindBlob) {
+    expected = static_cast<std::size_t>(out.count) * 8;
+  } else {
+    out.detail = "unknown kind " + std::to_string(out.kind);
+    return out;
+  }
+  if (bytes.size() - kHeaderBytes != expected) {
+    out.detail = "truncated payload (" + std::to_string(bytes.size() - kHeaderBytes) + " of " +
+                 std::to_string(expected) + " bytes)";
+    return out;
+  }
+  if (fnv1a_bytes(bytes.data() + kHeaderBytes, expected) != checksum) {
+    out.detail = "checksum mismatch";
+    return out;
+  }
+  out.payload.assign(bytes.begin() + kHeaderBytes, bytes.end());
+  out.valid = true;
+  out.detail = "ok";
+  return out;
+}
+
+/// Writes header + payload to `path` via temp-file + atomic rename.
+void write_file_atomic(const std::string& path, std::uint32_t kind, std::uint64_t count,
+                       const std::vector<unsigned char>& payload) {
+  std::vector<unsigned char> buf;
+  buf.reserve(kHeaderBytes + payload.size());
+  append_u64(buf, ArtifactStore::kMagic);
+  append_u32(buf, ArtifactStore::kVersion);
+  append_u32(buf, kind);
+  append_u64(buf, count);
+  append_u64(buf, fnv1a_bytes(payload.data(), payload.size()));
+  buf.insert(buf.end(), payload.begin(), payload.end());
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("ArtifactStore: cannot write " + tmp);
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+    if (!out) throw std::runtime_error("ArtifactStore: short write to " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) throw std::runtime_error("ArtifactStore: rename to " + path + ": " + ec.message());
+}
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) throw std::runtime_error("ArtifactStore: cannot create " + dir_ + ": " + ec.message());
+}
+
+std::string ArtifactStore::bucket_path(std::uint64_t fingerprint, std::int32_t objective) const {
+  std::vector<unsigned char> id;
+  append_u64(id, fingerprint);
+  append_i32(id, objective);
+  return dir_ + "/oracle-" + hex16(fnv1a_bytes(id.data(), id.size())) + ".bin";
+}
+
+std::string ArtifactStore::blob_path(const std::string& name, std::uint64_t key) const {
+  return dir_ + "/blob-" + name + "-" + hex16(key) + ".bin";
+}
+
+std::vector<OracleStoreEntry> ArtifactStore::load_oracle_entries() const {
+  std::vector<OracleStoreEntry> out;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir_, ec)) {
+    if (!de.is_regular_file()) continue;
+    const ParsedFile f = parse_file(de.path().string());
+    if (!f.valid || f.kind != kKindOracle) continue;
+    Reader r{f.payload.data(), f.payload.size()};
+    for (std::uint64_t i = 0; i < f.count; ++i) out.push_back(deserialize_entry(r));
+  }
+  return out;
+}
+
+std::size_t ArtifactStore::merge_oracle_entries(const std::vector<OracleStoreEntry>& entries) {
+  // Group incoming entries by bucket file.
+  std::map<std::string, std::vector<OracleStoreEntry>> by_bucket;
+  for (const auto& e : entries) by_bucket[bucket_path(e.platform_fingerprint, e.objective)].push_back(e);
+
+  std::size_t added = 0;
+  for (auto& [path, incoming] : by_bucket) {
+    // Existing entries win ties: for a deterministic computation both sides
+    // hold identical bytes anyway, and keeping the old record makes a merge
+    // into an already-complete bucket a byte-level no-op candidate.
+    std::map<std::string, OracleStoreEntry> merged;
+    const ParsedFile f = parse_file(path);
+    if (f.valid && f.kind == kKindOracle) {
+      Reader r{f.payload.data(), f.payload.size()};
+      for (std::uint64_t i = 0; i < f.count; ++i) {
+        OracleStoreEntry e = deserialize_entry(r);
+        merged.emplace(entry_key_bytes(e), e);
+      }
+    }
+    const std::size_t before = merged.size();
+    for (const auto& e : incoming) merged.emplace(entry_key_bytes(e), e);
+    if (merged.size() == before && f.valid) continue;  // nothing new, keep file untouched
+    added += merged.size() - before;
+
+    std::vector<unsigned char> payload;
+    payload.reserve(merged.size() * kOracleRecordBytes);
+    for (const auto& [key, e] : merged) serialize_entry(payload, e);  // key-sorted: deterministic
+    write_file_atomic(path, kKindOracle, merged.size(), payload);
+  }
+  return added;
+}
+
+void ArtifactStore::put_blob(const std::string& name, std::uint64_t key,
+                             const std::vector<double>& values) {
+  std::vector<unsigned char> payload;
+  payload.reserve(values.size() * 8);
+  for (double v : values) append_f64(payload, v);
+  write_file_atomic(blob_path(name, key), kKindBlob, values.size(), payload);
+}
+
+std::optional<std::vector<double>> ArtifactStore::get_blob(const std::string& name,
+                                                           std::uint64_t key) const {
+  const ParsedFile f = parse_file(blob_path(name, key));
+  if (!f.valid || f.kind != kKindBlob) return std::nullopt;
+  std::vector<double> out;
+  out.reserve(f.count);
+  Reader r{f.payload.data(), f.payload.size()};
+  for (std::uint64_t i = 0; i < f.count; ++i) out.push_back(r.f64());
+  return out;
+}
+
+std::vector<ArtifactStore::FileInfo> ArtifactStore::inspect() const {
+  std::vector<FileInfo> out;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir_, ec)) {
+    if (!de.is_regular_file()) continue;
+    FileInfo info;
+    info.name = de.path().filename().string();
+    std::error_code sec;
+    info.bytes = static_cast<std::uint64_t>(fs::file_size(de.path(), sec));
+    const ParsedFile f = parse_file(de.path().string());
+    info.kind = f.kind;
+    info.valid = f.valid;
+    info.detail = f.detail;
+    info.payload_entries = f.valid ? f.count : 0;
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FileInfo& a, const FileInfo& b) { return a.name < b.name; });
+  return out;
+}
+
+std::size_t ArtifactStore::gc() {
+  std::size_t removed = 0;
+  for (const auto& info : inspect()) {
+    if (info.valid) continue;
+    std::error_code ec;
+    if (fs::remove(fs::path(dir_) / info.name, ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace oal::core

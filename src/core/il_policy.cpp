@@ -63,4 +63,31 @@ soc::SocConfig IlPolicy::decide(const common::Vec& state) const {
   return config_of(net_.predict(scaler_.transform(state)));
 }
 
+std::vector<double> IlPolicy::export_artifact() const {
+  std::vector<double> out;
+  out.push_back(trained_ ? 1.0 : 0.0);
+  out.push_back(train_time_s_);
+  out.push_back(last_train_loss_);
+  scaler_.export_state(out);
+  net_.export_params(out);
+  return out;
+}
+
+bool IlPolicy::import_artifact(const std::vector<double>& in) {
+  if (in.size() < 3) return false;
+  // Stage into copies so a truncated/mismatched artifact leaves *this intact.
+  ml::StandardScaler scaler = scaler_;
+  ml::MultiHeadClassifier net = net_;
+  std::size_t pos = 3;
+  if (!scaler.import_state(in, pos)) return false;
+  if (!net.import_params(in, pos)) return false;
+  if (pos != in.size()) return false;  // trailing garbage: not our artifact
+  trained_ = in[0] != 0.0;
+  train_time_s_ = in[1];
+  last_train_loss_ = in[2];
+  scaler_ = std::move(scaler);
+  net_ = std::move(net);
+  return true;
+}
+
 }  // namespace oal::core

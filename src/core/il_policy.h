@@ -67,6 +67,15 @@ class IlPolicy {
   /// Mean cross-entropy of the most recent training call's final epoch.
   double last_train_loss() const { return last_train_loss_; }
 
+  /// Flattens everything a warm process needs to skip train_offline: scaler
+  /// state, network weights, and the training bookkeeping (train_time_s,
+  /// last_train_loss — preserved so JSONL records emitted from a restored
+  /// policy bitwise-match the cold run that stored it).
+  std::vector<double> export_artifact() const;
+  /// Restores what export_artifact produced into an identically-configured
+  /// policy; false (policy unchanged) on shape mismatch or truncation.
+  bool import_artifact(const std::vector<double>& in);
+
  private:
   double train(const PolicyDataset& data, std::size_t epochs, common::Rng& rng);
 

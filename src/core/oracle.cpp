@@ -1,42 +1,22 @@
 #include "core/oracle.h"
 
+#include <algorithm>
 #include <cstring>
-#include <initializer_list>
 #include <limits>
 #include <stdexcept>
 
+#include "core/artifact_store.h"
+
 namespace oal::core {
 
-namespace {
-
-/// Single exhaustive pass returning both the argmin and its cost.
-std::pair<soc::SocConfig, double> oracle_search(const soc::BigLittlePlatform& plat,
-                                                const soc::SnippetDescriptor& s, Objective obj) {
-  const soc::ConfigSpace& space = plat.space();
-  soc::SocConfig best;
-  double best_cost = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < space.size(); ++i) {
-    const soc::SocConfig c = space.config_at(i);
-    const double cost = objective_cost(plat.execute_ideal(s, c), obj);
-    if (cost < best_cost) {
-      best_cost = cost;
-      best = c;
-    }
-  }
-  return {best, best_cost};
-}
-
-constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
-
-/// FNV-1a: folds one 64-bit value into the running hash byte by byte.
 void fnv1a_mix(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a: folds one 64-bit value into the running hash byte by byte.
   for (int i = 0; i < 8; ++i) {
     h ^= (v >> (8 * i)) & 0xffULL;
     h *= 1099511628211ULL;
   }
 }
 
-/// FNV-1a over a sequence of doubles' bit patterns.
 std::uint64_t fnv1a_doubles(std::initializer_list<double> values) {
   std::uint64_t h = kFnvOffsetBasis;
   for (double v : values) {
@@ -47,8 +27,6 @@ std::uint64_t fnv1a_doubles(std::initializer_list<double> values) {
   return h;
 }
 
-/// Fingerprint of every PlatformParams field the power/performance model
-/// reads — two platforms with equal fingerprints produce identical Oracles.
 std::uint64_t platform_fingerprint(const soc::PlatformParams& p) {
   return fnv1a_doubles({p.v_min_little, p.v_max_little, p.v_min_big, p.v_max_big, p.v_exponent,
                         p.ceff_little_nf, p.ceff_big_nf, p.leak_little_w_per_v,
@@ -58,7 +36,58 @@ std::uint64_t platform_fingerprint(const soc::PlatformParams& p) {
                         p.branch_penalty_little, p.branch_penalty_big, p.sync_overhead});
 }
 
+namespace {
+
+/// Configs per shard of the pooled sweep.  Fixed, so shard boundaries — and
+/// therefore the reduction order — depend only on the space size, never on
+/// how many workers the pool happens to have.
+constexpr std::size_t kShardConfigs = 256;
+
+/// Serial argmin over [lo, hi): strict < keeps the lowest index on ties.
+std::pair<double, std::size_t> argmin_range(const soc::BigLittlePlatform& plat,
+                                            const soc::SnippetDescriptor& s, Objective obj,
+                                            std::size_t lo, std::size_t hi) {
+  const soc::ConfigSpace& space = plat.space();
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::size_t best_i = lo;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const double cost = objective_cost(plat.execute_ideal(s, space.config_at(i)), obj);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_i = i;
+    }
+  }
+  return {best_cost, best_i};
+}
+
 }  // namespace
+
+std::pair<soc::SocConfig, double> oracle_search(const soc::BigLittlePlatform& plat,
+                                                const soc::SnippetDescriptor& s, Objective obj,
+                                                common::ThreadPool* pool) {
+  const soc::ConfigSpace& space = plat.space();
+  const std::size_t n = space.size();
+  std::pair<double, std::size_t> best;
+  if (pool == nullptr || n <= kShardConfigs) {
+    best = argmin_range(plat, s, obj, 0, n);
+  } else {
+    const std::size_t num_shards = (n + kShardConfigs - 1) / kShardConfigs;
+    std::vector<std::pair<double, std::size_t>> shard_best(num_shards);
+    // run_helping (not run_indexed): the caller may itself be a pool worker
+    // (nested parallel labeling inside an engine scenario).
+    pool->run_helping(num_shards, [&](std::size_t sh) {
+      const std::size_t lo = sh * kShardConfigs;
+      shard_best[sh] = argmin_range(plat, s, obj, lo, std::min(n, lo + kShardConfigs));
+    });
+    // Ascending shard order + strict < reproduces the serial lowest-index
+    // tie-break exactly: bitwise-identical cost and argmin.
+    best = {std::numeric_limits<double>::infinity(), 0};
+    for (const auto& sb : shard_best)
+      if (sb.first < best.first) best = sb;
+  }
+  if (best.first == std::numeric_limits<double>::infinity()) return {soc::SocConfig{}, best.first};
+  return {space.config_at(best.second), best.first};
+}
 
 soc::SocConfig oracle_config(const soc::BigLittlePlatform& plat, const soc::SnippetDescriptor& s,
                              Objective obj) {
@@ -91,29 +120,96 @@ std::size_t OracleCache::KeyHash::operator()(const Key& k) const {
   return static_cast<std::size_t>(h);
 }
 
+OracleCache::OracleCache(std::shared_ptr<ArtifactStore> store, common::ThreadPool* search_pool)
+    : store_(std::move(store)), search_pool_(search_pool) {
+  if (!store_) return;
+  for (const OracleStoreEntry& e : store_->load_oracle_entries()) {
+    Key key;
+    key.platform_fingerprint = e.platform_fingerprint;
+    std::memcpy(key.fields, e.fields, sizeof(key.fields));
+    key.max_threads = e.max_threads;
+    key.objective = e.objective;
+    const Entry entry{
+        soc::SocConfig{e.config[0], e.config[1], e.config[2], e.config[3]}, e.cost};
+    if (stripe_of(key).entries.emplace(key, entry).second) ++store_loaded_;
+  }
+}
+
+OracleCache::~OracleCache() {
+  try {
+    flush();
+  } catch (...) {
+    // Best-effort: a failed spill only costs the next process a recompute.
+  }
+}
+
+OracleCache::Stripe& OracleCache::stripe_of(const Key& key) const {
+  return stripes_[KeyHash{}(key) % kNumStripes];
+}
+
+OracleCache::Key OracleCache::key_of(const soc::BigLittlePlatform& plat,
+                                     const soc::SnippetDescriptor& s, Objective obj) {
+  return Key{platform_fingerprint(plat.params()),
+             {s.instructions, s.base_cpi_little, s.base_cpi_big, s.l2_mpki, s.branch_mpki,
+              s.mem_access_per_inst, s.parallel_fraction},
+             s.max_threads,
+             static_cast<int>(obj)};
+}
+
 OracleCache::Entry OracleCache::lookup(const soc::BigLittlePlatform& plat,
                                        const soc::SnippetDescriptor& s, Objective obj) {
-  const Key key{platform_fingerprint(plat.params()),
-                {s.instructions, s.base_cpi_little, s.base_cpi_big, s.l2_mpki, s.branch_mpki,
-                 s.mem_access_per_inst, s.parallel_fraction},
-                s.max_threads,
-                static_cast<int>(obj)};
+  const Key key = key_of(plat, s, obj);
   lookups_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = stripe_of(key);
+  std::shared_ptr<InFlight> flight;
+  bool owner = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    const auto it = stripe.entries.find(key);
+    if (it != stripe.entries.end()) return it->second;
+    const auto fit = stripe.in_flight.find(key);
+    if (fit != stripe.in_flight.end()) {
+      flight = fit->second;
+    } else {
+      flight = std::make_shared<InFlight>();
+      stripe.in_flight.emplace(key, flight);
+      owner = true;
     }
   }
-  // Search outside the lock: the 4940-config sweep must not serialize the
-  // worker pool.  A concurrent duplicate computes identical bytes
-  // (execute_ideal is pure), so whichever insert lands is equivalent.
-  const auto [config, cost] = oracle_search(plat, s, obj);
-  const Entry entry{config, cost};
-  std::lock_guard<std::mutex> lock(mutex_);
-  entries_.emplace(key, entry);
+  if (!owner) {
+    // Another thread is already sweeping this exact key: wait for its result
+    // instead of duplicating 4940 evaluations.  Safe even when this thread
+    // is a pool worker — the owner's sweep participates via run_helping and
+    // never blocks on the pool, so it always completes independently.
+    std::unique_lock<std::mutex> fl(flight->mutex);
+    flight->cv.wait(fl, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    return flight->result;
+  }
+  // Owner path: search outside all stripe locks — the sweep must not
+  // serialize the worker pool.
+  searches_.fetch_add(1, std::memory_order_relaxed);
+  Entry entry;
+  std::exception_ptr error;
+  try {
+    const auto [config, cost] = oracle_search(plat, s, obj, search_pool_);
+    entry = Entry{config, cost};
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    if (!error) stripe.entries.emplace(key, entry);
+    stripe.in_flight.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> fl(flight->mutex);
+    flight->result = entry;
+    flight->error = error;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  if (error) std::rethrow_exception(error);
   return entry;
 }
 
@@ -127,9 +223,35 @@ double OracleCache::cost(const soc::BigLittlePlatform& plat, const soc::SnippetD
   return lookup(plat, s, obj).cost;
 }
 
+std::size_t OracleCache::flush() {
+  if (!store_) return 0;
+  std::vector<OracleStoreEntry> out;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (const auto& [key, entry] : stripe.entries) {
+      OracleStoreEntry e;
+      e.platform_fingerprint = key.platform_fingerprint;
+      std::memcpy(e.fields, key.fields, sizeof(e.fields));
+      e.max_threads = key.max_threads;
+      e.objective = key.objective;
+      e.config[0] = entry.config.num_little;
+      e.config[1] = entry.config.num_big;
+      e.config[2] = entry.config.little_freq_idx;
+      e.config[3] = entry.config.big_freq_idx;
+      e.cost = entry.cost;
+      out.push_back(e);
+    }
+  }
+  return store_->merge_oracle_entries(out);
+}
+
 std::size_t OracleCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+  std::size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    total += stripe.entries.size();
+  }
+  return total;
 }
 
 std::vector<std::size_t> labels_of(const soc::SocConfig& c) {
@@ -146,32 +268,68 @@ soc::SocConfig config_of(const std::vector<std::size_t>& labels) {
 OfflineData collect_offline_data(soc::BigLittlePlatform& plat,
                                  const std::vector<workloads::AppSpec>& apps, Objective obj,
                                  std::size_t snippets_per_app, std::size_t configs_per_snippet,
-                                 common::Rng& rng, OracleCache* cache, bool thermal_aware) {
+                                 common::Rng& rng, OracleCache* cache, bool thermal_aware,
+                                 common::ThreadPool* pool) {
   OfflineData data;
   const soc::ConfigSpace& space = plat.space();
   // Design-time profiling runs on a cool, unconstrained device: thermal-aware
   // states carry the neutral telemetry values (appended by the extractor).
   const FeatureExtractor fx(space, thermal_aware);
+
+  // Phase 1 (serial): every rng draw — trace generation and the random
+  // observation configs — happens here in the exact order the single-pass
+  // loop made them (trace(app), then per snippet its k >= 1 configs; the
+  // k == 0 Oracle observation draws nothing).
+  struct PendingSnippet {
+    soc::SnippetDescriptor snip;
+    std::vector<soc::SocConfig> observe_at;  ///< configs for k = 1..configs_per_snippet
+  };
+  std::vector<PendingSnippet> pending;
+  pending.reserve(apps.size() * snippets_per_app);
   for (const auto& app : apps) {
     const auto trace = workloads::CpuBenchmarks::trace(app, snippets_per_app, rng);
     for (const auto& snip : trace) {
-      const soc::SocConfig label =
-          cache ? cache->config(plat, snip, obj) : oracle_config(plat, snip, obj);
-      for (std::size_t k = 0; k <= configs_per_snippet; ++k) {
-        // k == 0 observes at the Oracle configuration itself (the state the
-        // converged policy will actually see); the rest at random configs so
-        // the policy is robust to arbitrary starting points.
-        const soc::SocConfig at =
-            k == 0 ? label
-                   : space.config_at(static_cast<std::size_t>(
-                         rng.uniform_int(0, static_cast<int>(space.size()) - 1)));
-        const soc::SnippetResult r = plat.execute(snip, at);
-        data.policy.states.push_back(fx.policy_features(r.counters, at));
-        data.policy.labels.push_back(label);
-        data.model_samples.push_back(ModelSample{workload_features(r.counters, at), at,
-                                                 r.exec_time_s, r.counters.instructions_retired,
-                                                 r.avg_power_w});
-      }
+      PendingSnippet p;
+      p.snip = snip;
+      p.observe_at.reserve(configs_per_snippet);
+      for (std::size_t k = 1; k <= configs_per_snippet; ++k)
+        p.observe_at.push_back(space.config_at(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(space.size()) - 1))));
+      pending.push_back(std::move(p));
+    }
+  }
+
+  // Phase 2: Oracle labeling — pure (execute_ideal), no rng — one task per
+  // snippet across the pool.  labels[i] depends only on pending[i], so the
+  // result is identical regardless of scheduling.
+  std::vector<soc::SocConfig> labels(pending.size());
+  const auto label_one = [&](std::size_t i) {
+    labels[i] = cache ? cache->config(plat, pending[i].snip, obj)
+                      : oracle_config(plat, pending[i].snip, obj);
+  };
+  if (pool != nullptr) {
+    pool->run_helping(pending.size(), label_one);
+  } else {
+    for (std::size_t i = 0; i < pending.size(); ++i) label_one(i);
+  }
+
+  // Phase 3 (serial): noisy observations in the original snippet order, so
+  // the platform's measurement-noise rng stream is byte-for-byte the same
+  // as the single-pass implementation's.
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const soc::SnippetDescriptor& snip = pending[i].snip;
+    const soc::SocConfig label = labels[i];
+    for (std::size_t k = 0; k <= configs_per_snippet; ++k) {
+      // k == 0 observes at the Oracle configuration itself (the state the
+      // converged policy will actually see); the rest at random configs so
+      // the policy is robust to arbitrary starting points.
+      const soc::SocConfig at = k == 0 ? label : pending[i].observe_at[k - 1];
+      const soc::SnippetResult r = plat.execute(snip, at);
+      data.policy.states.push_back(fx.policy_features(r.counters, at));
+      data.policy.labels.push_back(label);
+      data.model_samples.push_back(ModelSample{workload_features(r.counters, at), at,
+                                               r.exec_time_s, r.counters.instructions_retired,
+                                               r.avg_power_w});
     }
   }
   return data;

@@ -11,12 +11,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/matrix.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/features.h"
 #include "core/models.h"
 #include "core/objectives.h"
@@ -24,6 +28,29 @@
 #include "workloads/cpu_benchmarks.h"
 
 namespace oal::core {
+
+class ArtifactStore;
+
+/// FNV-1a helpers shared by the Oracle cache keys, the artifact store's
+/// content addresses, and the benches' pretrained-weight blob keys.
+constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+void fnv1a_mix(std::uint64_t& h, std::uint64_t v);
+std::uint64_t fnv1a_doubles(std::initializer_list<double> values);
+
+/// Fingerprint of every PlatformParams field the power/performance model
+/// reads — two platforms with equal fingerprints produce identical Oracles.
+std::uint64_t platform_fingerprint(const soc::PlatformParams& p);
+
+/// Single exhaustive pass returning both the argmin and its cost.  With a
+/// pool, the sweep is sharded at *fixed geometry* (shard boundaries depend
+/// only on the space size, never on pool width) and reduced in ascending
+/// shard order with strict-< comparisons, so the pooled result — argmin
+/// index included (lowest-index tie-break) — is bitwise identical to the
+/// serial sweep.  Safe to call from inside a pool worker: sharding uses the
+/// caller-participating ThreadPool::run_helping.
+std::pair<soc::SocConfig, double> oracle_search(const soc::BigLittlePlatform& plat,
+                                                const soc::SnippetDescriptor& s, Objective obj,
+                                                common::ThreadPool* pool = nullptr);
 
 /// Exhaustive ground-truth optimum for one snippet.
 soc::SocConfig oracle_config(const soc::BigLittlePlatform& plat, const soc::SnippetDescriptor& s,
@@ -41,23 +68,21 @@ double oracle_cost(const soc::BigLittlePlatform& plat, const soc::SnippetDescrip
 /// behind a shared_ptr and pay the 4940-config search once per distinct
 /// snippet instead of once per arm.
 ///
-/// Correctness notes: cached values come from execute_ideal (pure), so a
-/// concurrent double-compute stores identical bytes and determinism is
-/// preserved.  The platform fingerprint in the key makes sharing one cache
-/// across differently-parameterized platforms safe (entries never alias).
+/// Concurrency: entries are sharded over 16 independently-locked stripes,
+/// and cold keys are coalesced — the first thread to miss becomes the
+/// owner and runs the search while concurrent missers of the *same* key
+/// wait on its completion instead of duplicating the sweep.  Searches run
+/// outside all stripe locks.
+///
+/// Persistence: constructed with an ArtifactStore, the cache preloads every
+/// stored entry for this store (so a warm process performs zero searches
+/// for previously-seen snippets) and flush() spills the in-memory entries
+/// back.  Cached values come from execute_ideal (pure), so store round
+/// trips preserve determinism bit for bit.  The platform fingerprint in
+/// the key makes sharing one cache across differently-parameterized
+/// platforms safe (entries never alias).
 class OracleCache {
  public:
-  /// Memoized oracle_config.
-  soc::SocConfig config(const soc::BigLittlePlatform& plat, const soc::SnippetDescriptor& s,
-                        Objective obj);
-  /// Memoized oracle_cost.
-  double cost(const soc::BigLittlePlatform& plat, const soc::SnippetDescriptor& s, Objective obj);
-
-  std::size_t size() const;
-  std::size_t lookups() const { return lookups_.load(); }
-  std::size_t hits() const { return hits_.load(); }
-
- private:
   struct Key {
     std::uint64_t platform_fingerprint;
     double fields[7];
@@ -73,12 +98,68 @@ class OracleCache {
     double cost = 0.0;
   };
 
+  /// `store`, when non-null, backs the cache across processes: entries are
+  /// preloaded on construction and spilled by flush() (and, best-effort, by
+  /// the destructor).  `search_pool`, when non-null, shards each cold
+  /// exhaustive search across the pool (bitwise identical to serial).
+  explicit OracleCache(std::shared_ptr<ArtifactStore> store = nullptr,
+                       common::ThreadPool* search_pool = nullptr);
+  ~OracleCache();
+
+  OracleCache(const OracleCache&) = delete;
+  OracleCache& operator=(const OracleCache&) = delete;
+
+  static Key key_of(const soc::BigLittlePlatform& plat, const soc::SnippetDescriptor& s,
+                    Objective obj);
+
+  /// Memoized oracle_config.
+  soc::SocConfig config(const soc::BigLittlePlatform& plat, const soc::SnippetDescriptor& s,
+                        Objective obj);
+  /// Memoized oracle_cost.
+  double cost(const soc::BigLittlePlatform& plat, const soc::SnippetDescriptor& s, Objective obj);
+
+  /// Spills every in-memory entry to the backing store (no-op without one).
+  /// Returns the number of entries newly persisted.
+  std::size_t flush();
+
+  std::size_t size() const;
+  std::size_t lookups() const { return lookups_.load(); }
+  /// Exhaustive sweeps actually performed: one per distinct cold key, so
+  /// deterministic run-to-run even under coalescing.
+  std::size_t searches() const { return searches_.load(); }
+  /// Lookups served without a sweep (memory hits + coalesced waits + store
+  /// preloads).  Defined as lookups() - searches() so the value printed by
+  /// benches never depends on thread timing.
+  std::size_t hits() const { return lookups() - searches(); }
+  /// Entries preloaded from the backing store at construction.
+  std::size_t store_loaded() const { return store_loaded_; }
+
+ private:
+  /// A cold key's in-flight search: concurrent missers wait on `cv` while
+  /// the owner sweeps; the result (or exception) is published through here.
+  struct InFlight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Entry result;
+    std::exception_ptr error;
+  };
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, Entry, KeyHash> entries;
+    std::unordered_map<Key, std::shared_ptr<InFlight>, KeyHash> in_flight;
+  };
+  static constexpr std::size_t kNumStripes = 16;
+
+  Stripe& stripe_of(const Key& key) const;
   Entry lookup(const soc::BigLittlePlatform& plat, const soc::SnippetDescriptor& s, Objective obj);
 
-  mutable std::mutex mutex_;
-  std::unordered_map<Key, Entry, KeyHash> entries_;
+  mutable Stripe stripes_[kNumStripes];
+  std::shared_ptr<ArtifactStore> store_;
+  common::ThreadPool* search_pool_ = nullptr;
   std::atomic<std::size_t> lookups_{0};
-  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> searches_{0};
+  std::size_t store_loaded_ = 0;
 };
 
 /// Supervised IL dataset: policy states paired with Oracle configurations.
@@ -100,12 +181,17 @@ struct OfflineData {
 /// dominant cost when several arms collect over identical traces (identical
 /// collect seeds), as in the ablation benches.  `thermal_aware` collects
 /// policy states in the extended (thermal-telemetry) feature space, with the
-/// neutral cool-device values — profiling runs unconstrained.
+/// neutral cool-device values — profiling runs unconstrained.  `pool`, when
+/// non-null, labels the whole trace in parallel (one task per snippet);
+/// every rng draw is made serially before labeling starts and every noisy
+/// observation serially after, in the exact single-pass order, so the
+/// returned dataset is bitwise identical with or without the pool.
 OfflineData collect_offline_data(soc::BigLittlePlatform& plat,
                                  const std::vector<workloads::AppSpec>& apps, Objective obj,
                                  std::size_t snippets_per_app, std::size_t configs_per_snippet,
                                  common::Rng& rng, OracleCache* cache = nullptr,
-                                 bool thermal_aware = false);
+                                 bool thermal_aware = false,
+                                 common::ThreadPool* pool = nullptr);
 
 /// Knob-label encoding shared by the IL policy and dataset code:
 /// {num_little-1, num_big, little_freq_idx, big_freq_idx}.

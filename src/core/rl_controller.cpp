@@ -94,6 +94,17 @@ soc::SocConfig QLearningController::step(const soc::SnippetResult& result,
   return apply_rl_action(*space_, executed, action);
 }
 
+std::vector<double> QLearningController::export_state() const {
+  std::vector<double> out;
+  q_.export_state(out);
+  return out;
+}
+
+bool QLearningController::import_state(const std::vector<double>& in) {
+  std::size_t pos = 0;
+  return q_.import_state(in, pos) && pos == in.size();
+}
+
 DqnController::DqnController(const soc::ConfigSpace& space, ml::DqnConfig cfg, RlRewardScale scale,
                              bool thermal_aware)
     : space_(&space), fx_(space, thermal_aware), dqn_(fx_.policy_dim(), kNumRlActions, cfg),

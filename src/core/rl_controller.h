@@ -45,6 +45,14 @@ class QLearningController : public DrmController {
   std::size_t table_states() const { return q_.num_states_visited(); }
   std::size_t storage_bytes() const { return q_.storage_bytes(); }
 
+  /// Persists / restores the learned Q-table plus exploration state (the
+  /// ml::TabularQ wire format), letting a warm process skip a pretraining
+  /// run: the restored controller's next run is bitwise identical to the
+  /// original's.  Per-run state (prev state/action) is excluded — begin_run
+  /// resets it anyway.
+  std::vector<double> export_state() const;
+  bool import_state(const std::vector<double>& in);
+
  private:
   std::uint64_t discretize(const soc::PerfCounters& k, const soc::SocConfig& c) const;
 

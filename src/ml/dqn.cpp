@@ -1,6 +1,7 @@
 #include "ml/dqn.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace oal::ml {
@@ -80,6 +81,45 @@ void Dqn::train_batch() {
     mask(b, batch[b]->action) = 1.0;
   }
   online_.train_batch(states, targets, &mask);
+}
+
+void Dqn::export_params(std::vector<double>& out) const {
+  out.push_back(static_cast<double>(state_dim_));
+  out.push_back(static_cast<double>(num_actions_));
+  online_.export_params(out);
+  target_.export_params(out);
+  out.push_back(epsilon_);
+  const common::Rng::State rs = rng_.state();
+  for (std::uint64_t w : rs.s) {
+    double d = 0.0;
+    std::memcpy(&d, &w, sizeof(d));
+    out.push_back(d);
+  }
+  out.push_back(rs.has_cached_normal ? 1.0 : 0.0);
+  out.push_back(rs.cached_normal);
+  out.push_back(static_cast<double>(steps_));
+}
+
+bool Dqn::import_params(const std::vector<double>& in, std::size_t& pos) {
+  if (pos + 2 > in.size()) return false;
+  if (in[pos] != static_cast<double>(state_dim_) ||
+      in[pos + 1] != static_cast<double>(num_actions_))
+    return false;
+  std::size_t p = pos + 2;
+  if (!online_.import_params(in, p) || !target_.import_params(in, p)) return false;
+  if (p + 8 > in.size()) return false;
+  epsilon_ = in[p++];
+  common::Rng::State rs;
+  for (std::uint64_t& w : rs.s) {
+    std::memcpy(&w, &in[p++], sizeof(w));
+  }
+  rs.has_cached_normal = in[p++] != 0.0;
+  rs.cached_normal = in[p++];
+  rng_.set_state(rs);
+  steps_ = static_cast<std::size_t>(in[p++]);
+  replay_.clear();
+  pos = p;
+  return true;
 }
 
 }  // namespace oal::ml

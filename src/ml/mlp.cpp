@@ -132,6 +132,23 @@ void DenseLayer::apply(const common::Mat& gw, const common::Vec& gb) {
   opt_->apply(w_, b_, gw, gb);
 }
 
+void DenseLayer::append_params(std::vector<double>& out) const {
+  out.insert(out.end(), w_.data().begin(), w_.data().end());
+  out.insert(out.end(), b_.begin(), b_.end());
+}
+
+bool DenseLayer::read_params(const std::vector<double>& in, std::size_t& pos) {
+  const std::size_t nw = w_.rows() * w_.cols();
+  if (pos + nw + b_.size() > in.size()) return false;
+  std::copy(in.begin() + static_cast<std::ptrdiff_t>(pos),
+            in.begin() + static_cast<std::ptrdiff_t>(pos + nw), w_.raw());
+  pos += nw;
+  std::copy(in.begin() + static_cast<std::ptrdiff_t>(pos),
+            in.begin() + static_cast<std::ptrdiff_t>(pos + b_.size()), b_.begin());
+  pos += b_.size();
+  return true;
+}
+
 // ---- Mlp -------------------------------------------------------------------
 
 Mlp::Mlp(std::size_t input_dim, std::size_t output_dim, MlpConfig cfg)
@@ -316,6 +333,16 @@ std::size_t Mlp::num_params() const {
 void Mlp::copy_params_from(const Mlp& other) {
   if (other.layers_.size() != layers_.size()) throw std::invalid_argument("Mlp::copy_params_from: shape");
   layers_ = other.layers_;
+}
+
+void Mlp::export_params(std::vector<double>& out) const {
+  for (const auto& l : layers_) l.append_params(out);
+}
+
+bool Mlp::import_params(const std::vector<double>& in, std::size_t& pos) {
+  for (auto& l : layers_)
+    if (!l.read_params(in, pos)) return false;
+  return true;
 }
 
 // ---- MultiHeadClassifier ----------------------------------------------------
@@ -515,6 +542,19 @@ std::size_t MultiHeadClassifier::num_params() const {
   for (const auto& l : trunk_) n += l.num_params();
   for (const auto& h : heads_) n += h.num_params();
   return n;
+}
+
+void MultiHeadClassifier::export_params(std::vector<double>& out) const {
+  for (const auto& l : trunk_) l.append_params(out);
+  for (const auto& h : heads_) h.append_params(out);
+}
+
+bool MultiHeadClassifier::import_params(const std::vector<double>& in, std::size_t& pos) {
+  for (auto& l : trunk_)
+    if (!l.read_params(in, pos)) return false;
+  for (auto& h : heads_)
+    if (!h.read_params(in, pos)) return false;
+  return true;
 }
 
 }  // namespace oal::ml

@@ -69,6 +69,14 @@ class DenseLayer {
 
   const common::Mat& weights() const { return w_; }
 
+  /// Appends w (row-major) then b to `out` — the artifact-store wire format.
+  /// Optimizer state is deliberately excluded: a restored layer serves
+  /// inference / fresh training, not mid-stream optimizer resumption.
+  void append_params(std::vector<double>& out) const;
+  /// Reads back what append_params wrote (layer shape must already match);
+  /// false on underrun, leaving pos unspecified.
+  bool read_params(const std::vector<double>& in, std::size_t& pos);
+
  private:
   common::Mat w_;  // out x in
   common::Vec b_;  // out
@@ -128,6 +136,12 @@ class Mlp {
   /// identical shape (used for DQN target networks).
   void copy_params_from(const Mlp& other);
 
+  /// Appends every layer's parameters to `out` (see DenseLayer::append_params).
+  void export_params(std::vector<double>& out) const;
+  /// Restores parameters into a network of identical architecture; false on
+  /// underrun.  forward() is then bitwise identical to the exported network's.
+  bool import_params(const std::vector<double>& in, std::size_t& pos);
+
  private:
   struct ShardGrads {
     std::vector<common::Mat> gw;
@@ -178,6 +192,11 @@ class MultiHeadClassifier {
 
   std::size_t num_heads() const { return heads_.size(); }
   std::size_t num_params() const;
+
+  /// Appends trunk then head parameters to `out`.
+  void export_params(std::vector<double>& out) const;
+  /// Restores into an identically-shaped classifier; false on underrun.
+  bool import_params(const std::vector<double>& in, std::size_t& pos);
   /// Storage footprint in bytes assuming 4-byte fixed-point parameters (the
   /// paper stores the policy in <20 KB of firmware memory).
   std::size_t storage_bytes() const { return num_params() * 4; }

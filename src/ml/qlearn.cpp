@@ -1,6 +1,7 @@
 #include "ml/qlearn.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace oal::ml {
@@ -48,6 +49,70 @@ void TabularQ::update(std::uint64_t state, std::size_t action, double reward,
 
 double TabularQ::q_value(std::uint64_t state, std::size_t action) const {
   return row(state)[action];
+}
+
+namespace {
+
+double u64_as_double(std::uint64_t v) {
+  double d = 0.0;
+  std::memcpy(&d, &v, sizeof(d));
+  return d;
+}
+
+std::uint64_t double_as_u64(double d) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, &d, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void TabularQ::export_state(std::vector<double>& out) const {
+  out.push_back(epsilon_);
+  const common::Rng::State rs = rng_.state();
+  for (std::uint64_t w : rs.s) out.push_back(u64_as_double(w));
+  out.push_back(rs.has_cached_normal ? 1.0 : 0.0);
+  out.push_back(rs.cached_normal);
+  out.push_back(static_cast<double>(num_actions_));
+  out.push_back(static_cast<double>(table_.size()));
+  std::vector<std::uint64_t> states;
+  states.reserve(table_.size());
+  for (const auto& [state, q] : table_) states.push_back(state);
+  std::sort(states.begin(), states.end());
+  for (std::uint64_t state : states) {
+    out.push_back(u64_as_double(state));
+    const auto& q = table_.at(state);
+    out.insert(out.end(), q.begin(), q.end());
+  }
+}
+
+bool TabularQ::import_state(const std::vector<double>& in, std::size_t& pos) {
+  if (pos + 8 > in.size()) return false;
+  std::size_t p = pos;
+  const double epsilon = in[p++];
+  common::Rng::State rs;
+  for (std::uint64_t& w : rs.s) w = double_as_u64(in[p++]);
+  rs.has_cached_normal = in[p++] != 0.0;
+  rs.cached_normal = in[p++];
+  if (in[p] != static_cast<double>(num_actions_)) return false;
+  ++p;
+  const double rows_d = in[p++];
+  if (rows_d < 0.0 || rows_d > 1e12) return false;
+  const auto rows = static_cast<std::size_t>(rows_d);
+  if (p + rows * (1 + num_actions_) > in.size()) return false;
+  std::unordered_map<std::uint64_t, std::vector<double>> table;
+  table.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::uint64_t state = double_as_u64(in[p++]);
+    table.emplace(state, std::vector<double>(in.begin() + static_cast<std::ptrdiff_t>(p),
+                                             in.begin() + static_cast<std::ptrdiff_t>(p + num_actions_)));
+    p += num_actions_;
+  }
+  epsilon_ = epsilon;
+  rng_.set_state(rs);
+  table_ = std::move(table);
+  pos = p;
+  return true;
 }
 
 std::size_t TabularQ::storage_bytes() const {

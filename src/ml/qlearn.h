@@ -39,6 +39,17 @@ class TabularQ {
   void update(std::uint64_t state, std::size_t action, double reward, std::uint64_t next_state);
 
   double q_value(std::uint64_t state, std::size_t action) const;
+
+  /// Appends the complete learning state — epsilon, the exploration rng's
+  /// mid-stream position (u64 words bit-preserved in doubles), and the
+  /// Q-table sorted by state id (so the wire bytes are deterministic even
+  /// though the hash map isn't ordered).  A restored learner's subsequent
+  /// select_action/update sequence is bitwise identical to the original's.
+  void export_state(std::vector<double>& out) const;
+  /// Restores what export_state wrote; false (learner unchanged) on underrun
+  /// or an action-count mismatch.
+  bool import_state(const std::vector<double>& in, std::size_t& pos);
+
   double epsilon() const { return epsilon_; }
   std::size_t num_states_visited() const { return table_.size(); }
   /// Bytes of Q-table storage (the paper's argument against tabular RL).

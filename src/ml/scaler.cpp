@@ -56,4 +56,29 @@ common::Vec StandardScaler::inverse_transform(const common::Vec& z) const {
   return x;
 }
 
+void StandardScaler::export_state(std::vector<double>& out) const {
+  out.push_back(static_cast<double>(mean_.size()));
+  out.push_back(static_cast<double>(count_));
+  out.insert(out.end(), mean_.begin(), mean_.end());
+  out.insert(out.end(), m2_.begin(), m2_.end());
+}
+
+bool StandardScaler::import_state(const std::vector<double>& in, std::size_t& pos) {
+  if (pos + 2 > in.size()) return false;
+  const double dim_d = in[pos];
+  const double count_d = in[pos + 1];
+  if (dim_d < 0.0 || dim_d > 1e9 || count_d < 0.0) return false;
+  const auto dim = static_cast<std::size_t>(dim_d);
+  if (pos + 2 + 2 * dim > in.size()) return false;
+  pos += 2;
+  mean_.assign(in.begin() + static_cast<std::ptrdiff_t>(pos),
+               in.begin() + static_cast<std::ptrdiff_t>(pos + dim));
+  pos += dim;
+  m2_.assign(in.begin() + static_cast<std::ptrdiff_t>(pos),
+             in.begin() + static_cast<std::ptrdiff_t>(pos + dim));
+  pos += dim;
+  count_ = static_cast<std::size_t>(count_d);
+  return true;
+}
+
 }  // namespace oal::ml

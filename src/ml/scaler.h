@@ -40,6 +40,13 @@ class StandardScaler {
   /// cliff a tiny true std would open.
   common::Vec stds() const;
 
+  /// Appends {dim, count, mean, m2} to `out` — enough to reconstruct the
+  /// scaler exactly (transform() of the restored scaler is bitwise identical).
+  void export_state(std::vector<double>& out) const;
+  /// Restores what export_state wrote; false on underrun or a nonsensical
+  /// dimension, leaving the scaler unchanged in that case.
+  bool import_state(const std::vector<double>& in, std::size_t& pos);
+
  private:
   common::Vec mean_;
   common::Vec m2_;

@@ -8,7 +8,12 @@
 namespace oal::soc {
 
 BigLittlePlatform::BigLittlePlatform(PlatformParams params, std::uint64_t noise_seed)
-    : params_(params), noise_rng_(noise_seed) {}
+    : params_(params), noise_rng_(noise_seed) {
+  v_little_table_.reserve(space_.little_freqs().size());
+  for (double f : space_.little_freqs()) v_little_table_.push_back(voltage_little(f));
+  v_big_table_.reserve(space_.big_freqs().size());
+  for (double f : space_.big_freqs()) v_big_table_.push_back(voltage_big(f));
+}
 
 double BigLittlePlatform::voltage_little(double f_mhz) const {
   const double span = space_.little_freqs().back() - space_.little_freqs().front();
@@ -125,8 +130,8 @@ SnippetResult BigLittlePlatform::execute_ideal_impl(const SnippetDescriptor& s, 
   const double u_big = (n_b > 0.0 && t > 0.0) ? std::min(busy_big / (n_b * t), 1.0) : 0.0;
 
   // --- Power ---------------------------------------------------------------
-  const double v_l = voltage_little(space_.little_freq_mhz(c));
-  const double v_b = voltage_big(space_.big_freq_mhz(c));
+  const double v_l = v_little_table_[c.little_freq_idx];
+  const double v_b = v_big_table_[c.big_freq_idx];
   const double p_dyn_l = params_.ceff_little_nf * 1e-9 * v_l * v_l * f_l * n_l * u_little;
   const double p_dyn_b =
       (c.num_big >= 1) ? params_.ceff_big_nf * 1e-9 * v_b * v_b * f_b * n_b * u_big : 0.0;

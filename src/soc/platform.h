@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.h"
 #include "soc/config_space.h"
@@ -78,6 +79,9 @@ class BigLittlePlatform {
  public:
   explicit BigLittlePlatform(PlatformParams params = {}, std::uint64_t noise_seed = 2020);
 
+  BigLittlePlatform(const BigLittlePlatform&) = default;
+  BigLittlePlatform& operator=(const BigLittlePlatform&) = default;
+
   const ConfigSpace& space() const { return space_; }
   const PlatformParams& params() const { return params_; }
 
@@ -109,6 +113,11 @@ class BigLittlePlatform {
   PlatformParams params_;
   ConfigSpace space_;
   common::Rng noise_rng_;
+  // Per-OPP voltages, precomputed once: the pow() in the OPP curve would
+  // otherwise dominate the exhaustive Oracle sweep (2 calls x 4940 configs
+  // per snippet).  Entries equal voltage_little/big at that OPP bit-for-bit.
+  std::vector<double> v_little_table_;
+  std::vector<double> v_big_table_;
 };
 
 }  // namespace oal::soc

@@ -1,0 +1,333 @@
+// Tests for the persistent artifact store, the store-backed OracleCache,
+// the sharded (pooled) Oracle search, and the weight-serialization round
+// trips the store's blobs carry.  The contract under test throughout:
+// warm reuse is bitwise identical to cold computation, and a damaged store
+// is silently recomputed, never a crash.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/artifact_store.h"
+#include "core/il_policy.h"
+#include "core/oracle.h"
+#include "core/rl_controller.h"
+#include "core/runner.h"
+#include "ml/dqn.h"
+#include "ml/qlearn.h"
+#include "soc/platform.h"
+#include "workloads/cpu_benchmarks.h"
+
+namespace oal::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh empty store directory under the gtest temp root.
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("oal-store-" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// The single store file in `dir` (fails the test if there isn't exactly one).
+fs::path only_file(const fs::path& dir) {
+  std::vector<fs::path> files;
+  for (const auto& e : fs::directory_iterator(dir)) files.push_back(e.path());
+  EXPECT_EQ(files.size(), 1u);
+  return files.empty() ? fs::path() : files.front();
+}
+
+void corrupt_byte(const fs::path& file, std::uint64_t offset) {
+  std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x5a);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&b, 1);
+}
+
+std::vector<soc::SnippetDescriptor> test_trace(const char* app, std::size_t n,
+                                               std::uint64_t seed) {
+  common::Rng rng(seed);
+  return workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name(app), n, rng);
+}
+
+TEST(ArtifactStoreBlob, RoundTripAndMiss) {
+  auto store = ArtifactStore(fresh_dir("blob").string());
+  const std::vector<double> values{1.0, -2.5, 0.0, 1e300, -0.0};
+  store.put_blob("weights", 42, values);
+  const auto back = store.get_blob("weights", 42);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, values);
+  EXPECT_FALSE(store.get_blob("weights", 43).has_value());   // other key
+  EXPECT_FALSE(store.get_blob("other", 42).has_value());     // other name
+  // Overwrite is atomic and last-writer-wins.
+  store.put_blob("weights", 42, {7.0});
+  EXPECT_EQ(store.get_blob("weights", 42), std::vector<double>{7.0});
+}
+
+TEST(ArtifactStoreBlob, RejectsVersionMismatch) {
+  const fs::path dir = fresh_dir("version");
+  ArtifactStore store(dir.string());
+  store.put_blob("w", 1, {1.0, 2.0});
+  corrupt_byte(only_file(dir), 8);  // header: magic u64, then version u32
+  EXPECT_FALSE(store.get_blob("w", 1).has_value());
+  const auto files = store.inspect();
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_FALSE(files[0].valid);
+  EXPECT_NE(files[0].detail.find("version"), std::string::npos);
+  EXPECT_EQ(store.gc(), 1u);
+  EXPECT_TRUE(fs::is_empty(dir));
+}
+
+TEST(ArtifactStoreBlob, RejectsTruncation) {
+  const fs::path dir = fresh_dir("trunc");
+  ArtifactStore store(dir.string());
+  store.put_blob("w", 1, {1.0, 2.0, 3.0});
+  const fs::path file = only_file(dir);
+  fs::resize_file(file, fs::file_size(file) - 5);
+  EXPECT_FALSE(store.get_blob("w", 1).has_value());
+  const auto files = store.inspect();
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_FALSE(files[0].valid);
+}
+
+TEST(ArtifactStoreBlob, RejectsChecksumCorruption) {
+  const fs::path dir = fresh_dir("checksum");
+  ArtifactStore store(dir.string());
+  store.put_blob("w", 1, {1.0, 2.0, 3.0});
+  corrupt_byte(only_file(dir), 32 + 9);  // a payload byte past the header
+  EXPECT_FALSE(store.get_blob("w", 1).has_value());
+  const auto files = store.inspect();
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_FALSE(files[0].valid);
+  EXPECT_NE(files[0].detail.find("checksum"), std::string::npos);
+}
+
+TEST(OracleStore, CrossProcessWarmReuse) {
+  const fs::path dir = fresh_dir("warm");
+  soc::BigLittlePlatform plat;
+  const auto trace = test_trace("FFT", 4, 11);
+
+  std::vector<soc::SocConfig> cold_configs;
+  std::vector<double> cold_costs;
+  {
+    OracleCache cache(std::make_shared<ArtifactStore>(dir.string()));
+    for (const auto& s : trace) {
+      cold_configs.push_back(cache.config(plat, s, Objective::kEnergy));
+      cold_costs.push_back(cache.cost(plat, s, Objective::kEnergy));
+    }
+    EXPECT_EQ(cache.searches(), trace.size());
+    EXPECT_EQ(cache.flush(), trace.size());
+    EXPECT_EQ(cache.flush(), 0u);  // idempotent: nothing new the second time
+  }
+
+  // A second "process": same store directory, fresh cache.  Every lookup is
+  // a hit against the preloaded entries — zero searches, identical values.
+  OracleCache warm(std::make_shared<ArtifactStore>(dir.string()));
+  EXPECT_EQ(warm.store_loaded(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(warm.config(plat, trace[i], Objective::kEnergy), cold_configs[i]);
+    EXPECT_EQ(warm.cost(plat, trace[i], Objective::kEnergy), cold_costs[i]);
+  }
+  EXPECT_EQ(warm.searches(), 0u);
+  EXPECT_EQ(warm.hits(), 2 * trace.size());
+}
+
+TEST(OracleStore, CorruptBucketRecomputesWithoutCrash) {
+  const fs::path dir = fresh_dir("corrupt-bucket");
+  soc::BigLittlePlatform plat;
+  const auto trace = test_trace("Qsort", 2, 5);
+  {
+    OracleCache cache(std::make_shared<ArtifactStore>(dir.string()));
+    for (const auto& s : trace) (void)cache.config(plat, s, Objective::kEnergy);
+    // Destructor flushes best-effort.
+  }
+  corrupt_byte(only_file(dir), 0);  // destroy the magic
+
+  OracleCache cache(std::make_shared<ArtifactStore>(dir.string()));
+  EXPECT_EQ(cache.store_loaded(), 0u);  // invalid bucket treated as absent
+  for (const auto& s : trace)
+    EXPECT_EQ(cache.config(plat, s, Objective::kEnergy),
+              oracle_config(plat, s, Objective::kEnergy));
+  EXPECT_EQ(cache.searches(), trace.size());
+  // flush() rewrites the bucket wholesale; the store heals.
+  EXPECT_EQ(cache.flush(), trace.size());
+  OracleCache healed(std::make_shared<ArtifactStore>(dir.string()));
+  EXPECT_EQ(healed.store_loaded(), trace.size());
+}
+
+TEST(OracleSearch, PooledMatchesSerialBitwise) {
+  soc::BigLittlePlatform plat;
+  common::ThreadPool pool(4);
+  for (const auto& s : test_trace("Kmeans", 3, 21)) {
+    const auto serial = oracle_search(plat, s, Objective::kEnergy);
+    const auto pooled = oracle_search(plat, s, Objective::kEnergy, &pool);
+    EXPECT_EQ(pooled.first, serial.first);  // argmin config, tie-break included
+    EXPECT_EQ(pooled.second, serial.second);  // bitwise-equal cost
+  }
+}
+
+TEST(OracleCache, CoalescesConcurrentColdMisses) {
+  soc::BigLittlePlatform plat;
+  const auto trace = test_trace("SHA", 1, 31);
+  OracleCache cache;
+  constexpr std::size_t kThreads = 8;
+  std::vector<soc::SocConfig> got(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back(
+        [&, t] { got[t] = cache.config(plat, trace[0], Objective::kEnergy); });
+  for (auto& th : threads) th.join();
+  // One owner searched; everyone else waited for its result.
+  EXPECT_EQ(cache.searches(), 1u);
+  EXPECT_EQ(cache.lookups(), kThreads);
+  EXPECT_EQ(cache.size(), 1u);
+  for (const auto& c : got) EXPECT_EQ(c, got[0]);
+}
+
+TEST(ThreadPool, RunHelpingNestedFromWorker) {
+  // oracle_search inside a pool worker reaches run_helping from a worker
+  // thread; run_indexed would deadlock there.  Exercise exactly that shape.
+  common::ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.run_helping(4, [&](std::size_t) {
+    pool.run_helping(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(Collect, PooledMatchesSerialBitwise) {
+  const std::vector<workloads::AppSpec> apps{workloads::CpuBenchmarks::by_name("FFT"),
+                                             workloads::CpuBenchmarks::by_name("Kmeans")};
+  common::ThreadPool pool(4);
+  soc::BigLittlePlatform plat_a, plat_b;
+  common::Rng rng_a(7), rng_b(7);
+  OracleCache cache_a, cache_b;
+  const auto serial =
+      collect_offline_data(plat_a, apps, Objective::kEnergy, 4, 3, rng_a, &cache_a);
+  const auto pooled = collect_offline_data(plat_b, apps, Objective::kEnergy, 4, 3, rng_b,
+                                           &cache_b, /*thermal_aware=*/false, &pool);
+  ASSERT_EQ(pooled.policy.states.size(), serial.policy.states.size());
+  EXPECT_EQ(pooled.policy.states, serial.policy.states);  // Vec == is bitwise here
+  EXPECT_EQ(pooled.policy.labels, serial.policy.labels);
+  ASSERT_EQ(pooled.model_samples.size(), serial.model_samples.size());
+  for (std::size_t i = 0; i < serial.model_samples.size(); ++i) {
+    EXPECT_EQ(pooled.model_samples[i].config, serial.model_samples[i].config);
+    EXPECT_EQ(pooled.model_samples[i].time_s, serial.model_samples[i].time_s);
+    EXPECT_EQ(pooled.model_samples[i].instructions, serial.model_samples[i].instructions);
+    EXPECT_EQ(pooled.model_samples[i].power_w, serial.model_samples[i].power_w);
+    EXPECT_EQ(pooled.model_samples[i].workload.cpi_obs, serial.model_samples[i].workload.cpi_obs);
+  }
+  // The rng streams must end at the same position (phase-1 draws are serial).
+  EXPECT_EQ(rng_a.next_u64(), rng_b.next_u64());
+}
+
+TEST(IlPolicy, ArtifactRoundTripsDecisionsAndBookkeeping) {
+  soc::BigLittlePlatform plat;
+  common::Rng rng(7);
+  const auto mibench = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
+  OracleCache cache;
+  const auto off = collect_offline_data(plat, mibench, Objective::kEnergy, 4, 2, rng, &cache);
+  IlPolicy trained(plat.space());
+  trained.train_offline(off.policy, rng);
+
+  IlPolicy restored(plat.space());
+  ASSERT_TRUE(restored.import_artifact(trained.export_artifact()));
+  for (const auto& s : off.policy.states) EXPECT_EQ(restored.decide(s), trained.decide(s));
+  EXPECT_EQ(restored.train_time_s(), trained.train_time_s());
+  EXPECT_EQ(restored.last_train_loss(), trained.last_train_loss());
+  EXPECT_EQ(restored.export_artifact(), trained.export_artifact());
+
+  // Garbage in -> false out, restored policy untouched.
+  IlPolicy untouched(plat.space());
+  auto bad = trained.export_artifact();
+  bad.pop_back();
+  EXPECT_FALSE(untouched.import_artifact(bad));
+  bad = trained.export_artifact();
+  bad.push_back(0.0);
+  EXPECT_FALSE(untouched.import_artifact(bad));  // trailing garbage rejected
+}
+
+TEST(TabularQ, StateRoundTripContinuesIdentically) {
+  ml::TabularQ original(6);
+  common::Rng env(13);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t s = env.next_u64() % 16;
+    const std::size_t a = original.select_action(s);
+    original.update(s, a, env.uniform(-1.0, 1.0), env.next_u64() % 16);
+  }
+  std::vector<double> state;
+  original.export_state(state);
+  ml::TabularQ restored(6);
+  std::size_t pos = 0;
+  ASSERT_TRUE(restored.import_state(state, pos));
+  EXPECT_EQ(pos, state.size());
+  // Same exploration rng, same table: identical trajectories from here on.
+  common::Rng env_a(29), env_b(29);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t s = env_a.next_u64() % 16;
+    EXPECT_EQ(restored.select_action(s), original.select_action(env_b.next_u64() % 16));
+  }
+}
+
+TEST(Dqn, ParamsRoundTripReproducesExport) {
+  ml::DqnConfig cfg;
+  cfg.hidden = {8};
+  ml::Dqn original(3, 4, cfg);
+  common::Rng env(17);
+  for (int i = 0; i < 128; ++i) {
+    const common::Vec s{env.uniform(0, 1), env.uniform(0, 1), env.uniform(0, 1)};
+    const std::size_t a = original.select_action(s);
+    const common::Vec s2{env.uniform(0, 1), env.uniform(0, 1), env.uniform(0, 1)};
+    original.observe(s, a, env.uniform(-1.0, 1.0), s2);
+  }
+  std::vector<double> params;
+  original.export_params(params);
+  ml::Dqn restored(3, 4, cfg);
+  std::size_t pos = 0;
+  ASSERT_TRUE(restored.import_params(params, pos));
+  EXPECT_EQ(pos, params.size());
+  std::vector<double> again;
+  restored.export_params(again);
+  EXPECT_EQ(again, params);
+  // Shape mismatch is rejected, not misread.
+  ml::Dqn wrong_shape(4, 4, cfg);
+  pos = 0;
+  EXPECT_FALSE(wrong_shape.import_params(params, pos));
+}
+
+TEST(QLearningController, StateRoundTripViaBlob) {
+  // The fig4 warm path: pretrained controller -> store blob -> fresh
+  // controller in another process.  Round trip through an actual store file.
+  soc::BigLittlePlatform plat;
+  QLearningController rl(plat.space());
+  DrmRunner runner(plat, [] {
+    RunnerOptions fast;
+    fast.compute_oracle = false;
+    return fast;
+  }());
+  (void)runner.run(test_trace("Dijkstra", 12, 23), rl, {4, 4, 8, 10});
+
+  const fs::path dir = fresh_dir("qblob");
+  ArtifactStore store(dir.string());
+  store.put_blob("q", 9, rl.export_state());
+
+  QLearningController restored(plat.space());
+  const auto blob = store.get_blob("q", 9);
+  ASSERT_TRUE(blob.has_value());
+  ASSERT_TRUE(restored.import_state(*blob));
+  EXPECT_EQ(restored.export_state(), rl.export_state());
+  EXPECT_EQ(restored.table_states(), rl.table_states());
+}
+
+}  // namespace
+}  // namespace oal::core

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Normalize (or, with --check, verify) every tracked C++ file against the
+# repo .clang-format.  CI runs `tools/format_all.sh --check`; run the script
+# with no arguments before committing to fix everything in place.
+#
+# Usage: tools/format_all.sh [--check] [clang-format-binary]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mode=fix
+binary=clang-format
+for arg in "$@"; do
+  case "$arg" in
+    --check) mode=check ;;
+    *) binary="$arg" ;;
+  esac
+done
+
+if ! command -v "$binary" > /dev/null 2>&1; then
+  echo "format_all.sh: '$binary' not found on PATH" >&2
+  exit 2
+fi
+
+files="$(git ls-files 'src/*.h' 'src/*.cpp' 'src/**/*.h' 'src/**/*.cpp' \
+         'tests/*.cpp' 'bench/*.h' 'bench/*.cpp' 'examples/*.cpp' 'tools/*.cpp')"
+if [ -z "$files" ]; then
+  echo "format_all.sh: no tracked C++ files found" >&2
+  exit 2
+fi
+
+if [ "$mode" = check ]; then
+  echo "$files" | xargs "$binary" --dry-run -Werror
+  echo "format_all.sh: $(echo "$files" | wc -l) files clean"
+else
+  echo "$files" | xargs "$binary" -i
+  echo "format_all.sh: formatted $(echo "$files" | wc -l) files"
+fi
