@@ -103,16 +103,38 @@ int main(int argc, char** argv) {
   for (const std::string& name : selected) {
     if (name != "fig3/il") continue;
     soc::BigLittlePlatform plat;
-    common::Rng rng(7);
-    shared->off = std::make_shared<OfflineData>(
-        collect_offline_data(plat, mibench, Objective::kEnergy, 40, 6, rng, shared->cache.get(),
-                             /*thermal_aware=*/false, &engine.pool()));
+    // The dataset is a pure function of what offline_data_key hashes, so a
+    // warm store restores it bitwise instead of re-executing the platform
+    // model over every (snippet, config) observation.  Restoring is
+    // unconditionally safe here: the collect rng is scoped to this block and
+    // nothing after it draws from the stream.
+    const std::uint64_t data_key =
+        offline_data_key(plat.params(), Objective::kEnergy, /*snippets_per_app=*/40,
+                         /*configs_per_snippet=*/6, /*collect_seed=*/7, /*thermal_aware=*/false);
+    auto off = std::make_shared<OfflineData>();
+    bool restored = false;
+    if (driver.store()) {
+      if (const auto blob = driver.store()->get_blob("offline-dataset", data_key))
+        restored = import_offline_data(*blob, *off);
+    }
+    if (!restored) {
+      common::Rng rng(7);
+      *off = collect_offline_data(plat, mibench, Objective::kEnergy, 40, 6, rng,
+                                  shared->cache.get(), /*thermal_aware=*/false, &engine.pool());
+      if (driver.store()) {
+        std::vector<double> blob;
+        export_offline_data(*off, blob);
+        driver.store()->put_blob("offline-dataset", data_key, blob);
+      }
+    }
+    shared->off = off;
   }
   std::printf("Online sequence: %zu snippets (Cortex + PARSEC), offline training: MiBench\n",
               seq.size());
 
   const auto results = engine.run_any(driver.select(registry));
   driver.json().write(driver.bench_name(), results);
+  write_decision_latency(driver, results);
   write_oracle_stats(
       driver, *shared->cache,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_t0).count());

@@ -77,14 +77,9 @@ int main(int argc, char** argv) {
   // engine pool shards the cold Oracle searches; --store persists them (and
   // the trained policy) so a warm invocation recomputes neither.
   soc::BigLittlePlatform plat;
-  common::Rng rng(7);
   ExperimentEngine engine;
   shared->cache = std::make_shared<OracleCache>(driver.store(), &engine.pool());
   const auto mibench = workloads::CpuBenchmarks::of_suite(workloads::Suite::kMiBench);
-  const auto off =
-      collect_offline_data(plat, mibench, Objective::kEnergy,
-                           /*snippets_per_app=*/40, /*configs_per_snippet=*/6, rng,
-                           shared->cache.get(), /*thermal_aware=*/false, &engine.pool());
   {
     // Content address of the trained policy: platform + objective + collect
     // geometry/seed.  The training rng continues the collect stream, so the
@@ -101,6 +96,25 @@ int main(int argc, char** argv) {
         restored = policy->import_artifact(*blob);
     }
     if (!restored) {
+      // Cold path only: the dataset cannot substitute for running collect
+      // here, because training continues the collect rng stream — a
+      // restored dataset would leave `rng` at the wrong position.  Collect
+      // runs, and the result is exported so the *other* collection benches
+      // (same content address) can skip their platform-model re-execution.
+      common::Rng rng(7);
+      const auto off =
+          collect_offline_data(plat, mibench, Objective::kEnergy,
+                               /*snippets_per_app=*/40, /*configs_per_snippet=*/6, rng,
+                               shared->cache.get(), /*thermal_aware=*/false, &engine.pool());
+      if (driver.store()) {
+        const std::uint64_t data_key =
+            offline_data_key(plat.params(), Objective::kEnergy, /*snippets_per_app=*/40,
+                             /*configs_per_snippet=*/6, /*collect_seed=*/7,
+                             /*thermal_aware=*/false);
+        std::vector<double> blob;
+        export_offline_data(off, blob);
+        driver.store()->put_blob("offline-dataset", data_key, blob);
+      }
       policy->train_offline(off.policy, rng);
       if (driver.store())
         driver.store()->put_blob("table2-il-policy", il_key, policy->export_artifact());
@@ -119,6 +133,7 @@ int main(int argc, char** argv) {
 
   const auto results = engine.run_any(driver.select(registry));
   driver.json().write(driver.bench_name(), results);
+  write_decision_latency(driver, results);
   write_oracle_stats(
       driver, *shared->cache,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_t0).count());

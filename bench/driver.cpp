@@ -174,4 +174,25 @@ void write_oracle_stats(BenchDriver& driver, core::OracleCache& cache, double wa
                                {"wall_time_s", wall_time_s}});
 }
 
+void write_decision_latency(BenchDriver& driver, const std::vector<core::AnyResult>& results) {
+  for (const core::AnyResult& r : results) {
+    const core::DecisionLatencyStats* s = nullptr;
+    if (r.holds<core::RunResult>()) {
+      s = &r.as<core::RunResult>().decision_latency;
+    } else if (r.holds<core::GpuRunResult>()) {
+      s = &r.as<core::GpuRunResult>().decision_latency;
+    } else if (r.holds<core::ThermalRunResult>()) {
+      s = &r.as<core::ThermalRunResult>().run.decision_latency;
+    } else if (r.holds<core::ThermalGpuRunResult>()) {
+      s = &r.as<core::ThermalGpuRunResult>().run.decision_latency;
+    }
+    if (s == nullptr || s->decisions == 0) continue;
+    driver.json().write_metrics(driver.bench_name(), r.id() + "/decision_latency",
+                                {{"decisions", static_cast<double>(s->decisions)},
+                                 {"p50_ns", s->p50_ns},
+                                 {"p99_ns", s->p99_ns},
+                                 {"max_ns", s->max_ns}});
+  }
+}
+
 }  // namespace oal::bench

@@ -127,4 +127,13 @@ class BenchDriver {
 /// pass asserts "searches":0 on these records.
 void write_oracle_stats(BenchDriver& driver, core::OracleCache& cache, double wall_time_s);
 
+/// Appends one "<id>/decision_latency" JSONL record per result whose payload
+/// carries runner-measured decision latencies (DRM, GPU, and their thermal
+/// wrappers): per-decide() wall-clock p50/p99/max in nanoseconds plus the
+/// exact decision count.  JSONL only — wall-clock values must never reach
+/// stdout (the repo determinism probe diffs stdout across invocations), and
+/// the CI gates compare only the deterministic `decisions` count, never the
+/// nanoseconds.
+void write_decision_latency(BenchDriver& driver, const std::vector<core::AnyResult>& results);
+
 }  // namespace oal::bench

@@ -61,6 +61,39 @@ common::Vec FeatureExtractor::policy_features(const soc::PerfCounters& k,
   return v;
 }
 
+void FeatureExtractor::policy_features_into(const soc::PerfCounters& k,
+                                            const soc::SocConfig& current, common::Vec& out,
+                                            const soc::ThermalTelemetry& telemetry) const {
+  const WorkloadFeatures w = workload_features(k, current);
+  const double fl_norm = static_cast<double>(current.little_freq_idx) /
+                         static_cast<double>(space_.little_freqs().size() - 1);
+  const double fb_norm = static_cast<double>(current.big_freq_idx) /
+                         static_cast<double>(space_.big_freqs().size() - 1);
+  out.clear();  // keeps capacity: no reallocation once grown to policy_dim()
+  out.push_back(w.mpki);
+  out.push_back(w.bmpki);
+  out.push_back(w.mem_ai);
+  out.push_back(w.ext_per_inst);
+  out.push_back(w.pf_proxy);
+  out.push_back(w.cpi_obs);
+  out.push_back(w.runnable / 4.0);
+  out.push_back(k.little_cluster_utilization);
+  out.push_back(k.big_cluster_utilization);
+  out.push_back(static_cast<double>(current.num_little) / 4.0);
+  out.push_back(static_cast<double>(current.num_big) / 4.0);
+  out.push_back(0.5 * (fl_norm + fb_norm));
+  if (thermal_aware_) {
+    const auto proximity = [](double t_c, double limit_c, double ambient_c) {
+      const double span = std::max(limit_c - ambient_c, 1.0);
+      return std::clamp((t_c - ambient_c) / span, 0.0, 1.5);
+    };
+    out.push_back(proximity(telemetry.junction_c, telemetry.junction_limit_c, telemetry.ambient_c));
+    out.push_back(proximity(telemetry.skin_c, telemetry.skin_limit_c, telemetry.ambient_c));
+    out.push_back(
+        std::clamp(telemetry.budget_w / soc::ThermalTelemetry::kUnconstrainedBudgetW, 0.0, 1.0));
+  }
+}
+
 common::Vec FeatureExtractor::model_features(const WorkloadFeatures& w,
                                              const soc::SocConfig& c) const {
   // Physically-motivated basis.  Let f_l, f_b be GHz, n_l, n_b core counts.
@@ -109,6 +142,48 @@ common::Vec FeatureExtractor::model_features(const WorkloadFeatures& w,
           w_eff,
           pf * w_eff,
           pf / std::max(w_eff, 1.0)};
+}
+
+void FeatureExtractor::model_features_into(const WorkloadFeatures& w, const soc::SocConfig& c,
+                                           common::Vec& out) const {
+  // Same basis as model_features, written into a reused buffer.
+  const double f_l = space_.little_freq_mhz(c) / 1000.0;  // GHz
+  const double f_b = space_.big_freq_mhz(c) / 1000.0;
+  const double n_l = static_cast<double>(c.num_little);
+  const double n_b = static_cast<double>(c.num_big);
+  const bool big_on = c.num_big >= 1;
+  const double log_fl = std::log(f_l);
+  const double log_fb = big_on ? std::log(f_b) : 0.0;
+  const double mpki = w.mpki;
+  const double pf = w.runnable > 1.0 ? std::clamp((w.runnable - 1.0) / w.runnable, 0.0, 1.0)
+                                     : w.pf_proxy;
+  const double w_eff = std::min(std::max(w.runnable, 1.0), n_l + (big_on ? n_b : 0.0));
+  const double width = std::log(std::max(w_eff, 1.0));
+
+  out.clear();
+  out.push_back(1.0);
+  out.push_back(log_fl);
+  out.push_back(log_fb);
+  out.push_back(big_on ? 1.0 : 0.0);
+  out.push_back(mpki);
+  out.push_back(mpki * f_l);
+  out.push_back(mpki * (big_on ? f_b : 0.0));
+  out.push_back(w.bmpki);
+  out.push_back(pf);
+  out.push_back(pf * width);
+  out.push_back(n_l);
+  out.push_back(big_on ? n_b : 0.0);
+  out.push_back(f_l);
+  out.push_back(big_on ? f_b : 0.0);
+  out.push_back(f_l * f_l);
+  out.push_back(big_on ? f_b * f_b : 0.0);
+  out.push_back(pf * log_fl);
+  out.push_back(pf * log_fb);
+  out.push_back(w.mem_ai);
+  out.push_back(w.ext_per_inst);
+  out.push_back(w_eff);
+  out.push_back(pf * w_eff);
+  out.push_back(pf / std::max(w_eff, 1.0));
 }
 
 std::size_t FeatureExtractor::model_dim() const { return 23; }

@@ -44,6 +44,7 @@ GpuRunResult GpuRunner::run(const std::vector<gpu::FrameDescriptor>& trace,
   out.configs.reserve(trace.size());
   controller.begin_run(initial);
   gpu::GpuConfig current = initial;
+  DecisionTimer timer;
   // The initial configuration passes the arbiter too (as in DrmRunner); no
   // transition cost is charged for it.
   if (hooks_.arbiter && !trace.empty()) current = hooks_.arbiter(trace.front(), current);
@@ -59,7 +60,9 @@ GpuRunResult GpuRunner::run(const std::vector<gpu::FrameDescriptor>& trace,
 
     if (hooks_.observer) hooks_.observer(trace[i], current, r);
     if (hooks_.telemetry) controller.observe_telemetry(hooks_.telemetry());
+    const auto t0 = timer.start();
     gpu::GpuConfig next = controller.step(r, current, i);
+    timer.stop(t0);
     if (!platform_->valid(next))
       throw std::logic_error("GpuRunner: controller returned invalid config");
     // Clamp before the transition is actuated, so transition costs and
@@ -81,6 +84,7 @@ GpuRunResult GpuRunner::run(const std::vector<gpu::FrameDescriptor>& trace,
     current = next;
   }
   out.decision_evals = controller.decision_evals();
+  out.decision_latency = timer.stats();
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/decision_timer.h"
 #include "gpu/frame.h"
 #include "gpu/gpu_model.h"
 #include "soc/thermal_telemetry.h"
@@ -74,6 +75,9 @@ struct GpuRunResult {
   std::size_t slice_changes = 0;
   double transition_energy_j = 0.0;
   std::size_t decision_evals = 0;
+  /// Wall-clock latency of the controller's step() calls (see DrmRunner's
+  /// RunResult::decision_latency — same contract).
+  DecisionLatencyStats decision_latency;
   /// Per-frame log for prediction-accuracy studies (Fig. 2).
   std::vector<double> frame_times_s;
   std::vector<gpu::GpuConfig> configs;

@@ -26,29 +26,56 @@ double GpuOnlineModels::slice_eff(int n) const {
 
 common::Vec GpuOnlineModels::time_features(const GpuWorkloadState& w,
                                            const gpu::GpuConfig& c) const {
+  common::Vec phi;
+  time_features_into(w, c, phi);
+  return phi;
+}
+
+void GpuOnlineModels::time_features_into(const GpuWorkloadState& w, const gpu::GpuConfig& c,
+                                         common::Vec& phi) const {
   const double f = platform_->freq_mhz(c.freq_idx) * 1e6;
   const double inv_speed = w.work_cycles / (f * slice_eff(c.num_slices));
-  return {inv_speed, w.mem_bytes * 1e-9, w.work_cycles * 1e-9, 1.0};
+  phi.clear();
+  phi.push_back(inv_speed);
+  phi.push_back(w.mem_bytes * 1e-9);
+  phi.push_back(w.work_cycles * 1e-9);
+  phi.push_back(1.0);
 }
 
 common::Vec GpuOnlineModels::energy_features(const GpuWorkloadState& w, const gpu::GpuConfig& c,
                                              double period_s) const {
+  common::Vec phi;
+  energy_features_into(w, c, period_s, phi);
+  return phi;
+}
+
+void GpuOnlineModels::energy_features_into(const GpuWorkloadState& w, const gpu::GpuConfig& c,
+                                           double period_s, common::Vec& phi) const {
   const double f = platform_->freq_mhz(c.freq_idx) * 1e6;
   const double v = platform_->voltage(platform_->freq_mhz(c.freq_idx));
   const double n = static_cast<double>(c.num_slices);
-  const double busy = std::min(predict_frame_time_s(w, c), period_s);
+  // phi doubles as the time-feature scratch for the busy-time prediction,
+  // then is overwritten with the energy basis.
+  const double busy = std::min(predict_frame_time_s(w, c, phi), period_s);
   const double idle = period_s - busy;
-  return {v * v * f * n * busy * 1e-9,  // active switching energy
-          v * v * f * n * idle * 1e-9,  // clock-gated residual switching
-          v * n * period_s,             // leakage
-          period_s,                     // uncore
-          w.mem_bytes * 1e-9,           // traffic-proportional term
-          busy};
+  phi.clear();
+  phi.push_back(v * v * f * n * busy * 1e-9);  // active switching energy
+  phi.push_back(v * v * f * n * idle * 1e-9);  // clock-gated residual switching
+  phi.push_back(v * n * period_s);             // leakage
+  phi.push_back(period_s);                     // uncore
+  phi.push_back(w.mem_bytes * 1e-9);           // traffic-proportional term
+  phi.push_back(busy);
 }
 
 double GpuOnlineModels::predict_frame_time_s(const GpuWorkloadState& w,
                                              const gpu::GpuConfig& c) const {
   return std::max(time_model_.predict(time_features(w, c)), 1e-6);
+}
+
+double GpuOnlineModels::predict_frame_time_s(const GpuWorkloadState& w, const gpu::GpuConfig& c,
+                                             common::Vec& phi) const {
+  time_features_into(w, c, phi);
+  return std::max(time_model_.predict(phi), 1e-6);
 }
 
 double GpuOnlineModels::frame_time_freq_sensitivity(const GpuWorkloadState& w,
@@ -64,6 +91,12 @@ double GpuOnlineModels::frame_time_freq_sensitivity(const GpuWorkloadState& w,
 double GpuOnlineModels::predict_gpu_energy_j(const GpuWorkloadState& w, const gpu::GpuConfig& c,
                                              double period_s) const {
   return std::max(energy_model_.predict(energy_features(w, c, period_s)), 1e-9);
+}
+
+double GpuOnlineModels::predict_gpu_energy_j(const GpuWorkloadState& w, const gpu::GpuConfig& c,
+                                             double period_s, common::Vec& phi) const {
+  energy_features_into(w, c, period_s, phi);
+  return std::max(energy_model_.predict(phi), 1e-9);
 }
 
 double GpuOnlineModels::producer_energy_prior_j(const GpuWorkloadState& w,

@@ -56,10 +56,24 @@ class GpuOnlineModels {
 
   std::size_t updates() const { return time_model_.updates(); }
 
+  /// Scratch overloads: identical arithmetic, the feature basis built into
+  /// the caller-owned phi buffer.  The NMPC candidate loops call these many
+  /// times per decision and reuse one buffer throughout.
+  double predict_frame_time_s(const GpuWorkloadState& w, const gpu::GpuConfig& c,
+                              common::Vec& phi) const;
+  double predict_gpu_energy_j(const GpuWorkloadState& w, const gpu::GpuConfig& c, double period_s,
+                              common::Vec& phi) const;
+
   /// Feature maps (exposed for the explicit-NMPC sampler and tests).
   common::Vec time_features(const GpuWorkloadState& w, const gpu::GpuConfig& c) const;
   common::Vec energy_features(const GpuWorkloadState& w, const gpu::GpuConfig& c,
                               double period_s) const;
+  /// Buffer-reusing forms of the feature maps (cleared, then filled in the
+  /// identical order — same values as the by-value forms).
+  void time_features_into(const GpuWorkloadState& w, const gpu::GpuConfig& c,
+                          common::Vec& phi) const;
+  void energy_features_into(const GpuWorkloadState& w, const gpu::GpuConfig& c, double period_s,
+                            common::Vec& phi) const;
 
  private:
   const gpu::GpuPlatform* platform_;

@@ -63,6 +63,15 @@ soc::SocConfig IlPolicy::decide(const common::Vec& state) const {
   return config_of(net_.predict(scaler_.transform(state)));
 }
 
+soc::SocConfig IlPolicy::decide(const common::Vec& state, Scratch& s) const {
+  if (!trained_) throw std::logic_error("IlPolicy::decide before training");
+  scaler_.transform_into(state, s.z, s.scaler);
+  net_.predict_into(s.z, s.cls, s.net);
+  // Same knob-label decoding as config_of, minus the intermediate vector.
+  return soc::SocConfig{static_cast<int>(s.cls[0]) + 1, static_cast<int>(s.cls[1]),
+                        static_cast<int>(s.cls[2]), static_cast<int>(s.cls[3])};
+}
+
 std::vector<double> IlPolicy::export_artifact() const {
   std::vector<double> out;
   out.push_back(trained_ ? 1.0 : 0.0);

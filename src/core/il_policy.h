@@ -58,6 +58,23 @@ class IlPolicy {
   /// Greedy policy decision from a raw (unscaled) state vector.
   soc::SocConfig decide(const common::Vec& state) const;
 
+  /// Caller-owned scratch for the allocation-free decision path.  The
+  /// buffers grow to the policy dimensions on first use and are then stable,
+  /// so each decide(state, scratch) performs zero heap allocations.  The
+  /// scratch is caller-owned (not a policy member) because one const
+  /// IlPolicy is shared read-only across parallel scenario arms — each arm
+  /// brings its own scratch and the policy stays thread-safe.
+  struct Scratch {
+    ml::StandardScaler::TransformCache scaler;
+    common::Vec z;                              ///< scaled state
+    ml::MultiHeadClassifier::InferScratch net;  ///< trunk/logit buffers
+    std::vector<std::size_t> cls;               ///< per-head argmax
+  };
+  /// Allocation-free decide: same scaling arithmetic, argmax taken from the
+  /// head logits (softmax skipped — monotone).  Decisions are bitwise
+  /// identical to decide(state); asserted in tests/test_hot_path_alloc.cpp.
+  soc::SocConfig decide(const common::Vec& state, Scratch& scratch) const;
+
   bool trained() const { return trained_; }
   std::size_t num_params() const { return net_.num_params(); }
   std::size_t storage_bytes() const { return net_.storage_bytes(); }

@@ -61,4 +61,25 @@ double OnlineSocModels::predict_log_cost(const WorkloadFeatures& w, const soc::S
   return time_model_.predict(phi) + power_model_.predict(phi);
 }
 
+double OnlineSocModels::update(const ModelSample& s, common::Vec& phi) {
+  if (s.time_s <= 0.0 || s.instructions <= 0.0 || s.power_w <= 0.0)
+    throw std::invalid_argument("OnlineSocModels::update: non-positive sample");
+  fx_.model_features_into(s.workload, s.config, phi);
+  const double innovation = time_model_.update(phi, std::log(s.time_s / s.instructions));
+  power_model_.update(phi, std::log(s.power_w));
+  return innovation;
+}
+
+double OnlineSocModels::predict_power_w(const WorkloadFeatures& w, const soc::SocConfig& c,
+                                        common::Vec& phi) const {
+  fx_.model_features_into(w, c, phi);
+  return std::exp(power_model_.predict(phi));
+}
+
+double OnlineSocModels::predict_log_cost(const WorkloadFeatures& w, const soc::SocConfig& c,
+                                         common::Vec& phi) const {
+  fx_.model_features_into(w, c, phi);
+  return time_model_.predict(phi) + power_model_.predict(phi);
+}
+
 }  // namespace oal::core

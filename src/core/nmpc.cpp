@@ -43,8 +43,8 @@ void track_producer_energy(const NmpcConfig& cfg, const gpu::FrameResult& r, dou
 /// Predicted producer power at the arbitrated PKG+DRAM scope.
 double pkg_dram_power_w(const GpuOnlineModels& models, const GpuWorkloadState& w,
                         const gpu::GpuConfig& c, double period_s,
-                        const GpuBudgetState& budget) {
-  return (models.predict_gpu_energy_j(w, c, period_s) + budget.other_energy_j) / period_s;
+                        const GpuBudgetState& budget, common::Vec& phi) {
+  return (models.predict_gpu_energy_j(w, c, period_s, phi) + budget.other_energy_j) / period_s;
 }
 
 /// Highest frequency at or below c.freq_idx whose predicted PKG+DRAM power
@@ -53,10 +53,11 @@ double pkg_dram_power_w(const GpuOnlineModels& models, const GpuWorkloadState& w
 /// controllers' fast paths so the cap semantics cannot drift.
 gpu::GpuConfig cap_freq_to_budget(const GpuOnlineModels& models, const GpuWorkloadState& w,
                                   gpu::GpuConfig c, double period_s,
-                                  const GpuBudgetState& budget, std::size_t* eval_counter) {
+                                  const GpuBudgetState& budget, std::size_t* eval_counter,
+                                  common::Vec& phi) {
   if (!budget.constrained) return c;
   while (c.freq_idx > 0) {
-    const double power = pkg_dram_power_w(models, w, c, period_s, budget);
+    const double power = pkg_dram_power_w(models, w, c, period_s, budget, phi);
     if (eval_counter != nullptr) *eval_counter += 1;
     if (power <= budget.budget_w) break;
     --c.freq_idx;
@@ -70,10 +71,11 @@ gpu::GpuConfig cap_freq_to_budget(const GpuOnlineModels& models, const GpuWorklo
 /// law's safety pass so the two cannot drift.
 gpu::GpuConfig ladder_to_budget(const GpuOnlineModels& models, const GpuWorkloadState& w,
                                 gpu::GpuConfig c, double period_s,
-                                const GpuBudgetState& budget, std::size_t* eval_counter) {
+                                const GpuBudgetState& budget, std::size_t* eval_counter,
+                                common::Vec& phi) {
   if (!budget.constrained) return c;
   for (;;) {
-    const double power = pkg_dram_power_w(models, w, c, period_s, budget);
+    const double power = pkg_dram_power_w(models, w, c, period_s, budget, phi);
     if (eval_counter != nullptr) *eval_counter += 1;
     if (power <= budget.budget_w) break;
     if (!soc::gpu_throttle_step(c)) break;
@@ -126,8 +128,8 @@ gpu::GpuConfig NmpcGpuController::solve_slow(const GpuWorkloadState& w,
   for (int n = 1; n <= platform_->params().max_slices; ++n) {
     for (int fi = 0; fi < static_cast<int>(platform_->num_freqs()); ++fi) {
       const gpu::GpuConfig c{fi, n};
-      const double t = models_->predict_frame_time_s(w, c);
-      const double e = models_->predict_gpu_energy_j(w, c, period);
+      const double t = models_->predict_frame_time_s(w, c, phi_buf_);
+      const double e = models_->predict_gpu_energy_j(w, c, period, phi_buf_);
       if (eval_counter != nullptr) *eval_counter += 2;
       if (t < fastest_t) {
         fastest_t = t;
@@ -164,7 +166,7 @@ gpu::GpuConfig NmpcGpuController::solve_slow(const GpuWorkloadState& w,
   // budget (or with nothing deadline-feasible) the legacy fastest pick
   // stands.
   const gpu::GpuConfig fallback = any_deadline ? least_over : fastest;
-  return ladder_to_budget(*models_, w, fallback, period, budget, eval_counter);
+  return ladder_to_budget(*models_, w, fallback, period, budget, eval_counter, phi_buf_);
 }
 
 gpu::GpuConfig NmpcGpuController::fast_trim(const GpuWorkloadState& w,
@@ -175,11 +177,11 @@ gpu::GpuConfig NmpcGpuController::fast_trim(const GpuWorkloadState& w,
   const double deadline = period * (1.0 - cfg_.deadline_margin);
   const double target = period * cfg_.fast_target_busy * (1.0 - cfg_.deadline_margin);
   gpu::GpuConfig c = current;
-  const double t = models_->predict_frame_time_s(w, c);
+  const double t = models_->predict_frame_time_s(w, c, phi_buf_);
   const double sens = models_->frame_time_freq_sensitivity(w, c);  // s per GHz (negative)
   if (eval_counter != nullptr) *eval_counter += 2;
   if (std::abs(sens) < 1e-12)
-    return cap_freq_to_budget(*models_, w, c, period, budget, eval_counter);
+    return cap_freq_to_budget(*models_, w, c, period, budget, eval_counter, phi_buf_);
   // Deadbeat step toward the target busy time using the learned sensitivity.
   const double df_ghz = (target - t) / sens;  // GHz change needed
   int steps = static_cast<int>(std::lround(df_ghz * 1000.0 / 50.0));  // 50 MHz bins
@@ -190,13 +192,13 @@ gpu::GpuConfig NmpcGpuController::fast_trim(const GpuWorkloadState& w,
   // Never trim *up* through the power budget, and track a tightened budget
   // downward (frequency only — slices belong to the slow loop): the arbiter
   // would claw anything above the budget back and count a clamp.
-  c = cap_freq_to_budget(*models_, w, c, period, budget, eval_counter);
+  c = cap_freq_to_budget(*models_, w, c, period, budget, eval_counter, phi_buf_);
   while (c.freq_idx < static_cast<int>(platform_->num_freqs()) - 1 &&
-         models_->predict_frame_time_s(w, c) > deadline) {
+         models_->predict_frame_time_s(w, c, phi_buf_) > deadline) {
     if (budget.constrained) {
       const gpu::GpuConfig up{c.freq_idx + 1, c.num_slices};
       if (eval_counter != nullptr) *eval_counter += 1;
-      if (pkg_dram_power_w(*models_, w, up, period, budget) > budget.budget_w)
+      if (pkg_dram_power_w(*models_, w, up, period, budget, phi_buf_) > budget.budget_w)
         break;  // deadline escalation stops at the budget
     }
     ++c.freq_idx;
@@ -226,7 +228,7 @@ gpu::GpuConfig NmpcGpuController::step(const gpu::FrameResult& result,
     // over-budget escalation would only bounce off the arbiter).
     c.freq_idx = std::min(c.freq_idx + cfg_.fast_max_step,
                           static_cast<int>(platform_->num_freqs()) - 1);
-    c = cap_freq_to_budget(*models_, state_, c, period, budget, &evals_);
+    c = cap_freq_to_budget(*models_, state_, c, period, budget, &evals_, phi_buf_);
   }
   return c;
 }
@@ -236,7 +238,8 @@ gpu::GpuConfig NmpcGpuController::step(const gpu::FrameResult& result,
 ExplicitNmpcGpuController::ExplicitNmpcGpuController(const gpu::GpuPlatform& platform,
                                                      GpuOnlineModels& models, NmpcConfig cfg,
                                                      std::size_t num_samples, std::uint64_t seed)
-    : platform_(&platform), models_(&models), cfg_(cfg) {
+    : platform_(&platform), models_(&models), cfg_(cfg),
+      fast_helper_(platform, models, cfg) {
   // ---- Offline phase: sample the NMPC law on a Sobol grid ----------------
   // State: (work cycles, mem bytes, current freq idx, current slices), plus
   // a power-budget dimension when thermal-aware so the fitted law stays
@@ -352,11 +355,12 @@ gpu::GpuConfig ExplicitNmpcGpuController::step(const gpu::FrameResult& result,
     // through the power budget the arbiter will hold it to.
     const double deadline = period * (1.0 - cfg_.deadline_margin);
     while (slow_cfg_.freq_idx < max_idx &&
-           models_->predict_frame_time_s(state_, slow_cfg_) > deadline) {
+           models_->predict_frame_time_s(state_, slow_cfg_, phi_buf_) > deadline) {
       if (budget.constrained) {
         const gpu::GpuConfig up{slow_cfg_.freq_idx + 1, slow_cfg_.num_slices};
         ++evals_;
-        if (pkg_dram_power_w(*models_, state_, up, period, budget) > budget.budget_w) break;
+        if (pkg_dram_power_w(*models_, state_, up, period, budget, phi_buf_) > budget.budget_w)
+          break;
       }
       ++slow_cfg_.freq_idx;
       ++evals_;
@@ -364,18 +368,19 @@ gpu::GpuConfig ExplicitNmpcGpuController::step(const gpu::FrameResult& result,
     // The law approximates the budget-constrained solve; if its pick still
     // predicts over budget, descend the shared firmware ladder like the
     // implicit fallback (and the arbiter) would.
-    slow_cfg_ = ladder_to_budget(*models_, state_, slow_cfg_, period, budget, &evals_);
+    slow_cfg_ = ladder_to_budget(*models_, state_, slow_cfg_, period, budget, &evals_, phi_buf_);
     return slow_cfg_;
   }
-  // Fast rate: identical adaptive sensitivity trim as the implicit NMPC.
-  NmpcGpuController helper(*platform_, *models_, cfg_);
-  gpu::GpuConfig c = helper.fast_trim(state_, current, &evals_, budget);
+  // Fast rate: identical adaptive sensitivity trim as the implicit NMPC,
+  // through the persistent helper (fast_trim is const and stateless w.r.t.
+  // the helper's run state).
+  gpu::GpuConfig c = fast_helper_.fast_trim(state_, current, &evals_, budget);
   c.num_slices = slow_cfg_.num_slices;
   if (!result.deadline_met) {
     // Miss escalation, capped at the budget ceiling like the implicit NMPC.
     c.freq_idx = std::min(c.freq_idx + cfg_.fast_max_step,
                           static_cast<int>(platform_->num_freqs()) - 1);
-    c = cap_freq_to_budget(*models_, state_, c, period, budget, &evals_);
+    c = cap_freq_to_budget(*models_, state_, c, period, budget, &evals_, phi_buf_);
   }
   return c;
 }

@@ -114,6 +114,10 @@ class NmpcGpuController : public GpuController {
   std::size_t evals_ = 0;
   soc::ThermalTelemetry telemetry_;   ///< last snapshot (neutral when blind)
   double producer_energy_j_ = -1.0;   ///< measured non-GPU EWMA; < 0 = none yet
+  /// Feature scratch for the solve/trim candidate loops; mutable because the
+  /// solvers are logically const.  A controller instance is single-owner
+  /// (one runner), never shared across threads.
+  mutable common::Vec phi_buf_;
 };
 
 /// Explicit NMPC: offline-fitted control law + online-adaptive fast loop.
@@ -150,6 +154,10 @@ class ExplicitNmpcGpuController : public GpuController {
   const gpu::GpuPlatform* platform_;
   GpuOnlineModels* models_;
   NmpcConfig cfg_;
+  /// Persistent implicit-NMPC helper for the per-frame fast trim (stateless
+  /// w.r.t. the helper's own run state — fast_trim is const and works off
+  /// the arguments), replacing a per-step construction.
+  NmpcGpuController fast_helper_;
   GpuWorkloadState state_;
   gpu::GpuConfig slow_cfg_{0, 1};
   ml::RidgeRegression freq_law_;
@@ -158,6 +166,7 @@ class ExplicitNmpcGpuController : public GpuController {
   std::size_t offline_evals_ = 0;
   soc::ThermalTelemetry telemetry_;   ///< last snapshot (neutral when blind)
   double producer_energy_j_ = -1.0;   ///< measured non-GPU EWMA; < 0 = none yet
+  mutable common::Vec phi_buf_;       ///< see NmpcGpuController::phi_buf_
 };
 
 /// Offline profiling pass: renders random-config frames of a generic content

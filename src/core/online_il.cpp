@@ -34,8 +34,9 @@ soc::SocConfig OnlineIlController::step(const soc::SnippetResult& result,
   //    from a deliberately exploratory configuration is expected (the model
   //    has not seen that region) and must NOT re-arm, or exploration becomes
   //    self-sustaining.
-  const double innovation = models_->update(ModelSample{
-      w, executed, result.exec_time_s, k.instructions_retired, result.avg_power_w});
+  const double innovation = models_->update(
+      ModelSample{w, executed, result.exec_time_s, k.instructions_retired, result.avg_power_w},
+      phi_buf_);
   if (!last_was_exploratory_) {
     innov_ewma_ = 0.7 * innov_ewma_ + 0.3 * std::abs(innovation);
     if (innov_ewma_ > cfg_.innovation_reset_threshold) {
@@ -45,18 +46,20 @@ soc::SocConfig OnlineIlController::step(const soc::SnippetResult& result,
   }
 
   // 2. Policy decision (recorded for accuracy-vs-Oracle tracking).
-  const common::Vec state = fx_.policy_features(k, executed, telemetry_);
-  const soc::SocConfig policy_cfg = policy_->decide(state);
+  fx_.policy_features_into(k, executed, state_buf_, telemetry_);
+  const common::Vec& state = state_buf_;
+  const soc::SocConfig policy_cfg = policy_->decide(state, policy_scratch_);
   last_policy_ = policy_cfg;
 
   // 3. Runtime Oracle approximation: models score the local neighborhood,
   //    the per-cluster sweeps, and the policy's suggestion (so a converged
   //    policy can jump directly).
-  std::vector<soc::SocConfig> candidates =
-      space_->neighborhood(executed, cfg_.neighborhood_radius, cfg_.max_changed_knobs);
+  std::vector<soc::SocConfig>& candidates = candidates_;
+  space_->neighborhood_into(executed, cfg_.neighborhood_radius, cfg_.max_changed_knobs,
+                            candidates);
   if (cfg_.include_cluster_sweeps) {
-    const auto sweeps = space_->cluster_sweeps(executed);
-    candidates.insert(candidates.end(), sweeps.begin(), sweeps.end());
+    space_->cluster_sweeps_into(executed, sweeps_);
+    candidates.insert(candidates.end(), sweeps_.begin(), sweeps_.end());
   }
   if (cfg_.include_policy_candidate) candidates.push_back(policy_cfg);
 
@@ -76,7 +79,8 @@ soc::SocConfig OnlineIlController::step(const soc::SnippetResult& result,
   // accurate than predicted levels, so scaling the measurement by the
   // predicted ratio cancels the model's level error at the operating point
   // (exactly where feasibility is decided).
-  std::vector<soc::SocConfig> explore_pool;  // aware mode: pre-throttle copy
+  std::vector<soc::SocConfig>& explore_pool = explore_pool_;  // aware mode: pre-throttle copy
+  explore_pool.clear();  // member buffer: must start each step empty
   if (cfg_.thermal_aware && telemetry_.constrained) {
     // Exploration (below) draws from the *unthrottled* set: an over-budget
     // exploratory proposal is clamped by the real arbiter to the true power
@@ -84,13 +88,13 @@ soc::SocConfig OnlineIlController::step(const soc::SnippetResult& result,
     // boundary configurations its own model mis-ranks — the arbiter never
     // lets an over-budget config execute, so purely feasible exploration
     // would lock model errors in place.
-    explore_pool = candidates;
-    const double anchor_pred_w = models_->predict_power_w(w, executed);
+    explore_pool.assign(candidates.begin(), candidates.end());
+    const double anchor_pred_w = models_->predict_power_w(w, executed, phi_buf_);
     const double anchor_scale =
         (anchor_pred_w > 1e-9 && result.avg_power_w > 0.0) ? result.avg_power_w / anchor_pred_w
                                                            : 1.0;
     const auto candidate_power_w = [&](const soc::SocConfig& c) {
-      return models_->predict_power_w(w, c) * anchor_scale;
+      return models_->predict_power_w(w, c, phi_buf_) * anchor_scale;
     };
     for (soc::SocConfig& c : candidates) {
       while (candidate_power_w(c) > telemetry_.budget_w) {
@@ -102,7 +106,7 @@ soc::SocConfig OnlineIlController::step(const soc::SnippetResult& result,
   soc::SocConfig best = executed;
   double best_cost = std::numeric_limits<double>::infinity();
   for (const soc::SocConfig& c : candidates) {
-    const double cost = models_->predict_log_cost(w, c);
+    const double cost = models_->predict_log_cost(w, c, phi_buf_);
     if (cost < best_cost) {
       best_cost = cost;
       best = c;
@@ -113,10 +117,10 @@ soc::SocConfig OnlineIlController::step(const soc::SnippetResult& result,
   // preferable, and deterministic tie-breaking stabilizes the supervision
   // labels the policy is trained on.
   {
-    double best_power = models_->predict_power_w(w, best);
+    double best_power = models_->predict_power_w(w, best, phi_buf_);
     for (const soc::SocConfig& c : candidates) {
-      if (models_->predict_log_cost(w, c) > best_cost + 0.01) continue;
-      const double p = models_->predict_power_w(w, c);
+      if (models_->predict_log_cost(w, c, phi_buf_) > best_cost + 0.01) continue;
+      const double p = models_->predict_power_w(w, c, phi_buf_);
       if (p < best_power) {
         best_power = p;
         best = c;
@@ -164,7 +168,8 @@ OfflineIlController::OfflineIlController(const soc::ConfigSpace& space, const Il
 
 soc::SocConfig OfflineIlController::step(const soc::SnippetResult& result,
                                          const soc::SocConfig& executed) {
-  const soc::SocConfig c = policy_->decide(fx_.policy_features(result.counters, executed));
+  fx_.policy_features_into(result.counters, executed, state_buf_);
+  const soc::SocConfig c = policy_->decide(state_buf_, policy_scratch_);
   last_policy_ = c;
   return c;
 }

@@ -105,6 +105,17 @@ class OnlineIlController : public DrmController {
   bool last_was_exploratory_ = false;
   double innov_ewma_ = 0.0;
   soc::ThermalTelemetry telemetry_;  ///< latest runner snapshot (neutral until published)
+
+  // Per-decision scratch, sized on the first step and reused after.  The
+  // periodic retrain still allocates (it is amortized over buffer_capacity
+  // decisions), but the per-step feature extraction, policy inference, and
+  // candidate search run out of these buffers.
+  common::Vec state_buf_;
+  common::Vec phi_buf_;
+  IlPolicy::Scratch policy_scratch_;
+  std::vector<soc::SocConfig> candidates_;
+  std::vector<soc::SocConfig> sweeps_;
+  std::vector<soc::SocConfig> explore_pool_;
 };
 
 /// Pure offline-IL controller: applies the frozen policy with no adaptation
@@ -121,6 +132,8 @@ class OfflineIlController : public DrmController {
   const IlPolicy* policy_;
   FeatureExtractor fx_;
   std::optional<soc::SocConfig> last_policy_;
+  common::Vec state_buf_;          ///< per-step feature scratch
+  IlPolicy::Scratch policy_scratch_;
 };
 
 }  // namespace oal::core

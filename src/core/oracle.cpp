@@ -254,6 +254,98 @@ std::size_t OracleCache::size() const {
   return total;
 }
 
+std::uint64_t offline_data_key(const soc::PlatformParams& params, Objective obj,
+                               std::size_t snippets_per_app, std::size_t configs_per_snippet,
+                               std::uint64_t collect_seed, bool thermal_aware) {
+  std::uint64_t key = platform_fingerprint(params);
+  fnv1a_mix(key, static_cast<std::uint64_t>(obj));
+  fnv1a_mix(key, snippets_per_app);
+  fnv1a_mix(key, configs_per_snippet);
+  fnv1a_mix(key, collect_seed);
+  fnv1a_mix(key, thermal_aware ? 1 : 0);
+  return key;
+}
+
+namespace {
+
+/// Four knobs per config, in SocConfig field order.
+constexpr std::size_t kConfigDoubles = 4;
+/// WorkloadFeatures (7) + config (4) + {time_s, instructions, power_w}.
+constexpr std::size_t kSampleDoubles = 7 + kConfigDoubles + 3;
+
+void push_config(const soc::SocConfig& c, std::vector<double>& out) {
+  out.push_back(c.num_little);
+  out.push_back(c.num_big);
+  out.push_back(c.little_freq_idx);
+  out.push_back(c.big_freq_idx);
+}
+
+soc::SocConfig read_config(const double* p) {
+  return soc::SocConfig{static_cast<int>(p[0]), static_cast<int>(p[1]), static_cast<int>(p[2]),
+                        static_cast<int>(p[3])};
+}
+
+}  // namespace
+
+void export_offline_data(const OfflineData& data, std::vector<double>& out) {
+  const std::size_t state_dim = data.policy.states.empty() ? 0 : data.policy.states[0].size();
+  out.clear();
+  out.reserve(3 + data.policy.states.size() * (state_dim + kConfigDoubles) +
+              data.model_samples.size() * kSampleDoubles);
+  out.push_back(static_cast<double>(state_dim));
+  out.push_back(static_cast<double>(data.policy.states.size()));
+  out.push_back(static_cast<double>(data.model_samples.size()));
+  for (const common::Vec& s : data.policy.states) out.insert(out.end(), s.begin(), s.end());
+  for (const soc::SocConfig& c : data.policy.labels) push_config(c, out);
+  for (const ModelSample& m : data.model_samples) {
+    out.push_back(m.workload.mpki);
+    out.push_back(m.workload.bmpki);
+    out.push_back(m.workload.mem_ai);
+    out.push_back(m.workload.ext_per_inst);
+    out.push_back(m.workload.pf_proxy);
+    out.push_back(m.workload.cpi_obs);
+    out.push_back(m.workload.runnable);
+    push_config(m.config, out);
+    out.push_back(m.time_s);
+    out.push_back(m.instructions);
+    out.push_back(m.power_w);
+  }
+}
+
+bool import_offline_data(const std::vector<double>& in, OfflineData& out) {
+  out = OfflineData{};
+  if (in.size() < 3) return false;
+  const auto state_dim = static_cast<std::size_t>(in[0]);
+  const auto num_states = static_cast<std::size_t>(in[1]);
+  const auto num_samples = static_cast<std::size_t>(in[2]);
+  if (in.size() != 3 + num_states * (state_dim + kConfigDoubles) + num_samples * kSampleDoubles)
+    return false;
+  const double* p = in.data() + 3;
+  out.policy.states.reserve(num_states);
+  for (std::size_t i = 0; i < num_states; ++i, p += state_dim)
+    out.policy.states.emplace_back(p, p + state_dim);
+  out.policy.labels.reserve(num_states);
+  for (std::size_t i = 0; i < num_states; ++i, p += kConfigDoubles)
+    out.policy.labels.push_back(read_config(p));
+  out.model_samples.reserve(num_samples);
+  for (std::size_t i = 0; i < num_samples; ++i, p += kSampleDoubles) {
+    ModelSample m;
+    m.workload.mpki = p[0];
+    m.workload.bmpki = p[1];
+    m.workload.mem_ai = p[2];
+    m.workload.ext_per_inst = p[3];
+    m.workload.pf_proxy = p[4];
+    m.workload.cpi_obs = p[5];
+    m.workload.runnable = p[6];
+    m.config = read_config(p + 7);
+    m.time_s = p[11];
+    m.instructions = p[12];
+    m.power_w = p[13];
+    out.model_samples.push_back(std::move(m));
+  }
+  return true;
+}
+
 std::vector<std::size_t> labels_of(const soc::SocConfig& c) {
   return {static_cast<std::size_t>(c.num_little - 1), static_cast<std::size_t>(c.num_big),
           static_cast<std::size_t>(c.little_freq_idx), static_cast<std::size_t>(c.big_freq_idx)};

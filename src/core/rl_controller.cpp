@@ -59,21 +59,23 @@ void QLearningController::observe_telemetry(const soc::ThermalTelemetry& telemet
 std::uint64_t QLearningController::discretize(const soc::PerfCounters& k,
                                               const soc::SocConfig& c) const {
   const WorkloadFeatures w = workload_features(k, c);
-  std::vector<int> comps{
-      bucket(w.mpki, {1.0, 3.0, 6.0, 10.0}),
-      bucket(w.bmpki, {2.0, 5.0}),
-      bucket(w.pf_proxy, {0.2, 0.5}),
-      bucket(k.big_cluster_utilization, {0.05, 0.5}),
-      c.num_little,
-      c.num_big,
-      c.little_freq_idx / 5,
-      c.big_freq_idx / 5,
-  };
+  // Fixed array: the discretization runs on every decide() and must stay
+  // allocation-free.  Component order matches the old vector form exactly.
+  int comps[9];
+  std::size_t n = 0;
+  comps[n++] = bucket(w.mpki, {1.0, 3.0, 6.0, 10.0});
+  comps[n++] = bucket(w.bmpki, {2.0, 5.0});
+  comps[n++] = bucket(w.pf_proxy, {0.2, 0.5});
+  comps[n++] = bucket(k.big_cluster_utilization, {0.05, 0.5});
+  comps[n++] = c.num_little;
+  comps[n++] = c.num_big;
+  comps[n++] = c.little_freq_idx / 5;
+  comps[n++] = c.big_freq_idx / 5;
   if (thermal_aware_) {
     // Budget-headroom regime: deep throttle / tight / slack / unconstrained.
-    comps.push_back(telemetry_.constrained ? bucket(telemetry_.headroom_w(), {0.0, 0.5, 1.5}) : 4);
+    comps[n++] = telemetry_.constrained ? bucket(telemetry_.headroom_w(), {0.0, 0.5, 1.5}) : 4;
   }
-  return ml::hash_state(comps);
+  return ml::hash_state(comps, n);
 }
 
 void QLearningController::begin_run(const soc::SocConfig& /*initial*/) {
@@ -121,12 +123,13 @@ void DqnController::begin_run(const soc::SocConfig& /*initial*/) {
 
 soc::SocConfig DqnController::step(const soc::SnippetResult& result,
                                    const soc::SocConfig& executed) {
-  common::Vec state = fx_.policy_features(result.counters, executed, telemetry_);
+  fx_.policy_features_into(result.counters, executed, state_buf_, telemetry_);
+  common::Vec& state = state_buf_;
   // Squash the unbounded counter-rate features for network stability.
   for (double& v : state) v = std::tanh(v * 0.2);
   if (has_prev_) dqn_.observe(prev_state_, prev_action_, reward_of(result, scale_), state);
   const std::size_t action = dqn_.select_action(state);
-  prev_state_ = state;
+  prev_state_ = state;  // equal-size copy after the first step: no allocation
   prev_action_ = action;
   has_prev_ = true;
   return apply_rl_action(*space_, executed, action);

@@ -86,6 +86,9 @@ class DqnController : public DrmController {
   RlRewardScale scale_;
   bool has_prev_ = false;
   common::Vec prev_state_;
+  /// Per-step feature scratch: sized once on the first step, then reused so
+  /// steady-state decide() never allocates.
+  common::Vec state_buf_;
   std::size_t prev_action_ = 0;
   soc::ThermalTelemetry telemetry_;
 };

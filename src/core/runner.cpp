@@ -72,6 +72,7 @@ RunResult DrmRunner::run(const std::vector<soc::SnippetDescriptor>& trace,
   out.records.reserve(trace.size());
   controller.begin_run(initial);
   soc::SocConfig current = initial;
+  DecisionTimer timer;
   double clock = 0.0;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const soc::SnippetDescriptor& s = trace[i];
@@ -93,11 +94,14 @@ RunResult DrmRunner::run(const std::vector<soc::SnippetDescriptor>& trace,
 
     if (opts_.observer) opts_.observer(s, current, r);
     if (opts_.telemetry) controller.observe_telemetry(opts_.telemetry());
+    const auto t0 = timer.start();
     current = controller.step(r, current);
+    timer.stop(t0);
     rec.policy_decision = controller.last_policy_decision();
     out.records.push_back(rec);
     clock += r.exec_time_s;
   }
+  out.decision_latency = timer.stats();
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/controller.h"
+#include "core/decision_timer.h"
 #include "core/objectives.h"
 #include "core/oracle.h"
 #include "soc/platform.h"
@@ -32,6 +33,10 @@ struct SnippetRecord {
 
 struct RunResult {
   std::vector<SnippetRecord> records;
+  /// Wall-clock latency of the controller's step() calls, timed by the
+  /// runner around exactly the decision (model update + policy inference +
+  /// candidate search — not platform execution or Oracle computation).
+  DecisionLatencyStats decision_latency;
 
   double total_energy_j() const;
   double oracle_energy_j() const;

@@ -25,6 +25,14 @@ Dqn::Dqn(std::size_t state_dim, std::size_t num_actions, DqnConfig cfg)
       epsilon_(cfg.epsilon_init), rng_(cfg.seed + 99) {
   if (num_actions == 0) throw std::invalid_argument("Dqn: need at least one action");
   target_.copy_params_from(online_);
+  // Preallocate every replay slot (including its state vectors) up front so
+  // steady-state observe() copy-assigns into existing storage — the decision
+  // hot path never grows the heap after construction.
+  replay_.resize(cfg_.replay_capacity);
+  for (Transition& t : replay_) {
+    t.state.resize(state_dim_);
+    t.next_state.resize(state_dim_);
+  }
 }
 
 std::size_t Dqn::select_action(const common::Vec& state) {
@@ -39,8 +47,9 @@ std::size_t Dqn::select_action(const common::Vec& state) {
 }
 
 std::size_t Dqn::greedy_action(const common::Vec& state) const {
-  const common::Vec q = online_.forward(state);
-  return static_cast<std::size_t>(std::distance(q.begin(), std::max_element(q.begin(), q.end())));
+  online_.forward_into(state, q_scratch_, fwd_scratch_);
+  return static_cast<std::size_t>(
+      std::distance(q_scratch_.begin(), std::max_element(q_scratch_.begin(), q_scratch_.end())));
 }
 
 void Dqn::observe(const common::Vec& state, std::size_t action, double reward,
@@ -48,10 +57,25 @@ void Dqn::observe(const common::Vec& state, std::size_t action, double reward,
   if (state.size() != state_dim_ || next_state.size() != state_dim_)
     throw std::invalid_argument("Dqn::observe: state dim mismatch");
   if (action >= num_actions_) throw std::invalid_argument("Dqn::observe: bad action");
-  replay_.push_back({state, action, reward, next_state});
-  while (replay_.size() > cfg_.replay_capacity) replay_.pop_front();
+  if (cfg_.replay_capacity > 0) {
+    // Ring insert, identical ordering to the retired deque's
+    // push_back-then-pop_front: when full, the oldest slot is overwritten in
+    // place and becomes the newest.
+    const bool full = replay_count_ == cfg_.replay_capacity;
+    Transition& slot =
+        full ? replay_[replay_head_] : replay_[(replay_head_ + replay_count_) % cfg_.replay_capacity];
+    slot.state = state;  // equal-size copy: no reallocation
+    slot.action = action;
+    slot.reward = reward;
+    slot.next_state = next_state;
+    if (full) {
+      replay_head_ = (replay_head_ + 1) % cfg_.replay_capacity;
+    } else {
+      ++replay_count_;
+    }
+  }
   ++steps_;
-  if (replay_.size() >= cfg_.min_replay) train_batch();
+  if (replay_count_ >= cfg_.min_replay) train_batch();
   if (steps_ % cfg_.target_sync_period == 0) target_.copy_params_from(online_);
 }
 
@@ -61,9 +85,13 @@ void Dqn::train_batch() {
   // online/target forward pass each instead of per-transition vectors.
   const std::size_t bsz = cfg_.batch_size;
   std::vector<const Transition*> batch(bsz);
-  for (std::size_t b = 0; b < bsz; ++b)
-    batch[b] = &replay_[static_cast<std::size_t>(
-        rng_.uniform_int(0, static_cast<int>(replay_.size()) - 1))];
+  for (std::size_t b = 0; b < bsz; ++b) {
+    // Index i = i-th oldest, exactly as the deque indexed; replay_at maps it
+    // onto the ring, so the sampled transition stream is bitwise unchanged.
+    const auto i = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(replay_count_) - 1));
+    batch[b] = &replay_at(i);
+  }
 
   common::Mat states(bsz, state_dim_), next_states(bsz, state_dim_);
   for (std::size_t b = 0; b < bsz; ++b) {
@@ -117,7 +145,10 @@ bool Dqn::import_params(const std::vector<double>& in, std::size_t& pos) {
   rs.cached_normal = in[p++];
   rng_.set_state(rs);
   steps_ = static_cast<std::size_t>(in[p++]);
-  replay_.clear();
+  // Replay is not part of the artifact: restart from an empty ring (slots
+  // themselves stay allocated).
+  replay_head_ = 0;
+  replay_count_ = 0;
   pos = p;
   return true;
 }

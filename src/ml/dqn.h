@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/matrix.h"
@@ -46,7 +45,23 @@ class Dqn {
 
   double epsilon() const { return epsilon_; }
   std::size_t num_actions() const { return num_actions_; }
-  std::size_t replay_size() const { return replay_.size(); }
+  std::size_t replay_size() const { return replay_count_; }
+
+  /// One stored transition.  The replay buffer is a preallocated ring:
+  /// every slot's state vectors are sized at construction, so steady-state
+  /// observe() copies into existing storage and never touches the heap.
+  struct Transition {
+    common::Vec state;
+    std::size_t action = 0;
+    double reward = 0.0;
+    common::Vec next_state;
+  };
+  /// i-th oldest stored transition (i < replay_size()) — the same indexing
+  /// the sampling in train_batch uses; exposed so tests can assert the ring
+  /// reproduces deque eviction order exactly.
+  const Transition& replay_at(std::size_t i) const {
+    return replay_[(replay_head_ + i) % replay_.size()];
+  }
 
   /// Appends the online + target network weights, epsilon, the exploration
   /// rng's position, and the step counter.  The replay buffer is *not*
@@ -57,12 +72,6 @@ class Dqn {
   bool import_params(const std::vector<double>& in, std::size_t& pos);
 
  private:
-  struct Transition {
-    common::Vec state;
-    std::size_t action;
-    double reward;
-    common::Vec next_state;
-  };
   void train_batch();
 
   std::size_t state_dim_;
@@ -72,7 +81,17 @@ class Dqn {
   Mlp target_;
   double epsilon_;
   common::Rng rng_;
-  std::deque<Transition> replay_;
+  /// Replay ring: replay_capacity preallocated slots; slot (head + i) % cap
+  /// holds the i-th oldest transition, matching the retired deque's order
+  /// (and therefore its sampling stream) bit for bit.
+  std::vector<Transition> replay_;
+  std::size_t replay_head_ = 0;
+  std::size_t replay_count_ = 0;
+  /// Inference scratch for the per-decide greedy path; mutable because
+  /// greedy_action is logically const.  A Dqn is single-owner (one
+  /// controller), never shared across threads.
+  mutable common::Vec q_scratch_;
+  mutable Mlp::InferScratch fwd_scratch_;
   std::size_t steps_ = 0;
 };
 

@@ -34,6 +34,15 @@ common::Vec activate_vec(Activation act, const common::Vec& z) {
   return a;
 }
 
+/// In-place variant of activate_vec: same elementwise math, no allocation.
+void activate_vec_inplace(Activation act, common::Vec& a) {
+  if (act == Activation::kTanh) {
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = std::tanh(a[i]);
+  } else {
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = a[i] > 0.0 ? a[i] : 0.0;
+  }
+}
+
 void activate_inplace(Activation act, common::Mat& z) {
   if (act == Activation::kTanh) {
     for (std::size_t r = 0; r < z.rows(); ++r)
@@ -112,6 +121,18 @@ common::Vec DenseLayer::forward(const common::Vec& x) const {
   return y;
 }
 
+void DenseLayer::forward_into(const common::Vec& x, common::Vec& y) const {
+  if (w_.cols() != x.size()) throw std::invalid_argument("Mat*Vec size mismatch");
+  // Same accumulation order as Mat::operator*(Vec) followed by the bias add,
+  // so the result is bitwise identical to forward().
+  y.resize(w_.rows());
+  for (std::size_t i = 0; i < w_.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < w_.cols(); ++j) s += w_(i, j) * x[j];
+    y[i] = s + b_[i];
+  }
+}
+
 common::Mat DenseLayer::forward_batch(const common::Mat& x) const {
   common::Mat y = common::matmul_nt(x, w_);
   common::add_row_broadcast(y, b_);
@@ -171,6 +192,20 @@ common::Vec Mlp::forward(const common::Vec& x) const {
   for (std::size_t l = 0; l + 1 < layers_.size(); ++l)
     a = activate_vec(cfg_.activation, layers_[l].forward(a));
   return layers_.back().forward(a);
+}
+
+void Mlp::forward_into(const common::Vec& x, common::Vec& out, InferScratch& s) const {
+  if (x.size() != input_dim_) throw std::invalid_argument("Mlp::forward: dim mismatch");
+  const common::Vec* cur = &x;
+  bool use_a = true;
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    common::Vec& dst = use_a ? s.a : s.b;
+    layers_[l].forward_into(*cur, dst);
+    activate_vec_inplace(cfg_.activation, dst);
+    cur = &dst;
+    use_a = !use_a;
+  }
+  layers_.back().forward_into(*cur, out);
 }
 
 common::Mat Mlp::forward_batch(const common::Mat& x) const {
@@ -383,6 +418,26 @@ std::vector<std::size_t> MultiHeadClassifier::predict(const common::Vec& x) cons
     cls.push_back(static_cast<std::size_t>(
         std::distance(p.begin(), std::max_element(p.begin(), p.end()))));
   return cls;
+}
+
+void MultiHeadClassifier::predict_into(const common::Vec& x, std::vector<std::size_t>& cls,
+                                       InferScratch& s) const {
+  if (x.size() != input_dim_) throw std::invalid_argument("MultiHeadClassifier: dim mismatch");
+  const common::Vec* cur = &x;
+  bool use_a = true;
+  for (const auto& layer : trunk_) {
+    common::Vec& dst = use_a ? s.a : s.b;
+    layer.forward_into(*cur, dst);
+    activate_vec_inplace(cfg_.activation, dst);
+    cur = &dst;
+    use_a = !use_a;
+  }
+  cls.resize(heads_.size());
+  for (std::size_t h = 0; h < heads_.size(); ++h) {
+    heads_[h].forward_into(*cur, s.logits);
+    cls[h] = static_cast<std::size_t>(
+        std::distance(s.logits.begin(), std::max_element(s.logits.begin(), s.logits.end())));
+  }
 }
 
 MultiHeadClassifier::ShardGrads MultiHeadClassifier::backward_shard(

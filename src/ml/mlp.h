@@ -51,6 +51,11 @@ class DenseLayer {
   DenseLayer& operator=(DenseLayer&&) = default;
 
   common::Vec forward(const common::Vec& x) const;
+  /// Allocation-free forward: writes y = W*x + b into `y` (resized to
+  /// out_dim(); no reallocation once capacity suffices).  `y` must not alias
+  /// `x`.  Identical FP operation order to forward(), so the results are
+  /// bitwise equal.
+  void forward_into(const common::Vec& x, common::Vec& y) const;
   /// Batch forward: Y = X * W^T + b (rows = samples).
   common::Mat forward_batch(const common::Mat& x) const;
 
@@ -104,6 +109,18 @@ class Mlp {
   Mlp(std::size_t input_dim, std::size_t output_dim, MlpConfig cfg = {});
 
   common::Vec forward(const common::Vec& x) const;
+
+  /// Reusable activation buffers for the allocation-free inference path.
+  /// Sized lazily on first use (max layer width), then stable: a controller
+  /// owning one InferScratch per network performs zero steady-state heap
+  /// allocations per forward_into() call.
+  struct InferScratch {
+    common::Vec a, b;
+  };
+  /// Allocation-free inference into `out` (must not alias `x`).  Bitwise
+  /// identical to forward(): same per-layer FP operation order.
+  void forward_into(const common::Vec& x, common::Vec& out, InferScratch& s) const;
+
   /// Batch inference: rows = samples.
   common::Mat forward_batch(const common::Mat& x) const;
 
@@ -169,6 +186,19 @@ class MultiHeadClassifier {
   std::vector<common::Vec> predict_proba(const common::Vec& x) const;
   /// Per-head argmax class.
   std::vector<std::size_t> predict(const common::Vec& x) const;
+
+  /// Reusable trunk/logit buffers for the allocation-free decision path.
+  struct InferScratch {
+    common::Vec a, b, logits;
+  };
+  /// Per-head argmax written into `cls` (resized to num_heads()), taken
+  /// directly from the head logits — the softmax is skipped entirely.  exp
+  /// is strictly increasing and the per-head division by the partition sum
+  /// is monotone, so the logit argmax (first-max tie-break, exactly
+  /// std::max_element's) equals predict()'s softmax argmax; the equivalence
+  /// is asserted bitwise in tests/test_hot_path_alloc.cpp.  Zero heap
+  /// allocations once the scratch buffers have grown to the layer widths.
+  void predict_into(const common::Vec& x, std::vector<std::size_t>& cls, InferScratch& s) const;
 
   /// One optimizer step on the summed cross-entropy of all heads; returns
   /// the loss.  Routed through train_batch as a 1-row batch.

@@ -121,9 +121,13 @@ std::size_t TabularQ::storage_bytes() const {
 }
 
 std::uint64_t hash_state(const std::vector<int>& components) {
+  return hash_state(components.data(), components.size());
+}
+
+std::uint64_t hash_state(const int* components, std::size_t n) {
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
-  for (int c : components) {
-    auto v = static_cast<std::uint64_t>(static_cast<std::int64_t>(c));
+  for (std::size_t i = 0; i < n; ++i) {
+    auto v = static_cast<std::uint64_t>(static_cast<std::int64_t>(components[i]));
     for (int b = 0; b < 8; ++b) {
       h ^= (v >> (8 * b)) & 0xffULL;
       h *= 0x100000001b3ULL;

@@ -69,5 +69,9 @@ class TabularQ {
 
 /// Hashes a vector of small discrete components into a state id.
 std::uint64_t hash_state(const std::vector<int>& components);
+/// Same FNV-1a hash over a caller-owned array — the allocation-free form the
+/// controllers' per-step discretization uses (identical bytes mixed in the
+/// identical order, so the ids match the vector overload's exactly).
+std::uint64_t hash_state(const int* components, std::size_t n);
 
 }  // namespace oal::ml

@@ -48,6 +48,17 @@ common::Vec StandardScaler::transform(const common::Vec& x) const {
   return z;
 }
 
+void StandardScaler::transform_into(const common::Vec& x, common::Vec& z,
+                                    TransformCache& cache) const {
+  if (x.size() != mean_.size()) throw std::invalid_argument("StandardScaler: dim mismatch");
+  if (cache.count != count_) {
+    cache.stds = stds();
+    cache.count = count_;
+  }
+  z.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = (x[i] - mean_[i]) / cache.stds[i];
+}
+
 common::Vec StandardScaler::inverse_transform(const common::Vec& z) const {
   if (z.size() != mean_.size()) throw std::invalid_argument("StandardScaler: dim mismatch");
   const common::Vec s = stds();

@@ -27,6 +27,18 @@ class StandardScaler {
   common::Vec transform(const common::Vec& x) const;
   common::Vec inverse_transform(const common::Vec& z) const;
 
+  /// Caller-owned cache of the derived stds for the allocation-free path.
+  /// `count` stamps the fit the stds were computed from; transform_into
+  /// recomputes them only when the scaler has been (re)fit since — a
+  /// policy-update event, never the steady-state decide path.
+  struct TransformCache {
+    common::Vec stds;
+    std::size_t count = static_cast<std::size_t>(-1);
+  };
+  /// Allocation-free transform (once `z`/`cache` have their capacity):
+  /// identical arithmetic to transform(), bitwise-equal results.
+  void transform_into(const common::Vec& x, common::Vec& z, TransformCache& cache) const;
+
   std::size_t dim() const { return mean_.size(); }
   bool fitted() const { return count_ > 0; }
   const common::Vec& mean() const { return mean_; }

@@ -49,8 +49,15 @@ std::vector<SocConfig> ConfigSpace::enumerate() const {
 
 std::vector<SocConfig> ConfigSpace::neighborhood(const SocConfig& c, int radius,
                                                  int max_changed_knobs) const {
-  if (!valid(c)) throw std::invalid_argument("ConfigSpace::neighborhood: invalid config");
   std::vector<SocConfig> result;
+  neighborhood_into(c, radius, max_changed_knobs, result);
+  return result;
+}
+
+void ConfigSpace::neighborhood_into(const SocConfig& c, int radius, int max_changed_knobs,
+                                    std::vector<SocConfig>& result) const {
+  if (!valid(c)) throw std::invalid_argument("ConfigSpace::neighborhood: invalid config");
+  result.clear();
   for (int dl = -radius; dl <= radius; ++dl) {
     for (int db = -radius; db <= radius; ++db) {
       for (int dfl = -radius; dfl <= radius; ++dfl) {
@@ -64,12 +71,17 @@ std::vector<SocConfig> ConfigSpace::neighborhood(const SocConfig& c, int radius,
       }
     }
   }
-  return result;
 }
 
 std::vector<SocConfig> ConfigSpace::cluster_sweeps(const SocConfig& c) const {
-  if (!valid(c)) throw std::invalid_argument("ConfigSpace::cluster_sweeps: invalid config");
   std::vector<SocConfig> result;
+  cluster_sweeps_into(c, result);
+  return result;
+}
+
+void ConfigSpace::cluster_sweeps_into(const SocConfig& c, std::vector<SocConfig>& result) const {
+  if (!valid(c)) throw std::invalid_argument("ConfigSpace::cluster_sweeps: invalid config");
+  result.clear();
   result.reserve(2 * (4 * little_freqs_.size() + 5 * big_freqs_.size()));
   for (int nl = 1; nl <= 4; ++nl) {
     for (int fl = 0; fl < static_cast<int>(little_freqs_.size()); ++fl) {
@@ -88,7 +100,6 @@ std::vector<SocConfig> ConfigSpace::cluster_sweeps(const SocConfig& c) const {
       result.push_back(SocConfig{1, nb, 0, fb});
     }
   }
-  return result;
 }
 
 std::vector<std::size_t> ConfigSpace::knob_cardinalities() const {

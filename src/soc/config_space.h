@@ -60,6 +60,11 @@ class ConfigSpace {
   /// Includes `c` itself.  This is the candidate set of the online-IL search.
   std::vector<SocConfig> neighborhood(const SocConfig& c, int radius = 1,
                                       int max_changed_knobs = 4) const;
+  /// Same candidate set built into a caller-owned buffer (cleared first, so
+  /// a reused buffer's capacity is recycled and the per-decision search does
+  /// not allocate once warmed up).  Identical contents and order.
+  void neighborhood_into(const SocConfig& c, int radius, int max_changed_knobs,
+                         std::vector<SocConfig>& out) const;
 
   /// Per-cluster joint sweeps: all (core count, frequency) pairs of one
   /// cluster while the other cluster either stays at `c` or is parked in its
@@ -70,6 +75,8 @@ class ConfigSpace {
   /// variants additionally make canonical "little-only"/"big-only" operating
   /// points reachable in one move.  2*(4*13) + 2*(5*19) = 294 configs.
   std::vector<SocConfig> cluster_sweeps(const SocConfig& c) const;
+  /// Buffer-reusing form of cluster_sweeps (see neighborhood_into).
+  void cluster_sweeps_into(const SocConfig& c, std::vector<SocConfig>& out) const;
 
   /// Number of levels per knob, in order (little cores, big cores, f_little,
   /// f_big) — used to size policy heads.

@@ -1,0 +1,91 @@
+// Counting replacement of the global allocation functions, for asserting
+// that a code path performs zero heap allocations.
+//
+// Including this header DEFINES the replaceable global operator new/delete
+// family (non-inline, as [replacement.functions] requires), so it must be
+// included by exactly ONE translation unit per binary — fine for this
+// repo's one-TU-per-test and one-TU-per-bench layout.  Every allocation in
+// the process then bumps an atomic counter; AllocationProbe snapshots it
+// around a region:
+//
+//   oal::alloc_guard::AllocationProbe probe;
+//   hot_path();
+//   EXPECT_EQ(probe.delta(), 0u);
+//
+// The replacements forward to std::malloc/std::free, so sanitizer builds
+// keep their malloc-level instrumentation (ASan still tracks every block;
+// only the new/delete-mismatch check is bypassed).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace oal::alloc_guard {
+
+inline std::atomic<std::size_t> g_allocations{0};
+
+inline std::size_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+/// Snapshot of the process-wide allocation counter at construction time.
+class AllocationProbe {
+ public:
+  AllocationProbe() : start_(allocation_count()) {}
+  /// Allocations since construction (deallocations are not counted).
+  std::size_t delta() const { return allocation_count() - start_; }
+
+ private:
+  std::size_t start_;
+};
+
+inline void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  // malloc(0) may return nullptr; a successful operator new never does.
+  return std::malloc(size ? size : 1);
+}
+
+}  // namespace oal::alloc_guard
+
+// Kept strictly out-of-line: [replacement.functions] forbids inline
+// replacements, and letting the compiler inline them at call sites makes GCC
+// pair our operator new with the std::free it forwards to and raise a
+// spurious -Wmismatched-new-delete.
+#if defined(__GNUC__) || defined(__clang__)
+#define OAL_ALLOC_GUARD_NOINLINE __attribute__((noinline))
+#else
+#define OAL_ALLOC_GUARD_NOINLINE
+#endif
+
+OAL_ALLOC_GUARD_NOINLINE void* operator new(std::size_t size) {
+  if (void* p = oal::alloc_guard::counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+OAL_ALLOC_GUARD_NOINLINE void* operator new[](std::size_t size) {
+  if (void* p = oal::alloc_guard::counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+OAL_ALLOC_GUARD_NOINLINE void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return oal::alloc_guard::counted_alloc(size);
+}
+
+OAL_ALLOC_GUARD_NOINLINE void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return oal::alloc_guard::counted_alloc(size);
+}
+
+OAL_ALLOC_GUARD_NOINLINE void operator delete(void* p) noexcept { std::free(p); }
+OAL_ALLOC_GUARD_NOINLINE void operator delete[](void* p) noexcept { std::free(p); }
+OAL_ALLOC_GUARD_NOINLINE void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+OAL_ALLOC_GUARD_NOINLINE void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+OAL_ALLOC_GUARD_NOINLINE void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+OAL_ALLOC_GUARD_NOINLINE void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#undef OAL_ALLOC_GUARD_NOINLINE

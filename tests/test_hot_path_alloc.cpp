@@ -1,0 +1,219 @@
+// The decision hot path is allocation-free in steady state, and the
+// allocation-free overloads decide bitwise-identically to the by-value
+// paths they replaced.
+//
+// "Steady state" means: scratch/feature buffers have grown to their final
+// sizes (first decide), the DQN replay ring is preallocated, and the
+// tabular-Q table already contains the visited states.  Amortized work is
+// excluded by construction here — IL retraining (buffer fills), DQN
+// minibatch training (min_replay gate), and first-visit Q-row insertion
+// are all deliberate, bounded allocations outside the per-decide path.
+//
+// alloc_guard.h defines the counting global operator new for this binary,
+// so it must be included here and nowhere else in this target.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "alloc_guard.h"
+
+#include "core/governors.h"
+#include "core/il_policy.h"
+#include "core/rl_controller.h"
+#include "ml/qlearn.h"
+#include "soc/platform.h"
+#include "workloads/cpu_benchmarks.h"
+
+namespace oal::core {
+namespace {
+
+using alloc_guard::AllocationProbe;
+
+/// Synthetic but well-spread policy dataset: enough structure to train a
+/// small network deterministically, no Oracle search required.
+PolicyDataset synthetic_dataset(const soc::ConfigSpace& space, std::size_t n, common::Rng& rng) {
+  PolicyDataset ds;
+  for (std::size_t i = 0; i < n; ++i) {
+    common::Vec s(12);
+    for (double& v : s) v = rng.uniform(-2.0, 2.0);
+    ds.states.push_back(std::move(s));
+    ds.labels.push_back(space.config_at(
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(space.size()) - 1))));
+  }
+  return ds;
+}
+
+/// Recorded (result, executed) transitions for replaying a controller over
+/// an identical stimulus stream.
+struct Recorded {
+  soc::SnippetResult result;
+  soc::SocConfig executed;
+};
+
+std::vector<Recorded> record_run(soc::BigLittlePlatform& plat, DrmController& ctl,
+                                 const std::vector<soc::SnippetDescriptor>& trace,
+                                 soc::SocConfig c) {
+  std::vector<Recorded> rec;
+  rec.reserve(trace.size());
+  for (const auto& s : trace) {
+    const soc::SnippetResult r = plat.execute(s, c);
+    rec.push_back({r, c});
+    c = ctl.step(r, c);
+  }
+  return rec;
+}
+
+TEST(HotPathAlloc, GovernorsNeverAllocatePerStep) {
+  soc::BigLittlePlatform plat;
+  OndemandGovernor ondemand(plat.space());
+  InteractiveGovernor interactive(plat.space());
+  PerformanceGovernor performance(plat.space());
+  PowersaveGovernor powersave;
+  common::Rng rng(1);
+  const auto trace =
+      workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("FFT"), 8, rng);
+  soc::SocConfig c{2, 2, 6, 9};
+  std::vector<soc::SnippetResult> results;
+  results.reserve(trace.size());
+  for (const auto& s : trace) results.push_back(plat.execute(s, c));
+
+  soc::SocConfig sink{};
+  AllocationProbe probe;
+  for (const auto& r : results) {
+    sink = ondemand.step(r, c);
+    sink = interactive.step(r, sink);
+    sink = performance.step(r, sink);
+    sink = powersave.step(r, sink);
+  }
+  EXPECT_EQ(probe.delta(), 0u);
+  EXPECT_TRUE(plat.space().valid(sink));
+}
+
+TEST(HotPathAlloc, IlPolicyScratchDecideIsAllocFreeAndBitwiseEqual) {
+  soc::ConfigSpace space;
+  IlPolicy policy(space);
+  common::Rng rng(11);
+  const PolicyDataset ds = synthetic_dataset(space, 300, rng);
+  policy.train_offline(ds, rng);
+
+  // By-value and scratch decisions over the same states must agree exactly:
+  // the scratch path reorders no FP operation and the logit argmax equals
+  // the softmax argmax (monotone map, same first-max tie-break).
+  IlPolicy::Scratch scratch;
+  std::vector<soc::SocConfig> by_value(ds.states.size()), by_scratch(ds.states.size());
+  for (std::size_t i = 0; i < ds.states.size(); ++i) {
+    by_value[i] = policy.decide(ds.states[i]);
+    by_scratch[i] = policy.decide(ds.states[i], scratch);
+  }
+  for (std::size_t i = 0; i < ds.states.size(); ++i) EXPECT_EQ(by_scratch[i], by_value[i]);
+
+  // The scratch buffers are warm now: every further decide is heap-silent.
+  AllocationProbe probe;
+  for (const auto& s : ds.states) (void)policy.decide(s, scratch);
+  EXPECT_EQ(probe.delta(), 0u);
+}
+
+TEST(HotPathAlloc, MultiHeadPredictIntoMatchesPredictBitwise) {
+  // Untrained (random-init) network: the logit-vs-softmax argmax equivalence
+  // must hold for arbitrary weights, not just converged ones.
+  ml::MultiHeadClassifier net(12, {4, 5, 13, 19});
+  common::Rng rng(23);
+  ml::MultiHeadClassifier::InferScratch scratch;
+  std::vector<std::size_t> cls;
+  for (int i = 0; i < 200; ++i) {
+    common::Vec x(12);
+    for (double& v : x) v = rng.uniform(-3.0, 3.0);
+    const std::vector<std::size_t> expect = net.predict(x);
+    net.predict_into(x, cls, scratch);
+    EXPECT_EQ(cls, expect);
+  }
+  // Warm scratch: zero allocations per fast-path prediction.
+  common::Vec x(12, 0.25);
+  net.predict_into(x, cls, scratch);
+  AllocationProbe probe;
+  for (int i = 0; i < 100; ++i) net.predict_into(x, cls, scratch);
+  EXPECT_EQ(probe.delta(), 0u);
+}
+
+TEST(HotPathAlloc, TabularQSteadyStateStepIsAllocFree) {
+  soc::BigLittlePlatform plat;
+  QLearningController ctl(plat.space());
+  ctl.begin_run({2, 2, 6, 9});
+  common::Rng rng(2);
+  const auto trace =
+      workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("Qsort"), 60, rng);
+  // Warm-up pass: visits (and therefore inserts) every discretized state the
+  // replay below will see.
+  const std::vector<Recorded> rec = record_run(plat, ctl, trace, {2, 2, 6, 9});
+  ASSERT_GT(ctl.table_states(), 1u);
+
+  // One unmeasured replay first: Q-rows are inserted by update(), whose
+  // `state` argument trails one step behind, so the final recorded state's
+  // row appears here — the first visit, a deliberate amortized allocation.
+  for (const Recorded& r : rec) (void)ctl.step(r.result, r.executed);
+
+  // Steady state: every replayed state is in the table, so no row is
+  // inserted and the whole step (discretize, update, select, apply) stays off
+  // the heap.
+  AllocationProbe probe;
+  for (const Recorded& r : rec) (void)ctl.step(r.result, r.executed);
+  EXPECT_EQ(probe.delta(), 0u);
+}
+
+TEST(HotPathAlloc, DqnControllerDecideIsAllocFreeOutsideTraining) {
+  soc::BigLittlePlatform plat;
+  ml::DqnConfig cfg;
+  cfg.replay_capacity = 64;
+  // Push the amortized work past this test's horizon: the gate below never
+  // opens, isolating the per-decide path (features, forward pass, ring
+  // insert) the assertion is about.
+  cfg.min_replay = 1u << 20;
+  cfg.target_sync_period = 1u << 20;
+  DqnController ctl(plat.space(), cfg);
+  ctl.begin_run({2, 2, 6, 9});
+  common::Rng rng(3);
+  const auto trace =
+      workloads::CpuBenchmarks::trace(workloads::CpuBenchmarks::by_name("AES"), 40, rng);
+  const std::vector<Recorded> rec = record_run(plat, ctl, trace, {2, 2, 6, 9});
+  // One unmeasured replay warms every lazily-sized buffer (feature vector,
+  // greedy-path inference scratch) along both epsilon-greedy branches.
+  for (const Recorded& r : rec) (void)ctl.step(r.result, r.executed);
+
+  // Feature buffer, inference scratch, and replay ring are warm/preallocated:
+  // replaying the stimulus allocates nothing.
+  AllocationProbe probe;
+  for (const Recorded& r : rec) (void)ctl.step(r.result, r.executed);
+  EXPECT_EQ(probe.delta(), 0u);
+}
+
+TEST(HotPathAlloc, DqnReplayRingMatchesDequeEvictionOrder) {
+  ml::DqnConfig cfg;
+  cfg.replay_capacity = 8;
+  cfg.min_replay = 1u << 20;  // keep training out of the ordering question
+  ml::Dqn dqn(3, 2, cfg);
+  std::deque<double> shadow;  // the retired implementation: push_back + pop_front
+  for (int i = 0; i < 21; ++i) {
+    const common::Vec state(3, static_cast<double>(i));
+    const common::Vec next(3, static_cast<double>(i) + 0.5);
+    dqn.observe(state, static_cast<std::size_t>(i % 2), 0.1 * i, next);
+    shadow.push_back(static_cast<double>(i));
+    if (shadow.size() > cfg.replay_capacity) shadow.pop_front();
+  }
+  ASSERT_EQ(dqn.replay_size(), cfg.replay_capacity);
+  for (std::size_t i = 0; i < cfg.replay_capacity; ++i) {
+    // replay_at(i) is the i-th oldest, exactly as the deque indexed it.
+    EXPECT_EQ(dqn.replay_at(i).state[0], shadow[i]);
+    EXPECT_EQ(dqn.replay_at(i).action, static_cast<std::size_t>(shadow[i]) % 2);
+    EXPECT_EQ(dqn.replay_at(i).next_state[0], shadow[i] + 0.5);
+  }
+}
+
+TEST(HotPathAlloc, HashStateOverloadsAgree) {
+  const std::vector<int> comps{3, 0, 2, 1, 4, 2, 1, 3};
+  EXPECT_EQ(ml::hash_state(comps.data(), comps.size()), ml::hash_state(comps));
+  const std::vector<int> empty;
+  EXPECT_EQ(ml::hash_state(empty.data(), 0), ml::hash_state(empty));
+}
+
+}  // namespace
+}  // namespace oal::core

@@ -152,6 +152,58 @@ TEST_F(OfflineIlFixture, DatasetShape) {
   for (const auto& l : data_.policy.labels) EXPECT_TRUE(plat_.space().valid(l));
 }
 
+TEST_F(OfflineIlFixture, DatasetBlobRoundTripsBitwise) {
+  std::vector<double> blob;
+  export_offline_data(data_, blob);
+  OfflineData back;
+  ASSERT_TRUE(import_offline_data(blob, back));
+  ASSERT_EQ(back.policy.states.size(), data_.policy.states.size());
+  ASSERT_EQ(back.policy.labels.size(), data_.policy.labels.size());
+  ASSERT_EQ(back.model_samples.size(), data_.model_samples.size());
+  for (std::size_t i = 0; i < data_.policy.states.size(); ++i) {
+    EXPECT_EQ(back.policy.states[i], data_.policy.states[i]);  // bitwise: doubles verbatim
+    EXPECT_EQ(back.policy.labels[i], data_.policy.labels[i]);
+  }
+  for (std::size_t i = 0; i < data_.model_samples.size(); ++i) {
+    const ModelSample& a = data_.model_samples[i];
+    const ModelSample& b = back.model_samples[i];
+    EXPECT_EQ(b.config, a.config);
+    EXPECT_EQ(b.time_s, a.time_s);
+    EXPECT_EQ(b.instructions, a.instructions);
+    EXPECT_EQ(b.power_w, a.power_w);
+    EXPECT_EQ(b.workload.mpki, a.workload.mpki);
+    EXPECT_EQ(b.workload.bmpki, a.workload.bmpki);
+    EXPECT_EQ(b.workload.mem_ai, a.workload.mem_ai);
+    EXPECT_EQ(b.workload.ext_per_inst, a.workload.ext_per_inst);
+    EXPECT_EQ(b.workload.pf_proxy, a.workload.pf_proxy);
+    EXPECT_EQ(b.workload.cpi_obs, a.workload.cpi_obs);
+    EXPECT_EQ(b.workload.runnable, a.workload.runnable);
+  }
+  // A truncated or padded blob is structurally invalid: the store is a
+  // cache, so import must reject it rather than guess.
+  std::vector<double> bad = blob;
+  bad.pop_back();
+  EXPECT_FALSE(import_offline_data(bad, back));
+  bad = blob;
+  bad.push_back(0.0);
+  EXPECT_FALSE(import_offline_data(bad, back));
+  EXPECT_FALSE(import_offline_data({}, back));
+}
+
+TEST(OfflineDataKey, SensitiveToEveryArgument) {
+  const soc::PlatformParams p;
+  const std::uint64_t base = offline_data_key(p, Objective::kEnergy, 40, 6, 7, false);
+  EXPECT_EQ(offline_data_key(p, Objective::kEnergy, 40, 6, 7, false), base);
+  EXPECT_NE(offline_data_key(p, Objective::kEdp, 40, 6, 7, false), base);
+  EXPECT_NE(offline_data_key(p, Objective::kEnergy, 41, 6, 7, false), base);
+  EXPECT_NE(offline_data_key(p, Objective::kEnergy, 40, 5, 7, false), base);
+  EXPECT_NE(offline_data_key(p, Objective::kEnergy, 40, 6, 8, false), base);
+  EXPECT_NE(offline_data_key(p, Objective::kEnergy, 40, 6, 7, true), base);
+  soc::PlatformParams heavy = p;
+  heavy.ceff_big_nf *= 2.0;
+  EXPECT_NE(offline_data_key(heavy, Objective::kEnergy, 40, 6, 7, false), base);
+}
+
 TEST_F(OfflineIlFixture, PolicyLearnsTrainingDistribution) {
   common::Rng rng(8);
   IlPolicy policy(plat_.space());
