@@ -270,9 +270,6 @@ void run_decide_section() {
              [&] { benchmark::DoNotOptimize(dqn.step(f.result, f.config)); });
 
   // GPU firmware fast path: the per-frame frequency trim between slow ticks.
-  // The full explicit step additionally refits the online models each frame
-  // (amortized; timed by BM_ExplicitNmpcLawStep above), so the zero-alloc
-  // claim attaches to the trim itself.
   gpu::GpuPlatform gplat;
   GpuOnlineModels gmodels(gplat);
   common::Rng grng(7);
@@ -284,6 +281,20 @@ void run_decide_section() {
   std::size_t evals = 0;
   decide_row(table, "NMPC fast trim (GPU)",
              [&] { benchmark::DoNotOptimize(nmpc.fast_trim(w, {9, 4}, &evals)); });
+
+  // The *full* per-frame step — RLS refit of both online models through the
+  // update scratch, workload EWMA, then the fast trim (fixed off-tick frame
+  // index keeps the slow solve out of the timed distribution).  The PR-8
+  // zero-alloc contract extended from decide() to the whole step.
+  NmpcGpuController nmpc_full(gplat, gmodels);
+  nmpc_full.begin_run({9, 4});
+  common::Rng ftrng(3);
+  const auto gframe = workloads::GpuBenchmarks::trace(
+      workloads::GpuBenchmarks::by_name("EpicCitadel"), 1, ftrng)[0];
+  gpu::GpuPlatform gsim;
+  const auto gresult = gsim.render(gframe, {9, 4}, 1.0 / 30.0);
+  decide_row(table, "NMPC full step (refit + trim)",
+             [&] { benchmark::DoNotOptimize(nmpc_full.step(gresult, {9, 4}, 1)); });
 
   std::puts("=== Steady-state decide(): per-controller latency, zero-alloc asserted ===");
   table.print(std::cout);

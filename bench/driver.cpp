@@ -1,5 +1,6 @@
 #include "bench/driver.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -82,10 +83,17 @@ bool BenchDriver::parse(int argc, char** argv) {
       if (!text) return fail(opt.flag + " requires a count argument");
       char* end = nullptr;
       // strtoull would wrap "-3" into a huge count; reject signs up front.
+      errno = 0;
       const unsigned long long parsed = text[0] == '-' ? 0 : std::strtoull(text, &end, 10);
       if (end == text || !end || *end != '\0' || parsed == 0)
         return fail(opt.flag + " expects a positive integer, got '" + text + "'");
-      *opt.value = static_cast<std::size_t>(parsed);
+      // An overflowing literal ("--devices 99999999999999999999") clamps to
+      // ULLONG_MAX with ERANGE; a value past size_t must not silently
+      // truncate through the cast either.  Both exit 2 with usage.
+      const auto as_size = static_cast<std::size_t>(parsed);
+      if (errno == ERANGE || static_cast<unsigned long long>(as_size) != parsed)
+        return fail(opt.flag + " value out of range: '" + text + "'");
+      *opt.value = as_size;
       matched = true;
       break;
     }

@@ -26,11 +26,16 @@ double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); 
 
 double percentile(std::vector<double> xs, double p) {
   if (xs.empty()) throw std::invalid_argument("percentile of empty vector");
-  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile p out of range");
   std::sort(xs.begin(), xs.end());
-  const double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
+  return percentile_sorted(xs.data(), xs.size(), p);
+}
+
+double percentile_sorted(const double* xs, std::size_t n, double p) {
+  if (n == 0) throw std::invalid_argument("percentile of empty vector");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile p out of range");
+  const double idx = p / 100.0 * static_cast<double>(n - 1);
   const auto lo = static_cast<std::size_t>(idx);
-  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const std::size_t hi = std::min(lo + 1, n - 1);
   const double frac = idx - static_cast<double>(lo);
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }

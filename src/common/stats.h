@@ -12,6 +12,13 @@ double stddev(const std::vector<double>& xs);
 double median(std::vector<double> xs);
 /// p in [0, 100]; linear interpolation between order statistics.
 double percentile(std::vector<double> xs, double p);
+/// The one percentile rule shared repo-wide (common::stats::percentile,
+/// core::DecisionTimer, fleet::PopulationAggregator): linear interpolation
+/// between order statistics at idx = p/100 * (n-1) over an ALREADY-SORTED
+/// range.  Keeping a single primitive means every surface that reports a
+/// p50/p99 agrees bit-for-bit on the same samples.  Throws on n == 0 or
+/// p outside [0, 100].
+double percentile_sorted(const double* xs, std::size_t n, double p);
 double min_of(const std::vector<double>& xs);
 double max_of(const std::vector<double>& xs);
 double sum(const std::vector<double>& xs);

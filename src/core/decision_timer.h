@@ -18,8 +18,9 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
-#include <cmath>
 #include <cstddef>
+
+#include "common/stats.h"
 
 namespace oal::core {
 
@@ -52,8 +53,11 @@ class DecisionTimer {
 
   std::size_t count() const { return count_; }
 
-  /// Nearest-rank percentiles over the retained window; O(window log window)
-  /// on a stack copy, intended for run end (never the per-decision path).
+  /// Percentiles over the retained window via the repo-wide
+  /// common::stats::percentile_sorted rule (linear interpolation between
+  /// order statistics — identical to common::stats::percentile and the
+  /// fleet aggregator on the same samples); O(window log window) on a stack
+  /// copy, intended for run end (never the per-decision path).
   DecisionLatencyStats stats() const {
     DecisionLatencyStats s;
     s.decisions = count_;
@@ -62,12 +66,8 @@ class DecisionTimer {
     if (n == 0) return s;
     std::array<double, kCapacity> sorted = samples_;
     std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(n));
-    const auto rank = [n](double q) {
-      const auto r = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
-      return r == 0 ? std::size_t{0} : r - 1;
-    };
-    s.p50_ns = sorted[rank(0.50)];
-    s.p99_ns = sorted[rank(0.99)];
+    s.p50_ns = common::percentile_sorted(sorted.data(), n, 50.0);
+    s.p99_ns = common::percentile_sorted(sorted.data(), n, 99.0);
     return s;
   }
 

@@ -21,11 +21,22 @@
 // parallelized along with the runs.  Factories may capture shared immutable
 // artifacts (e.g. an offline dataset behind a shared_ptr) but must copy
 // anything the controller mutates.
+//
+// The result path is streaming-first: one shared scheduling/determinism core
+// runs a materialized shard on the pool and delivers every result to a sink
+// callback in id order, so a downstream aggregator sees the identical
+// result stream regardless of thread count.  The vector-returning APIs are
+// thin wrappers (sink = push_back) and run_any_streaming() feeds the same
+// core from a lazy generator in fixed-size shards — peak result memory is
+// one shard, not the population, which is what lets fleet-scale sweeps
+// (thousands of device arms) run through the same engine and keep the
+// parallel==serial bitwise contract per shard.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -104,9 +115,32 @@ struct ExperimentOptions {
   std::size_t num_threads = 0;
 };
 
+/// Geometry of a streaming sweep (run_any_streaming).
+struct StreamOptions {
+  /// Scenarios materialized and in flight at once.  Peak result memory of a
+  /// streaming sweep is one shard — never the population — and the
+  /// parallel==serial bitwise contract holds per shard (delivery order is a
+  /// pure function of the shard's ids).  Changing the shard size regroups
+  /// the sweep but never changes any per-scenario result; it reorders
+  /// delivery only across shard boundaries.
+  std::size_t shard_size = 256;
+};
+
 class ExperimentEngine {
  public:
   using Options = ExperimentOptions;
+
+  /// Per-result delivery callback of the streaming core, invoked on the
+  /// calling thread in id order (never concurrently).  A sink may throw:
+  /// the exception propagates to the caller and undelivered results of the
+  /// current shard are dropped.
+  using AnySink = std::function<void(AnyResult&&)>;
+  using ScenarioSink = std::function<void(ScenarioResult&&)>;
+  /// Lazy scenario source for run_any_streaming: one scenario per call,
+  /// std::nullopt when the population is exhausted.  Called on the engine's
+  /// calling thread only (never concurrently), so a generator may hold
+  /// mutable iteration state without synchronization.
+  using AnyGenerator = std::function<std::optional<AnyScenario>()>;
 
   explicit ExperimentEngine(Options opts = Options());
 
@@ -116,11 +150,31 @@ class ExperimentEngine {
   /// the all-DRM hot path avoids Scenario/RunResult copies.
   std::vector<ScenarioResult> run_batch(const std::vector<Scenario>& batch);
 
+  /// Streaming form: delivers each ScenarioResult to `sink` in id order
+  /// instead of collecting a vector.  The vector form is a thin wrapper
+  /// over this (sink = push_back).
+  void run_batch(const std::vector<Scenario>& batch, const ScenarioSink& sink);
+
   /// Domain-generic batch execution: DRM, GPU-ENMPC, NoC, thermally-
   /// constrained DRM, and custom scenarios mix freely (see core/domain.h).
   /// Same contract as run_batch: results sorted by id, parallel bitwise ==
   /// serial, lowest-index exception rethrown after the batch drains.
   std::vector<AnyResult> run_any(const std::vector<AnyScenario>& batch);
+
+  /// Streaming form of run_any (sink called in id order; the vector form is
+  /// a thin wrapper over this).
+  void run_any(const std::vector<AnyScenario>& batch, const AnySink& sink);
+
+  /// Sharded streaming sweep over a lazily-generated population: pulls up to
+  /// StreamOptions::shard_size scenarios from `generator`, runs the shard on
+  /// the pool (parallel bitwise == serial, lowest-index exception rethrown
+  /// after the shard drains), delivers its results to `sink` in id order,
+  /// drops the shard, and repeats until the generator is exhausted — peak
+  /// result memory is one shard, not the population.  Ids must be unique
+  /// across the whole stream (std::invalid_argument otherwise, as in
+  /// run_any).  Returns the number of scenarios executed.
+  std::size_t run_any_streaming(const AnyGenerator& generator, const AnySink& sink,
+                                const StreamOptions& stream = {});
 
   /// Deterministic parallel map over arbitrary items (for sweeps that are
   /// not DRM runs, e.g. NoC design points): out[i] = fn(items[i], i).

@@ -111,8 +111,17 @@ double GpuOnlineModels::producer_energy_prior_j(const GpuWorkloadState& w,
 
 void GpuOnlineModels::update(const GpuWorkloadState& w_before, const gpu::GpuConfig& c,
                              double period_s, const gpu::FrameResult& observed) {
-  time_model_.update(time_features(w_before, c), observed.frame_time_s);
-  energy_model_.update(energy_features(w_before, c, period_s), observed.gpu_energy_j);
+  UpdateScratch scratch;
+  update(w_before, c, period_s, observed, scratch);
+}
+
+void GpuOnlineModels::update(const GpuWorkloadState& w_before, const gpu::GpuConfig& c,
+                             double period_s, const gpu::FrameResult& observed,
+                             UpdateScratch& scratch) {
+  time_features_into(w_before, c, scratch.phi);
+  time_model_.update(scratch.phi, observed.frame_time_s, scratch.rls);
+  energy_features_into(w_before, c, period_s, scratch.phi);
+  energy_model_.update(scratch.phi, observed.gpu_energy_j, scratch.rls);
 }
 
 StaffFrameTimePredictor::StaffFrameTimePredictor(const gpu::GpuPlatform& platform,

@@ -50,9 +50,25 @@ class GpuOnlineModels {
   /// controllers anchor it to the measured per-frame producer energy.
   double producer_energy_prior_j(const GpuWorkloadState& w, double period_s) const;
 
+  /// Reusable buffers for the allocation-free update overload: the feature
+  /// basis plus the RLS temporaries, shared by both refits (phi and the RLS
+  /// buffers grow to the energy-model dim on first use, then stop
+  /// allocating).
+  struct UpdateScratch {
+    common::Vec phi;                        ///< feature basis (time, then energy)
+    ml::RecursiveLeastSquares::Scratch rls; ///< K / Px temporaries
+  };
+
   /// Adapt both models from an executed frame.
   void update(const GpuWorkloadState& w_before, const gpu::GpuConfig& c, double period_s,
               const gpu::FrameResult& observed);
+
+  /// Allocation-free update: identical arithmetic (bitwise) to the by-value
+  /// form, with every temporary parked in `scratch` — this makes the full
+  /// per-frame NMPC/online-IL *step* (decide + refit) steady-state
+  /// allocation-free, not just the decide half.
+  void update(const GpuWorkloadState& w_before, const gpu::GpuConfig& c, double period_s,
+              const gpu::FrameResult& observed, UpdateScratch& scratch);
 
   std::size_t updates() const { return time_model_.updates(); }
 

@@ -211,7 +211,7 @@ gpu::GpuConfig NmpcGpuController::step(const gpu::FrameResult& result,
                                        const gpu::GpuConfig& current, std::size_t frame_index) {
   const double period = 1.0 / cfg_.fps_target;
   const GpuWorkloadState before = state_;
-  models_->update(before, current, period, result);
+  models_->update(before, current, period, result, update_scratch_);
   state_.observe(result, models_->slice_eff(current.num_slices));
   track_producer_energy(cfg_, result, producer_energy_j_);
   const GpuBudgetState budget = budget_state();
@@ -329,7 +329,7 @@ gpu::GpuConfig ExplicitNmpcGpuController::step(const gpu::FrameResult& result,
                                                std::size_t frame_index) {
   const double period = 1.0 / cfg_.fps_target;
   const GpuWorkloadState before = state_;
-  models_->update(before, current, period, result);
+  models_->update(before, current, period, result, update_scratch_);
   state_.observe(result, models_->slice_eff(current.num_slices));
   track_producer_energy(cfg_, result, producer_energy_j_);
   const GpuBudgetState budget = budget_state();

@@ -118,6 +118,9 @@ class NmpcGpuController : public GpuController {
   /// solvers are logically const.  A controller instance is single-owner
   /// (one runner), never shared across threads.
   mutable common::Vec phi_buf_;
+  /// Scratch for the per-frame model refit, making the whole step
+  /// allocation-free in steady state (PR-8 contract extended to update()).
+  GpuOnlineModels::UpdateScratch update_scratch_;
 };
 
 /// Explicit NMPC: offline-fitted control law + online-adaptive fast loop.
@@ -167,6 +170,7 @@ class ExplicitNmpcGpuController : public GpuController {
   soc::ThermalTelemetry telemetry_;   ///< last snapshot (neutral when blind)
   double producer_energy_j_ = -1.0;   ///< measured non-GPU EWMA; < 0 = none yet
   mutable common::Vec phi_buf_;       ///< see NmpcGpuController::phi_buf_
+  GpuOnlineModels::UpdateScratch update_scratch_;  ///< per-frame refit scratch
 };
 
 /// Offline profiling pass: renders random-config frames of a generic content

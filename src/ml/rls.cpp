@@ -17,18 +17,37 @@ double RecursiveLeastSquares::predict(const common::Vec& x) const {
 }
 
 double RecursiveLeastSquares::update(const common::Vec& x, double y) {
+  Scratch scratch;
+  return update(x, y, scratch);
+}
+
+double RecursiveLeastSquares::update(const common::Vec& x, double y, Scratch& scratch) {
   if (x.size() != theta_.size()) throw std::invalid_argument("RLS: feature dim mismatch");
+  const std::size_t n = theta_.size();
   const double err = y - predict(x);
-  // K = P x / (lambda + x' P x)
-  const common::Vec px = p_ * x;
-  const double denom = cfg_.lambda + common::dot(x, px) + cfg_.regularization;
-  common::Vec k = common::scale(px, 1.0 / denom);
+  // K = P x / (lambda + x' P x); px/k live in the caller's scratch (resize
+  // is a no-op once the buffers have grown to the largest dim in use).
+  if (scratch.px.size() < n) scratch.px.resize(n);
+  if (scratch.k.size() < n) scratch.k.resize(n);
+  common::Vec& px = scratch.px;
+  common::Vec& k = scratch.k;
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += p_(i, j) * x[j];
+    px[i] = s;
+  }
+  double xpx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) xpx += x[i] * px[i];
+  const double denom = cfg_.lambda + xpx + cfg_.regularization;
+  const double inv_denom = 1.0 / denom;
+  for (std::size_t i = 0; i < n; ++i) k[i] = px[i] * inv_denom;
   // theta += K err
-  for (std::size_t i = 0; i < theta_.size(); ++i) theta_[i] += k[i] * err;
-  // P = (P - K x' P) / lambda
-  const common::Mat kxp = common::outer(k, px);
-  p_ -= kxp;
-  p_ *= 1.0 / cfg_.lambda;
+  for (std::size_t i = 0; i < n; ++i) theta_[i] += k[i] * err;
+  // P = (P - K x' P) / lambda — fused elementwise; bitwise-equal to the
+  // outer/subtract/scale triple it replaces (same products, same order).
+  const double inv_lambda = 1.0 / cfg_.lambda;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) p_(i, j) = (p_(i, j) - k[i] * px[j]) * inv_lambda;
   // Symmetrize to fight numerical drift.
   for (std::size_t i = 0; i < p_.rows(); ++i)
     for (std::size_t j = i + 1; j < p_.cols(); ++j) {

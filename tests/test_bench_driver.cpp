@@ -115,6 +115,33 @@ TEST(BenchDriver, SizeOptionsParseAndValidate) {
   }
 }
 
+TEST(BenchDriver, SizeOptionOverflowIsRejectedNotTruncated) {
+  // strtoull silently saturates (sets ERANGE) on values past 2^64; a fleet
+  // sweep invoked with --devices 99999999999999999999 must exit 2 with
+  // usage, not run some wrapped/truncated population size.
+  for (const char* huge : {"99999999999999999999", "18446744073709551616",
+                           "340282366920938463463374607431768211456"}) {
+    BenchDriver driver("bench_test");
+    std::size_t devices = 200;
+    driver.add_size_option("--devices", &devices, "population size");
+    Args args({"--devices", huge});
+    ::testing::internal::CaptureStderr();
+    EXPECT_FALSE(driver.parse(args.argc(), args.argv())) << huge;
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(driver.exit_code(), 2) << huge;
+    EXPECT_NE(err.find("out of range"), std::string::npos) << huge;
+    EXPECT_NE(err.find("usage: bench_test"), std::string::npos) << huge;
+    EXPECT_EQ(devices, 200u) << huge;  // untouched on error
+  }
+  // The exact maximum still parses (no off-by-one at the boundary).
+  BenchDriver driver("bench_test");
+  std::size_t devices = 200;
+  driver.add_size_option("--devices", &devices, "population size");
+  Args args({"--devices", "18446744073709551615"});
+  ASSERT_TRUE(driver.parse(args.argc(), args.argv()));
+  EXPECT_EQ(devices, 18446744073709551615ull);
+}
+
 TEST(BenchDriver, PrefixSelectionUnionIsDeduplicatedAndOrdered) {
   BenchDriver driver("bench_test");
   Args args({"other", "fam/a", "other/c"});

@@ -3,9 +3,13 @@
 // underlying thread pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "common/thread_pool.h"
 #include "core/domain.h"
@@ -411,6 +415,219 @@ TEST(Experiment, CustomClosureScenarioRunsOnEngine) {
   EXPECT_FALSE(res[0].has_metric("missing"));
   EXPECT_THROW(res[0].metric("missing"), std::invalid_argument);
   EXPECT_THROW(res[0].as<int>(), std::logic_error);
+}
+
+// ---- Streaming result path --------------------------------------------------
+
+/// Cheap custom-closure scenario for streaming-shape tests: a deterministic
+/// pseudo-metric from the id hash, no platform or Oracle behind it.
+AnyScenario cheap_scenario(const std::string& id) {
+  return AnyScenario(id, [id] {
+    common::Rng rng(std::hash<std::string>{}(id));
+    double acc = 0.0;
+    for (int i = 0; i < 50; ++i) acc += rng.uniform();
+    return AnyResult(id, acc, Metrics{{"acc", acc}});
+  });
+}
+
+TEST(Experiment, VectorApisAreThinWrappersOverTheSink) {
+  // The vector-returning run_any/run_batch are sink wrappers; collecting
+  // through the sink by hand must reproduce them bitwise, ids in order.
+  const auto any_batch = [] {
+    std::vector<AnyScenario> b;
+    b.emplace_back(governor_scenario("w/2", "SHA", 1));
+    b.emplace_back(governor_scenario("w/0", "FFT", 2));
+    b.emplace_back(cheap_scenario("w/1"));
+    return b;
+  }();
+  ExperimentEngine engine(ExperimentOptions{4});
+  const std::vector<AnyResult> vec = engine.run_any(any_batch);
+  std::vector<AnyResult> sunk;
+  engine.run_any(any_batch, [&](AnyResult&& r) { sunk.push_back(std::move(r)); });
+  ASSERT_EQ(sunk.size(), vec.size());
+  for (std::size_t i = 0; i < vec.size(); ++i) {
+    EXPECT_EQ(sunk[i].id(), vec[i].id());
+    ASSERT_EQ(sunk[i].metrics().size(), vec[i].metrics().size());
+    for (std::size_t k = 0; k < vec[i].metrics().size(); ++k)
+      EXPECT_EQ(sunk[i].metrics()[k].second, vec[i].metrics()[k].second);
+  }
+
+  const std::vector<Scenario> drm_batch{governor_scenario("d/1", "SHA", 3),
+                                        governor_scenario("d/0", "Qsort", 4)};
+  const auto drm_vec = engine.run_batch(drm_batch);
+  std::vector<ScenarioResult> drm_sunk;
+  engine.run_batch(drm_batch, [&](ScenarioResult&& r) { drm_sunk.push_back(std::move(r)); });
+  ASSERT_EQ(drm_sunk.size(), drm_vec.size());
+  for (std::size_t i = 0; i < drm_vec.size(); ++i) {
+    EXPECT_EQ(drm_sunk[i].id, drm_vec[i].id);
+    EXPECT_EQ(drm_sunk[i].run.total_energy_j(), drm_vec[i].run.total_energy_j());
+  }
+}
+
+TEST(Experiment, StreamingDeliversShardsInIdOrderAcrossThreads) {
+  // Ids arrive scrambled within each shard; the sink must see every shard
+  // id-sorted, on the calling thread, identically for 1 and N workers.
+  const std::vector<std::string> ids{"s/07", "s/02", "s/11", "s/00", "s/05", "s/09",
+                                     "s/01", "s/10", "s/03", "s/08", "s/04", "s/06"};
+  const std::size_t shard = 5;  // shards of 5, 5, 2
+  const auto delivered_with = [&](std::size_t threads) {
+    ExperimentEngine engine(ExperimentOptions{threads});
+    std::size_t cursor = 0;
+    std::vector<std::string> delivered;
+    const std::size_t ran = engine.run_any_streaming(
+        [&]() -> std::optional<AnyScenario> {
+          if (cursor >= ids.size()) return std::nullopt;
+          return cheap_scenario(ids[cursor++]);
+        },
+        [&](AnyResult&& r) { delivered.push_back(r.id()); }, StreamOptions{shard});
+    EXPECT_EQ(ran, ids.size());
+    return delivered;
+  };
+  const auto serial = delivered_with(1);
+  ASSERT_EQ(serial.size(), ids.size());
+  for (std::size_t base = 0; base < ids.size(); base += shard) {
+    const std::size_t end = std::min(base + shard, ids.size());
+    // Within a shard: sorted.  Across shards: generator order (no barrier on
+    // the whole population, so no global sort).
+    for (std::size_t i = base + 1; i < end; ++i) EXPECT_LT(serial[i - 1], serial[i]);
+  }
+  EXPECT_EQ(delivered_with(4), serial);
+}
+
+TEST(Experiment, StreamingMatchesVectorRunAnyBitwise) {
+  // Same scenarios through the sharded generator path and the one-shot
+  // vector path: per-scenario results must agree bitwise (sharding regroups
+  // delivery, it never changes what a scenario computes).
+  std::vector<AnyScenario> batch;
+  for (int i = 0; i < 7; ++i)
+    batch.emplace_back(governor_scenario("b/" + std::to_string(i), "SHA", 40 + i));
+  ExperimentEngine engine(ExperimentOptions{4});
+  const auto vec = engine.run_any(batch);
+
+  std::map<std::string, double> streamed;
+  std::size_t cursor = 0;
+  engine.run_any_streaming(
+      [&]() -> std::optional<AnyScenario> {
+        if (cursor >= batch.size()) return std::nullopt;
+        return batch[cursor++];
+      },
+      [&](AnyResult&& r) { streamed[r.id()] = r.metric("total_energy_j"); },
+      StreamOptions{3});
+  ASSERT_EQ(streamed.size(), vec.size());
+  for (const AnyResult& r : vec) EXPECT_EQ(streamed.at(r.id()), r.metric("total_energy_j"));
+}
+
+TEST(Experiment, StreamingSinkExceptionPropagatesAndStops) {
+  ExperimentEngine engine(ExperimentOptions{2});
+  std::size_t cursor = 0;
+  std::size_t delivered = 0;
+  EXPECT_THROW(engine.run_any_streaming(
+                   [&]() -> std::optional<AnyScenario> {
+                     return cheap_scenario("x/" + std::to_string(cursor++));
+                   },
+                   [&](AnyResult&&) {
+                     if (++delivered == 4) throw std::runtime_error("sink full");
+                   },
+                   StreamOptions{2}),
+               std::runtime_error);
+  EXPECT_EQ(delivered, 4u);   // nothing delivered past the throw
+  EXPECT_LE(cursor, 4u + 2u);  // the infinite generator stopped with the shard
+
+  // A throwing scenario: the lowest-index exception of the failing shard
+  // propagates after the shard drains, exactly as in run_any.
+  std::size_t i = 0;
+  EXPECT_THROW(engine.run_any_streaming(
+                   [&]() -> std::optional<AnyScenario> {
+                     if (i >= 6) return std::nullopt;
+                     const std::string id = "t/" + std::to_string(i++);
+                     if (id == "t/4")
+                       return AnyScenario(id, []() -> AnyResult {
+                         throw std::runtime_error("scenario exploded");
+                       });
+                     return cheap_scenario(id);
+                   },
+                   [](AnyResult&&) {}, StreamOptions{3}),
+               std::runtime_error);
+}
+
+TEST(Experiment, StreamingRejectsBadInputs) {
+  ExperimentEngine engine(ExperimentOptions{2});
+  const auto none = []() -> std::optional<AnyScenario> { return std::nullopt; };
+  const auto drop = [](AnyResult&&) {};
+  EXPECT_THROW(engine.run_any_streaming(nullptr, drop), std::invalid_argument);
+  EXPECT_THROW(engine.run_any_streaming(none, nullptr), std::invalid_argument);
+  EXPECT_THROW(engine.run_any_streaming(none, drop, StreamOptions{0}), std::invalid_argument);
+  EXPECT_EQ(engine.run_any_streaming(none, drop), 0u);  // empty stream is fine
+
+  // Duplicate ids are caught across shard boundaries, not just within one.
+  std::size_t n = 0;
+  EXPECT_THROW(engine.run_any_streaming(
+                   [&]() -> std::optional<AnyScenario> {
+                     if (n >= 5) return std::nullopt;
+                     ++n;
+                     return cheap_scenario(n == 5 ? "dup/0" : "dup/" + std::to_string(n - 1));
+                   },
+                   drop, StreamOptions{2}),
+               std::invalid_argument);
+}
+
+TEST(Experiment, StreamingHoldsAtMostOneShardOfResults) {
+  // 5000-scenario memory-bound smoke: each result payload carries a live
+  // token, and the high-water of simultaneously-alive tokens must stay
+  // bounded by one shard — the engine never accumulates the population.
+  struct Live {
+    static std::atomic<int>& count() {
+      static std::atomic<int> n{0};
+      return n;
+    }
+    static std::atomic<int>& high() {
+      static std::atomic<int> h{0};
+      return h;
+    }
+    static void enter() {
+      const int now = ++count();
+      int peak = high().load();
+      while (now > peak && !high().compare_exchange_weak(peak, now)) {
+      }
+    }
+    Live() { enter(); }
+    Live(const Live&) { enter(); }
+    Live(Live&&) { enter(); }
+    Live& operator=(const Live&) = default;
+    Live& operator=(Live&&) = default;
+    ~Live() { --count(); }
+  };
+  Live::count() = 0;
+  Live::high() = 0;
+
+  constexpr std::size_t kDevices = 5000;
+  constexpr std::size_t kShard = 64;
+  ExperimentEngine engine(ExperimentOptions{4});
+  std::size_t cursor = 0;
+  double sum = 0.0;
+  std::size_t delivered = 0;
+  const std::size_t ran = engine.run_any_streaming(
+      [&]() -> std::optional<AnyScenario> {
+        if (cursor >= kDevices) return std::nullopt;
+        const std::size_t i = cursor++;
+        const std::string id = "mem/" + std::to_string(i);
+        return AnyScenario(id, [id, i] {
+          return AnyResult(id, Live{}, Metrics{{"v", static_cast<double>(i)}});
+        });
+      },
+      [&](AnyResult&& r) {
+        ++delivered;
+        sum += r.metric("v");
+      },
+      StreamOptions{kShard});
+
+  EXPECT_EQ(ran, kDevices);
+  EXPECT_EQ(delivered, kDevices);
+  EXPECT_EQ(sum, static_cast<double>(kDevices) * (kDevices - 1) / 2.0);
+  EXPECT_EQ(Live::count().load(), 0);  // every result was destroyed
+  // One shard in flight (+ small slack for the move into the sink); far
+  // below the population.
+  EXPECT_LE(Live::high().load(), static_cast<int>(kShard) + 2);
 }
 
 TEST(Experiment, ThermalAwareMixedDomainParallelMatchesSerialBitwise) {

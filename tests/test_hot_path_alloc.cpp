@@ -19,10 +19,13 @@
 
 #include "core/governors.h"
 #include "core/il_policy.h"
+#include "core/nmpc.h"
 #include "core/rl_controller.h"
 #include "ml/qlearn.h"
+#include "ml/rls.h"
 #include "soc/platform.h"
 #include "workloads/cpu_benchmarks.h"
+#include "workloads/gpu_benchmarks.h"
 
 namespace oal::core {
 namespace {
@@ -206,6 +209,87 @@ TEST(HotPathAlloc, DqnReplayRingMatchesDequeEvictionOrder) {
     EXPECT_EQ(dqn.replay_at(i).action, static_cast<std::size_t>(shadow[i]) % 2);
     EXPECT_EQ(dqn.replay_at(i).next_state[0], shadow[i] + 0.5);
   }
+}
+
+TEST(HotPathAlloc, RlsScratchUpdateIsAllocFreeAndBitwiseEqual) {
+  // The scratch overload fuses the P update ((p - k*px) * inv_lambda
+  // elementwise) but performs the identical FP operations in the identical
+  // order as the by-value outer/-=/*= chain, so two models fed the same
+  // stream through the two overloads must stay bitwise-identical.
+  ml::RecursiveLeastSquares by_value(6), by_scratch(6);
+  ml::RecursiveLeastSquares::Scratch scratch;
+  common::Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    common::Vec x(6);
+    for (double& v : x) v = rng.uniform(-2.0, 2.0);
+    const double y = rng.uniform(-1.0, 1.0);
+    const double e0 = by_value.update(x, y);
+    const double e1 = by_scratch.update(x, y, scratch);
+    EXPECT_EQ(e1, e0);
+  }
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_EQ(by_scratch.weights()[i], by_value.weights()[i]);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_EQ(by_scratch.covariance()(i, j), by_value.covariance()(i, j));
+
+  // Warm scratch: every further update is heap-silent.
+  common::Vec x(6, 0.3);
+  AllocationProbe probe;
+  for (int i = 0; i < 100; ++i) (void)by_scratch.update(x, 0.25, scratch);
+  EXPECT_EQ(probe.delta(), 0u);
+}
+
+TEST(HotPathAlloc, GpuModelsScratchUpdateIsBitwiseEqual) {
+  gpu::GpuPlatform plat;
+  GpuOnlineModels by_value(plat), by_scratch(plat);
+  GpuOnlineModels::UpdateScratch scratch;
+  common::Rng rng(5);
+  const auto frames = workloads::GpuBenchmarks::trace(
+      workloads::GpuBenchmarks::by_name("EpicCitadel"), 40, rng);
+  const double period = 1.0 / 30.0;
+  GpuWorkloadState w;
+  const gpu::GpuConfig c{9, 2};
+  for (const auto& f : frames) {
+    const auto r = plat.render_ideal(f, c, period);
+    by_value.update(w, c, period, r);
+    by_scratch.update(w, c, period, r, scratch);
+    w.observe(r, by_value.slice_eff(c.num_slices));
+  }
+  // Both internal RLS models agree bitwise -> every prediction agrees.
+  for (const gpu::GpuConfig probe_cfg :
+       {gpu::GpuConfig{3, 1}, gpu::GpuConfig{9, 2}, gpu::GpuConfig{15, 4}}) {
+    EXPECT_EQ(by_scratch.predict_frame_time_s(w, probe_cfg),
+              by_value.predict_frame_time_s(w, probe_cfg));
+    EXPECT_EQ(by_scratch.predict_gpu_energy_j(w, probe_cfg, period),
+              by_value.predict_gpu_energy_j(w, probe_cfg, period));
+  }
+}
+
+TEST(HotPathAlloc, NmpcFullStepIsAllocFreeIncludingRefit) {
+  // The PR-8 zero-alloc contract covered decide(); with the scratch update
+  // the *whole* per-frame NMPC step — model refit, workload EWMA, slow solve
+  // or fast trim — stays off the heap, across both rate branches.
+  gpu::GpuPlatform plat;
+  GpuOnlineModels models(plat);
+  common::Rng rng(7);
+  bootstrap_gpu_models(plat, models, 1.0 / 30.0, 200, rng);
+  NmpcGpuController nmpc(plat, models);
+  nmpc.begin_run({9, 4});
+  common::Rng trng(3);
+  const auto frame = workloads::GpuBenchmarks::trace(
+      workloads::GpuBenchmarks::by_name("EpicCitadel"), 1, trng)[0];
+  const auto result = plat.render(frame, {9, 4}, 1.0 / 30.0);
+
+  // Warm-up covers a full slow period, so both the slow-tick branch (exact
+  // enumeration through phi_buf_) and the fast trim size their buffers.
+  gpu::GpuConfig c{9, 4};
+  for (std::size_t i = 0; i < 31; ++i) c = nmpc.step(result, c, i);
+
+  AllocationProbe probe;
+  for (std::size_t i = 31; i < 151; ++i) c = nmpc.step(result, c, i);
+  EXPECT_EQ(probe.delta(), 0u);
+  EXPECT_TRUE(plat.valid(c));
 }
 
 TEST(HotPathAlloc, HashStateOverloadsAgree) {

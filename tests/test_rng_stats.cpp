@@ -1,10 +1,14 @@
 // Unit tests for deterministic RNG and statistics helpers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "core/decision_timer.h"
+#include "fleet/aggregator.h"
 
 namespace oal::common {
 namespace {
@@ -123,6 +127,54 @@ TEST(Stats, PercentileEdgeCases) {
   // Out-of-range p is rejected, not clamped.
   EXPECT_THROW(percentile({1, 2}, -0.001), std::invalid_argument);
   EXPECT_THROW(percentile({1, 2}, 100.001), std::invalid_argument);
+}
+
+TEST(Stats, PercentileRuleIsPinnedAcrossAllSurfaces) {
+  // One percentile rule repo-wide: common::stats::percentile, the
+  // DecisionTimer latency reservoir and the fleet StreamingMetric must agree
+  // bit-for-bit on the same samples.  The shared primitive is
+  // percentile_sorted (linear interpolation at idx = p/100 * (n-1)); this
+  // test pins every surface to it so none can drift back to nearest-rank.
+  const std::vector<double> samples{12.0, 3.0, 3.0, 47.0, 8.0, 3.0, 21.0, 8.0, 30.0};
+  for (const double p : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    const double expect = percentile(samples, p);
+
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(percentile_sorted(sorted.data(), sorted.size(), p), expect);
+
+    oal::fleet::StreamingMetric metric(64);
+    for (const double x : samples) metric.add(x);
+    EXPECT_EQ(metric.percentile(p), expect);
+  }
+
+  // DecisionTimer reports exactly p50/p99 — same rule, fed via record().
+  oal::core::DecisionTimer timer;
+  for (const double x : samples) timer.record(x);
+  const oal::core::DecisionLatencyStats s = timer.stats();
+  EXPECT_EQ(s.p50_ns, percentile(samples, 50.0));
+  EXPECT_EQ(s.p99_ns, percentile(samples, 99.0));
+  EXPECT_EQ(s.max_ns, 47.0);
+
+  // Interpolation (not nearest-rank): even n has no middle element, the
+  // median is the average of the two central order statistics; ties are
+  // plateaus the interpolation walks through.
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 10.0}, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({5.0, 5.0, 5.0, 9.0}, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 75.0), 7.5);
+
+  // Single sample: every percentile is that sample, on every surface.
+  oal::fleet::StreamingMetric one(8);
+  one.add(4.25);
+  EXPECT_EQ(one.percentile(0.0), 4.25);
+  EXPECT_EQ(one.percentile(99.0), 4.25);
+  // Empty: throws (stats/metric) or zeroed summary (DecisionTimer, whose
+  // stats() must be safe to call on an unused timer at run end).
+  oal::fleet::StreamingMetric empty(8);
+  EXPECT_THROW(empty.percentile(50.0), std::invalid_argument);
+  const oal::core::DecisionLatencyStats none = oal::core::DecisionTimer{}.stats();
+  EXPECT_EQ(none.decisions, 0u);
+  EXPECT_EQ(none.p50_ns, 0.0);
 }
 
 TEST(Stats, EmptyThrows) {
