@@ -1,6 +1,7 @@
 #include "core/artifact_store.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -8,6 +9,8 @@
 #include <map>
 #include <stdexcept>
 #include <system_error>
+
+#include <unistd.h>
 
 namespace fs = std::filesystem;
 
@@ -193,7 +196,13 @@ void write_file_atomic(const std::string& path, std::uint32_t kind, std::uint64_
   append_u64(buf, fnv1a_bytes(payload.data(), payload.size()));
   buf.insert(buf.end(), payload.begin(), payload.end());
 
-  const std::string tmp = path + ".tmp";
+  // Unique temp name per writer (pid + process-wide serial): concurrent
+  // writers to one target must not share a temp file, or the loser's rename
+  // fails once the winner's rename has moved it away.  Leftover temps from a
+  // crash are still *.tmp* files, which gc() sweeps.
+  static std::atomic<std::uint64_t> tmp_serial{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_serial.fetch_add(1));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw std::runtime_error("ArtifactStore: cannot write " + tmp);

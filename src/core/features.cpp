@@ -61,6 +61,7 @@ common::Vec FeatureExtractor::policy_features(const soc::PerfCounters& k,
   return v;
 }
 
+// oal-lint: hot-path
 void FeatureExtractor::policy_features_into(const soc::PerfCounters& k,
                                             const soc::SocConfig& current, common::Vec& out,
                                             const soc::ThermalTelemetry& telemetry) const {
@@ -69,30 +70,35 @@ void FeatureExtractor::policy_features_into(const soc::PerfCounters& k,
                          static_cast<double>(space_.little_freqs().size() - 1);
   const double fb_norm = static_cast<double>(current.big_freq_idx) /
                          static_cast<double>(space_.big_freqs().size() - 1);
-  out.clear();  // keeps capacity: no reallocation once grown to policy_dim()
-  out.push_back(w.mpki);
-  out.push_back(w.bmpki);
-  out.push_back(w.mem_ai);
-  out.push_back(w.ext_per_inst);
-  out.push_back(w.pf_proxy);
-  out.push_back(w.cpi_obs);
-  out.push_back(w.runnable / 4.0);
-  out.push_back(k.little_cluster_utilization);
-  out.push_back(k.big_cluster_utilization);
-  out.push_back(static_cast<double>(current.num_little) / 4.0);
-  out.push_back(static_cast<double>(current.num_big) / 4.0);
-  out.push_back(0.5 * (fl_norm + fb_norm));
+  // Indexed writes into a fixed-size buffer: resize reaches policy_dim()
+  // once, then is a no-op — and the per-element push_back branches are gone.
+  // oal-lint: allow(hot-path-alloc)
+  out.resize(policy_dim());
+  std::size_t i = 0;
+  out[i++] = w.mpki;
+  out[i++] = w.bmpki;
+  out[i++] = w.mem_ai;
+  out[i++] = w.ext_per_inst;
+  out[i++] = w.pf_proxy;
+  out[i++] = w.cpi_obs;
+  out[i++] = w.runnable / 4.0;
+  out[i++] = k.little_cluster_utilization;
+  out[i++] = k.big_cluster_utilization;
+  out[i++] = static_cast<double>(current.num_little) / 4.0;
+  out[i++] = static_cast<double>(current.num_big) / 4.0;
+  out[i++] = 0.5 * (fl_norm + fb_norm);
   if (thermal_aware_) {
     const auto proximity = [](double t_c, double limit_c, double ambient_c) {
       const double span = std::max(limit_c - ambient_c, 1.0);
       return std::clamp((t_c - ambient_c) / span, 0.0, 1.5);
     };
-    out.push_back(proximity(telemetry.junction_c, telemetry.junction_limit_c, telemetry.ambient_c));
-    out.push_back(proximity(telemetry.skin_c, telemetry.skin_limit_c, telemetry.ambient_c));
-    out.push_back(
-        std::clamp(telemetry.budget_w / soc::ThermalTelemetry::kUnconstrainedBudgetW, 0.0, 1.0));
+    out[i++] = proximity(telemetry.junction_c, telemetry.junction_limit_c, telemetry.ambient_c);
+    out[i++] = proximity(telemetry.skin_c, telemetry.skin_limit_c, telemetry.ambient_c);
+    out[i++] =
+        std::clamp(telemetry.budget_w / soc::ThermalTelemetry::kUnconstrainedBudgetW, 0.0, 1.0);
   }
 }
+// oal-lint: hot-path-end
 
 common::Vec FeatureExtractor::model_features(const WorkloadFeatures& w,
                                              const soc::SocConfig& c) const {
@@ -144,6 +150,7 @@ common::Vec FeatureExtractor::model_features(const WorkloadFeatures& w,
           pf / std::max(w_eff, 1.0)};
 }
 
+// oal-lint: hot-path
 void FeatureExtractor::model_features_into(const WorkloadFeatures& w, const soc::SocConfig& c,
                                            common::Vec& out) const {
   // Same basis as model_features, written into a reused buffer.
@@ -160,31 +167,36 @@ void FeatureExtractor::model_features_into(const WorkloadFeatures& w, const soc:
   const double w_eff = std::min(std::max(w.runnable, 1.0), n_l + (big_on ? n_b : 0.0));
   const double width = std::log(std::max(w_eff, 1.0));
 
-  out.clear();
-  out.push_back(1.0);
-  out.push_back(log_fl);
-  out.push_back(log_fb);
-  out.push_back(big_on ? 1.0 : 0.0);
-  out.push_back(mpki);
-  out.push_back(mpki * f_l);
-  out.push_back(mpki * (big_on ? f_b : 0.0));
-  out.push_back(w.bmpki);
-  out.push_back(pf);
-  out.push_back(pf * width);
-  out.push_back(n_l);
-  out.push_back(big_on ? n_b : 0.0);
-  out.push_back(f_l);
-  out.push_back(big_on ? f_b : 0.0);
-  out.push_back(f_l * f_l);
-  out.push_back(big_on ? f_b * f_b : 0.0);
-  out.push_back(pf * log_fl);
-  out.push_back(pf * log_fb);
-  out.push_back(w.mem_ai);
-  out.push_back(w.ext_per_inst);
-  out.push_back(w_eff);
-  out.push_back(pf * w_eff);
-  out.push_back(pf / std::max(w_eff, 1.0));
+  // Indexed writes into a fixed-size buffer: resize reaches model_dim()
+  // once, then is a no-op — and the per-element push_back branches are gone.
+  // oal-lint: allow(hot-path-alloc)
+  out.resize(model_dim());
+  std::size_t i = 0;
+  out[i++] = 1.0;
+  out[i++] = log_fl;
+  out[i++] = log_fb;
+  out[i++] = big_on ? 1.0 : 0.0;
+  out[i++] = mpki;
+  out[i++] = mpki * f_l;
+  out[i++] = mpki * (big_on ? f_b : 0.0);
+  out[i++] = w.bmpki;
+  out[i++] = pf;
+  out[i++] = pf * width;
+  out[i++] = n_l;
+  out[i++] = big_on ? n_b : 0.0;
+  out[i++] = f_l;
+  out[i++] = big_on ? f_b : 0.0;
+  out[i++] = f_l * f_l;
+  out[i++] = big_on ? f_b * f_b : 0.0;
+  out[i++] = pf * log_fl;
+  out[i++] = pf * log_fb;
+  out[i++] = w.mem_ai;
+  out[i++] = w.ext_per_inst;
+  out[i++] = w_eff;
+  out[i++] = pf * w_eff;
+  out[i++] = pf / std::max(w_eff, 1.0);
 }
+// oal-lint: hot-path-end
 
 std::size_t FeatureExtractor::model_dim() const { return 23; }
 

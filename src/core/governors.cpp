@@ -15,6 +15,7 @@ OndemandGovernor::OndemandGovernor(const soc::ConfigSpace& space, double up_thre
                                    double target_load)
     : space_(&space), up_threshold_(up_threshold), target_load_(target_load) {}
 
+// oal-lint: hot-path
 soc::SocConfig OndemandGovernor::step(const soc::SnippetResult& result,
                                       const soc::SocConfig& executed) {
   const soc::PerfCounters& k = result.counters;
@@ -69,5 +70,6 @@ soc::SocConfig PerformanceGovernor::step(const soc::SnippetResult&, const soc::S
 soc::SocConfig PowersaveGovernor::step(const soc::SnippetResult&, const soc::SocConfig&) {
   return soc::SocConfig{4, 4, 0, 0};
 }
+// oal-lint: hot-path-end
 
 }  // namespace oal::core

@@ -63,6 +63,7 @@ soc::SocConfig IlPolicy::decide(const common::Vec& state) const {
   return config_of(net_.predict(scaler_.transform(state)));
 }
 
+// oal-lint: hot-path
 soc::SocConfig IlPolicy::decide(const common::Vec& state, Scratch& s) const {
   if (!trained_) throw std::logic_error("IlPolicy::decide before training");
   scaler_.transform_into(state, s.z, s.scaler);
@@ -71,6 +72,7 @@ soc::SocConfig IlPolicy::decide(const common::Vec& state, Scratch& s) const {
   return soc::SocConfig{static_cast<int>(s.cls[0]) + 1, static_cast<int>(s.cls[1]),
                         static_cast<int>(s.cls[2]), static_cast<int>(s.cls[3])};
 }
+// oal-lint: hot-path-end
 
 std::vector<double> IlPolicy::export_artifact() const {
   std::vector<double> out;

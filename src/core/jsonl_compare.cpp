@@ -163,6 +163,9 @@ class Parser {
       if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
       if (!digits()) fail("expected exponent digits");
     }
+    // The scanner above already validated [start, pos_) against the strict
+    // JSON number grammar, so strtod cannot stop early or see garbage here.
+    // oal-lint: allow(unchecked-parse)
     const double v = std::strtod(std::string(s_, start, pos_ - start).c_str(), nullptr);
     if (!std::isfinite(v)) fail("number overflows double");  // e.g. 1e999
     return v;
@@ -186,8 +189,11 @@ class Parser {
   }
 
   [[noreturn]] void fail(const std::string& what) {
-    throw std::invalid_argument("parse_jsonl_record: " + what + " at offset " +
-                                std::to_string(pos_));
+    // pos_ is a byte offset (std::size_t): to_string is exact on integers,
+    // the float-precision hazard does not apply.
+    // oal-lint: allow(float-format)
+    const std::string at = std::to_string(pos_);
+    throw std::invalid_argument("parse_jsonl_record: " + what + " at offset " + at);
   }
 
   const std::string& s_;

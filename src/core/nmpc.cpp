@@ -169,6 +169,7 @@ gpu::GpuConfig NmpcGpuController::solve_slow(const GpuWorkloadState& w,
   return ladder_to_budget(*models_, w, fallback, period, budget, eval_counter, phi_buf_);
 }
 
+// oal-lint: hot-path
 gpu::GpuConfig NmpcGpuController::fast_trim(const GpuWorkloadState& w,
                                             const gpu::GpuConfig& current,
                                             std::size_t* eval_counter,
@@ -206,6 +207,7 @@ gpu::GpuConfig NmpcGpuController::fast_trim(const GpuWorkloadState& w,
   }
   return c;
 }
+// oal-lint: hot-path-end
 
 gpu::GpuConfig NmpcGpuController::step(const gpu::FrameResult& result,
                                        const gpu::GpuConfig& current, std::size_t frame_index) {

@@ -228,6 +228,9 @@ std::size_t OracleCache::flush() {
   std::vector<OracleStoreEntry> out;
   for (const Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mutex);
+    // Hash order is fine here: merge_oracle_entries dedups by full key and
+    // writes each bucket key-sorted, so the on-disk bytes are order-free.
+    // oal-lint: allow(unordered-iter)
     for (const auto& [key, entry] : stripe.entries) {
       OracleStoreEntry e;
       e.platform_fingerprint = key.platform_fingerprint;

@@ -85,6 +85,7 @@ void QLearningController::begin_run(const soc::SocConfig& /*initial*/) {
   telemetry_ = soc::ThermalTelemetry{};
 }
 
+// oal-lint: hot-path
 soc::SocConfig QLearningController::step(const soc::SnippetResult& result,
                                          const soc::SocConfig& executed) {
   const std::uint64_t state = discretize(result.counters, executed);
@@ -95,6 +96,7 @@ soc::SocConfig QLearningController::step(const soc::SnippetResult& result,
   has_prev_ = true;
   return apply_rl_action(*space_, executed, action);
 }
+// oal-lint: hot-path-end
 
 std::vector<double> QLearningController::export_state() const {
   std::vector<double> out;
@@ -121,6 +123,7 @@ void DqnController::begin_run(const soc::SocConfig& /*initial*/) {
   telemetry_ = soc::ThermalTelemetry{};  // see QLearningController::begin_run
 }
 
+// oal-lint: hot-path
 soc::SocConfig DqnController::step(const soc::SnippetResult& result,
                                    const soc::SocConfig& executed) {
   fx_.policy_features_into(result.counters, executed, state_buf_, telemetry_);
@@ -134,5 +137,6 @@ soc::SocConfig DqnController::step(const soc::SnippetResult& result,
   has_prev_ = true;
   return apply_rl_action(*space_, executed, action);
 }
+// oal-lint: hot-path-end
 
 }  // namespace oal::core

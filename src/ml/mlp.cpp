@@ -121,17 +121,19 @@ common::Vec DenseLayer::forward(const common::Vec& x) const {
   return y;
 }
 
+// oal-lint: hot-path
 void DenseLayer::forward_into(const common::Vec& x, common::Vec& y) const {
   if (w_.cols() != x.size()) throw std::invalid_argument("Mat*Vec size mismatch");
   // Same accumulation order as Mat::operator*(Vec) followed by the bias add,
   // so the result is bitwise identical to forward().
-  y.resize(w_.rows());
+  y.resize(w_.rows());  // oal-lint: allow(hot-path-alloc)  reaches capacity once, then no-op
   for (std::size_t i = 0; i < w_.rows(); ++i) {
     double s = 0.0;
     for (std::size_t j = 0; j < w_.cols(); ++j) s += w_(i, j) * x[j];
     y[i] = s + b_[i];
   }
 }
+// oal-lint: hot-path-end
 
 common::Mat DenseLayer::forward_batch(const common::Mat& x) const {
   common::Mat y = common::matmul_nt(x, w_);
@@ -194,6 +196,7 @@ common::Vec Mlp::forward(const common::Vec& x) const {
   return layers_.back().forward(a);
 }
 
+// oal-lint: hot-path
 void Mlp::forward_into(const common::Vec& x, common::Vec& out, InferScratch& s) const {
   if (x.size() != input_dim_) throw std::invalid_argument("Mlp::forward: dim mismatch");
   const common::Vec* cur = &x;
@@ -207,6 +210,7 @@ void Mlp::forward_into(const common::Vec& x, common::Vec& out, InferScratch& s) 
   }
   layers_.back().forward_into(*cur, out);
 }
+// oal-lint: hot-path-end
 
 common::Mat Mlp::forward_batch(const common::Mat& x) const {
   if (x.cols() != input_dim_) throw std::invalid_argument("Mlp::forward_batch: dim mismatch");
@@ -420,6 +424,7 @@ std::vector<std::size_t> MultiHeadClassifier::predict(const common::Vec& x) cons
   return cls;
 }
 
+// oal-lint: hot-path
 void MultiHeadClassifier::predict_into(const common::Vec& x, std::vector<std::size_t>& cls,
                                        InferScratch& s) const {
   if (x.size() != input_dim_) throw std::invalid_argument("MultiHeadClassifier: dim mismatch");
@@ -432,13 +437,14 @@ void MultiHeadClassifier::predict_into(const common::Vec& x, std::vector<std::si
     cur = &dst;
     use_a = !use_a;
   }
-  cls.resize(heads_.size());
+  cls.resize(heads_.size());  // oal-lint: allow(hot-path-alloc)  reaches capacity once, then no-op
   for (std::size_t h = 0; h < heads_.size(); ++h) {
     heads_[h].forward_into(*cur, s.logits);
     cls[h] = static_cast<std::size_t>(
         std::distance(s.logits.begin(), std::max_element(s.logits.begin(), s.logits.end())));
   }
 }
+// oal-lint: hot-path-end
 
 MultiHeadClassifier::ShardGrads MultiHeadClassifier::backward_shard(
     const common::Mat& x, const std::vector<std::vector<std::size_t>>& labels, std::size_t row0,

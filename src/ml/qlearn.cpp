@@ -77,6 +77,9 @@ void TabularQ::export_state(std::vector<double>& out) const {
   out.push_back(static_cast<double>(table_.size()));
   std::vector<std::uint64_t> states;
   states.reserve(table_.size());
+  // Hash order is fine here: this pass only harvests the keys, and the sort
+  // below fixes the export order before anything is written.
+  // oal-lint: allow(unordered-iter)
   for (const auto& [state, q] : table_) states.push_back(state);
   std::sort(states.begin(), states.end());
   for (std::uint64_t state : states) {

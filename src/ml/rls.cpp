@@ -21,14 +21,15 @@ double RecursiveLeastSquares::update(const common::Vec& x, double y) {
   return update(x, y, scratch);
 }
 
+// oal-lint: hot-path
 double RecursiveLeastSquares::update(const common::Vec& x, double y, Scratch& scratch) {
   if (x.size() != theta_.size()) throw std::invalid_argument("RLS: feature dim mismatch");
   const std::size_t n = theta_.size();
   const double err = y - predict(x);
   // K = P x / (lambda + x' P x); px/k live in the caller's scratch (resize
   // is a no-op once the buffers have grown to the largest dim in use).
-  if (scratch.px.size() < n) scratch.px.resize(n);
-  if (scratch.k.size() < n) scratch.k.resize(n);
+  if (scratch.px.size() < n) scratch.px.resize(n);  // oal-lint: allow(hot-path-alloc)
+  if (scratch.k.size() < n) scratch.k.resize(n);    // oal-lint: allow(hot-path-alloc)
   common::Vec& px = scratch.px;
   common::Vec& k = scratch.k;
   for (std::size_t i = 0; i < n; ++i) {
@@ -58,6 +59,7 @@ double RecursiveLeastSquares::update(const common::Vec& x, double y, Scratch& sc
   ++updates_;
   return err;
 }
+// oal-lint: hot-path-end
 
 void RecursiveLeastSquares::set_weights(common::Vec theta) {
   if (theta.size() != theta_.size()) throw std::invalid_argument("RLS: weight dim mismatch");

@@ -1,0 +1,47 @@
+// Escape-hatch fixture: one would-be violation of each class, every one
+// carrying an `// oal-lint: allow(<rule>)` with a reason — the scan of this
+// file must report nothing.  (The selftest also proves allows are *load-
+// bearing*: the bad_* twins of these snippets do fire.)
+// lint-expect:
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <unordered_map>
+#include <vector>
+
+double tolerance(const char* text) {
+  // Demonstration only — real code must check the end pointer.
+  // oal-lint: allow(unchecked-parse)
+  return std::atof(text);
+}
+
+int entropy() {
+  return std::rand();  // oal-lint: allow(nondet-rand) demonstration only
+}
+
+long stamp() {
+  return static_cast<long>(time(nullptr));  // oal-lint: allow(nondet-seed) log stamp, not a seed
+}
+
+double sum(const std::unordered_map<int, double>& m) {
+  double total = 0.0;
+  // Addition order is not bitwise-stable across hash orders in general; this
+  // demonstration pretends the caller tolerates that.
+  // oal-lint: allow(unordered-iter)
+  for (const auto& [k, v] : m) total += v;
+  return total;
+}
+
+struct Grower {
+  std::vector<double> scratch;
+  // oal-lint: hot-path
+  void warm(double x) {
+    scratch.push_back(x);  // oal-lint: allow(hot-path-alloc) one-time warmup inside the region
+  }
+  // oal-lint: hot-path-end
+};
+
+void write_record(double energy_j) {
+  // oal-lint: allow(float-format) demonstration of the suppression form
+  std::printf("{\"bench\":\"demo\",\"metrics\":{\"energy_j\":%g}}\n", energy_j);
+}

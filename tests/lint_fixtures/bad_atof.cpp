@@ -1,0 +1,7 @@
+// Known-bad fixture: the atoi/atof family reports no errors at all — a typo
+// in a tolerance flag parses to 0.0 and turns a 5% gate into a bitwise one
+// (the exact bug fixed in PR 4's jsonl_compare hardening).
+// lint-expect: unchecked-parse=1
+#include <cstdlib>
+
+double parse_tolerance(const char* text) { return std::atof(text); }

@@ -1,0 +1,10 @@
+// Known-bad fixture: JSONL-adjacent code (this file hand-builds a raw
+// "metrics" record) printing a double at the printf default 6 significant
+// digits.  Gated baselines compare %.17g strings; default precision
+// truncates and the gate sees a phantom regression.
+// lint-expect: float-format=1
+#include <cstdio>
+
+void write_record(double energy_j) {
+  std::printf("{\"bench\":\"demo\",\"metrics\":{\"energy_j\":%g}}\n", energy_j);
+}

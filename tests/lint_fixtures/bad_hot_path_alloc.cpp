@@ -1,0 +1,20 @@
+// Known-bad fixture: container growth inside a marked hot-path region.
+// The steady-state decide path runs on preallocated scratch (PR 8); a
+// push_back here would reallocate under the allocation guard and regress
+// the per-decision latency contract.  Setup code outside the region (the
+// constructor reserve below) is exempt.
+// lint-expect: hot-path-alloc=1
+#include <vector>
+
+struct Decider {
+  std::vector<double> scratch;
+
+  Decider() { scratch.reserve(64); }  // setup: outside the region, exempt
+
+  // oal-lint: hot-path
+  int decide(double x) {
+    scratch.push_back(x);  // growth in steady state: flagged
+    return static_cast<int>(scratch.size());
+  }
+  // oal-lint: hot-path-end
+};

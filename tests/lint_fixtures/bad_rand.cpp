@@ -1,0 +1,7 @@
+// Known-bad fixture: std::rand draws from hidden global state — parallel
+// scenarios would race on it and no run could reproduce bitwise.  All
+// randomness flows through common::Rng with an explicit seed.
+// lint-expect: nondet-rand=1
+#include <cstdlib>
+
+int noisy_choice(int n) { return std::rand() % n; }

@@ -1,0 +1,14 @@
+// Known-bad fixture: seeding an engine from the wall clock makes every run
+// unique — the determinism contract (parallel == serial, warm == cold)
+// cannot hold when seeds drift with time.
+// lint-expect: nondet-seed=1
+#include <chrono>
+
+struct Rng {
+  explicit Rng(unsigned long long seed);
+};
+
+Rng make_rng() {
+  return Rng(static_cast<unsigned long long>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+}

@@ -1,0 +1,14 @@
+// Known-bad fixture: strtod with a null end pointer silently maps garbage
+// to 0.0 — indistinguishable from a real parse of "0".  The checked form
+// (non-null end pointer, inspected by the caller) passes the rule.
+// lint-expect: unchecked-parse=1
+#include <cstdlib>
+
+double parse_bad(const char* text) { return std::strtod(text, nullptr); }
+
+double parse_good(const char* text, bool& ok) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  ok = end != text && *end == '\0';
+  return v;
+}

@@ -1,0 +1,6 @@
+// Known-bad fixture: time(nullptr) is the classic nondeterministic seed
+// source; nothing in the tree may depend on wall-clock identity.
+// lint-expect: nondet-seed=1
+#include <ctime>
+
+long stamp() { return static_cast<long>(time(nullptr)); }

@@ -1,0 +1,14 @@
+// Known-bad fixture: iterating an unordered_map in hash order and printing
+// the visit order — the JSONL/stdout byte-identity gates break whenever the
+// standard library (or just the allocation pattern) changes bucket order.
+// Sort keys first, as TabularQ::export_state and OracleCache::flush do.
+// lint-expect: unordered-iter=1
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+void dump(const std::unordered_map<std::string, double>& metrics) {
+  for (const auto& [name, value] : metrics) {
+    std::printf("%s=%.17g\n", name.c_str(), value);
+  }
+}

@@ -1,0 +1,49 @@
+// Clean reference fixture: the compliant spelling of every pattern the bad_*
+// fixtures violate.  Scanning this file must report nothing — it pins the
+// rules' false-positive floor (checked strto*, seeded Rng, sorted unordered
+// iteration, scratch-reusing hot path, %.17g formatting).
+// lint-expect:
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+double tolerance(const char* text, bool& ok) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  ok = end != text && *end == '\0';
+  return v;
+}
+
+struct Rng {
+  explicit Rng(unsigned long long seed);
+};
+
+Rng reproducible_rng() { return Rng(2020); }
+
+void dump_sorted(const std::unordered_map<int, double>& metrics) {
+  std::vector<int> keys;
+  keys.reserve(metrics.size());
+  for (const auto& [k, v] : metrics) keys.push_back(k);  // oal-lint: allow(unordered-iter) sorted below
+  std::sort(keys.begin(), keys.end());
+  for (int k : keys) std::printf("%d=%.17g\n", k, metrics.at(k));
+}
+
+struct Decider {
+  std::vector<double> scratch;
+
+  explicit Decider(std::size_t capacity) : scratch(capacity) {}
+
+  // oal-lint: hot-path
+  double decide(double x) {
+    double best = x;
+    for (double& slot : scratch) best = std::max(best, slot *= 0.5);
+    return best;
+  }
+  // oal-lint: hot-path-end
+};
+
+void write_record(double energy_j) {
+  std::printf("{\"bench\":\"demo\",\"metrics\":{\"energy_j\":%.17g}}\n", energy_j);
+}

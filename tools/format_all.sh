@@ -3,7 +3,12 @@
 # repo .clang-format.  CI runs `tools/format_all.sh --check`; run the script
 # with no arguments before committing to fix everything in place.
 #
-# Usage: tools/format_all.sh [--check] [clang-format-binary]
+# --lint runs the repo's oal_lint invariant checker (self-test fixtures plus
+# the full src/bench/tools/examples scan) instead of clang-format.  It uses
+# the binary at $OAL_LINT, or build/oal_lint, building that target first if
+# a build directory is configured.
+#
+# Usage: tools/format_all.sh [--check | --lint] [clang-format-binary]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,9 +18,23 @@ binary=clang-format
 for arg in "$@"; do
   case "$arg" in
     --check) mode=check ;;
+    --lint) mode=lint ;;
     *) binary="$arg" ;;
   esac
 done
+
+if [ "$mode" = lint ]; then
+  lint="${OAL_LINT:-build/oal_lint}"
+  if [ ! -x "$lint" ] && [ -d build ]; then
+    cmake --build build --target oal_lint > /dev/null
+  fi
+  if [ ! -x "$lint" ]; then
+    echo "format_all.sh: '$lint' not built (configure a build dir or set OAL_LINT)" >&2
+    exit 2
+  fi
+  "$lint" --selftest tests/lint_fixtures
+  exec "$lint" src bench tools examples
+fi
 
 if ! command -v "$binary" > /dev/null 2>&1; then
   echo "format_all.sh: '$binary' not found on PATH" >&2

@@ -1,0 +1,776 @@
+// oal_lint: project-invariant checker for the oal tree.
+//
+// The repo rests on contracts no compiler enforces: bitwise parallel==serial
+// determinism (ExperimentEngine, sharded oracle_search, fleet streaming),
+// zero-allocation steady-state hot paths (the *_into scratch surfaces), and
+// JSONL baselines gated bitwise across runs.  Past PRs fixed bug classes a
+// token scan would have caught — atof typos turning tolerances into 0.0
+// gates, strtoull accepting wrapped negatives, default-precision float
+// printing truncating gated metrics.  This tool scans src/ bench/ tools/
+// examples/ and fails on the recurring classes:
+//
+//   unchecked-parse  atoi/atol/atoll/atof anywhere (no error reporting at
+//                    all), or a strtol/strtod-family call whose end-pointer
+//                    argument is nullptr/NULL/0 (errors silently become 0.0).
+//   nondet-rand      std::rand/srand/rand_r/drand48/random_device/
+//                    random_shuffle: nondeterministic or global-state
+//                    randomness.  All randomness flows through common::Rng
+//                    with an explicit seed.
+//   nondet-seed      seeding from wall-clock time: time(nullptr) anywhere,
+//                    or an Rng/seed/engine constructor whose arguments
+//                    mention now()/time() — runs would stop reproducing.
+//   unordered-iter   range-for over a container declared as
+//                    unordered_map/unordered_set in this file or its
+//                    sibling header: hash order is implementation-defined,
+//                    so anything order-sensitive (JSONL records, stdout
+//                    tables, reductions feeding gated metrics) must sort
+//                    first.  Order-insensitive iterations document that with
+//                    an allow.
+//   hot-path-alloc   inside a region marked `// oal-lint: hot-path` ...
+//                    `// oal-lint: hot-path-end`: raw new/malloc-family
+//                    calls or container growth (push_back/resize/...).  The
+//                    markers wrap the steady-state decide/step surfaces that
+//                    tests/test_hot_path_alloc.cpp asserts allocation-free;
+//                    the lint catches regressions at review time, before a
+//                    test ever runs.
+//   float-format     in JSONL-adjacent code (file name contains jsonl /
+//                    results_io, or the file builds raw "metrics" JSON):
+//                    std::to_string() or a printf %g/%f/%e conversion
+//                    without an explicit precision.  Default 6-digit
+//                    formatting silently truncates gated doubles; use
+//                    json_number()-style %.17g.
+//   unused-allow     an `// oal-lint: allow(rule)` that suppressed nothing
+//                    — stale suppressions rot into blind spots.
+//
+// Escape hatch: `// oal-lint: allow(rule)` (comma-separate several rules) on
+// the flagged line, or alone on the line directly above, suppresses the
+// diagnostic.  Every allow in the tree carries a reason in its comment.
+//
+// Modes:
+//   oal_lint <file-or-dir>...        scan; exit 1 on any violation
+//   oal_lint --selftest <dir>        run the fixture suite: every *.cpp/*.h
+//                                    under <dir> declares its expected
+//                                    diagnostics via `// lint-expect:
+//                                    <rule>=<count>` headers; exact-match or
+//                                    exit 1.
+//
+// The scanner is a tokenizer, not a parser: it strips comments and string
+// literals (preserving line numbers), tokenizes the rest, and pattern-
+// matches token runs.  That is deliberate — it keeps the checker a single
+// dependency-free TU that runs in milliseconds on the whole tree, at the
+// cost of not seeing through typedefs or macros.  The rules are tuned so
+// the heuristics err toward firing (an allow with a reason is cheap).
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Diag {
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Token {
+  std::string text;
+  std::size_t line = 0;
+  bool ident = false;
+};
+
+struct Literal {
+  std::string text;  ///< contents between the quotes, escapes left raw
+  std::size_t line = 0;
+};
+
+/// One line of the allow map: rules permitted, and whether any diagnostic
+/// actually consumed the permission (for unused-allow).
+struct Allow {
+  std::set<std::string> rules;
+  bool used = false;
+};
+
+const std::set<std::string>& all_rules() {
+  static const std::set<std::string> kRules{"unchecked-parse", "nondet-rand", "nondet-seed",
+                                            "unordered-iter",  "hot-path-alloc", "float-format",
+                                            "unused-allow"};
+  return kRules;
+}
+
+// ---------------------------------------------------------------------------
+// File model: raw lines, comment directives, blanked code, tokens, literals.
+// ---------------------------------------------------------------------------
+
+class FileModel {
+ public:
+  bool load(const fs::path& path) {
+    path_ = path;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    raw_ = ss.str();
+    split_lines();
+    blank_and_collect();
+    parse_directives();
+    tokenize();
+    return true;
+  }
+
+  const fs::path& path() const { return path_; }
+  const std::string& raw() const { return raw_; }
+  const std::vector<Token>& tokens() const { return tokens_; }
+  const std::vector<Literal>& literals() const { return literals_; }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+  bool hot(std::size_t line) const {
+    bool on = false;
+    for (const auto& [begin, end] : hot_regions_)
+      if (line >= begin && line <= end) on = true;
+    return on;
+  }
+  bool has_hot_regions() const { return !hot_regions_.empty(); }
+
+  std::map<std::size_t, Allow>& allows() { return allows_; }
+
+ private:
+  void split_lines() {
+    lines_.clear();
+    std::string cur;
+    for (char c : raw_) {
+      if (c == '\n') {
+        lines_.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    lines_.push_back(cur);
+  }
+
+  /// Replaces comments and string/char literals with spaces (newlines kept)
+  /// so the tokenizer sees only code; collects string literals on the side.
+  void blank_and_collect() {
+    code_ = raw_;
+    std::size_t i = 0;
+    std::size_t line = 1;
+    const std::size_t n = code_.size();
+    auto blank = [&](std::size_t pos) {
+      if (code_[pos] != '\n') code_[pos] = ' ';
+    };
+    while (i < n) {
+      const char c = code_[i];
+      if (c == '\n') {
+        ++line;
+        ++i;
+      } else if (c == '/' && i + 1 < n && code_[i + 1] == '/') {
+        while (i < n && code_[i] != '\n') blank(i++);
+      } else if (c == '/' && i + 1 < n && code_[i + 1] == '*') {
+        blank(i);
+        blank(i + 1);
+        i += 2;
+        while (i + 1 < n && !(code_[i] == '*' && code_[i + 1] == '/')) {
+          if (code_[i] == '\n') ++line;
+          blank(i++);
+        }
+        if (i + 1 < n) {
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        }
+      } else if (c == '"' || c == '\'') {
+        const char quote = c;
+        const std::size_t start_line = line;
+        blank(i++);
+        std::string text;
+        while (i < n && code_[i] != quote) {
+          if (code_[i] == '\\' && i + 1 < n) {
+            text += code_[i];
+            text += code_[i + 1];
+            blank(i);
+            blank(i + 1);
+            i += 2;
+            continue;
+          }
+          if (code_[i] == '\n') ++line;  // unterminated literal; keep counting
+          text += code_[i];
+          blank(i++);
+        }
+        if (i < n) blank(i++);  // closing quote
+        if (quote == '"') literals_.push_back({text, start_line});
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  /// Scans the raw comment text for oal-lint directives; comments were
+  /// blanked from the code view, so this reads the original lines.  A
+  /// directive must begin its comment (`// oal-lint: ...`), so prose that
+  /// merely *mentions* a directive mid-comment is inert.
+  void parse_directives() {
+    std::size_t hot_open = 0;  // 0 = no open region
+    for (std::size_t ln = 0; ln < lines_.size(); ++ln) {
+      const std::string& text = lines_[ln];
+      const std::size_t slash = text.find("//");
+      if (slash == std::string::npos) continue;
+      std::size_t pos = slash + 2;
+      while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+      if (text.compare(pos, 9, "oal-lint:") != 0) continue;
+      const std::string rest = text.substr(pos + 9);
+      const std::size_t line = ln + 1;
+      // Match the region keywords as the directive's first word only: an
+      // allow(hot-path-alloc) also *contains* "hot-path" and must not
+      // open/close a region.
+      std::size_t w = 0;
+      while (w < rest.size() && (rest[w] == ' ' || rest[w] == '\t')) ++w;
+      std::size_t we = w;
+      while (we < rest.size() && rest[we] != ' ' && rest[we] != '\t' && rest[we] != '(') ++we;
+      const std::string word = rest.substr(w, we - w);
+      if (word == "hot-path-end") {
+        if (hot_open) hot_regions_.emplace_back(hot_open, line);
+        hot_open = 0;
+      } else if (word == "hot-path") {
+        hot_open = line;
+      }
+      std::size_t a = rest.find("allow(");
+      while (a != std::string::npos) {
+        const std::size_t close = rest.find(')', a);
+        if (close == std::string::npos) break;
+        std::string inside = rest.substr(a + 6, close - a - 6);
+        std::string rule;
+        std::istringstream rs(inside);
+        while (std::getline(rs, rule, ',')) {
+          rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                    [](unsigned char c) { return std::isspace(c) != 0; }),
+                     rule.end());
+          if (!rule.empty()) allows_[line].rules.insert(rule);
+        }
+        a = rest.find("allow(", close);
+      }
+    }
+    if (hot_open) hot_regions_.emplace_back(hot_open, lines_.size());
+  }
+
+  void tokenize() {
+    std::size_t line = 1;
+    const std::size_t n = code_.size();
+    std::size_t i = 0;
+    while (i < n) {
+      const char c = code_[i];
+      if (c == '\n') {
+        ++line;
+        ++i;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t j = i;
+        while (j < n && (std::isalnum(static_cast<unsigned char>(code_[j])) || code_[j] == '_'))
+          ++j;
+        tokens_.push_back({code_.substr(i, j - i), line, true});
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t j = i;
+        while (j < n && (std::isalnum(static_cast<unsigned char>(code_[j])) || code_[j] == '.' ||
+                         code_[j] == '\''))
+          ++j;
+        tokens_.push_back({code_.substr(i, j - i), line, false});
+        i = j;
+      } else {
+        tokens_.push_back({std::string(1, c), line, false});
+        ++i;
+      }
+    }
+  }
+
+  fs::path path_;
+  std::string raw_;
+  std::string code_;
+  std::vector<std::string> lines_;
+  std::vector<Token> tokens_;
+  std::vector<Literal> literals_;
+  std::vector<std::pair<std::size_t, std::size_t>> hot_regions_;
+  std::map<std::size_t, Allow> allows_;
+};
+
+// ---------------------------------------------------------------------------
+// Token helpers.
+// ---------------------------------------------------------------------------
+
+bool is(const std::vector<Token>& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+
+/// Index of the ')' matching the '(' at `open`, or tokens.size() if
+/// unbalanced.
+std::size_t match_paren(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == "(") ++depth;
+    if (t[i].text == ")" && --depth == 0) return i;
+  }
+  return t.size();
+}
+
+/// Splits the argument tokens of the call parenthesized at [open, close]
+/// into top-level comma-separated slices of token indices.
+std::vector<std::pair<std::size_t, std::size_t>> split_args(const std::vector<Token>& t,
+                                                            std::size_t open, std::size_t close) {
+  std::vector<std::pair<std::size_t, std::size_t>> args;
+  if (close <= open + 1) return args;
+  // Only ()[]{} nest: '<'/'>' are comparisons far more often than template
+  // brackets inside call arguments, and miscounting them would break the
+  // top-level comma split on any arg containing `->`.
+  int depth = 0;
+  std::size_t start = open + 1;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const std::string& x = t[i].text;
+    if (x == "(" || x == "[" || x == "{") ++depth;
+    if (x == ")" || x == "]" || x == "}") --depth;
+    if (x == "," && depth == 0) {
+      args.emplace_back(start, i);
+      start = i + 1;
+    }
+  }
+  args.emplace_back(start, close);
+  return args;
+}
+
+bool range_contains_ident(const std::vector<Token>& t, std::size_t begin, std::size_t end,
+                          const std::set<std::string>& names) {
+  for (std::size_t i = begin; i < end; ++i)
+    if (t[i].ident && names.count(t[i].text)) return true;
+  return false;
+}
+
+/// True when the argument slice is exactly one null-ish token.
+bool arg_is_null(const std::vector<Token>& t, std::pair<std::size_t, std::size_t> arg) {
+  if (arg.second != arg.first + 1) return false;
+  const std::string& x = t[arg.first].text;
+  return x == "nullptr" || x == "NULL" || x == "0";
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+
+void rule_unchecked_parse(const FileModel& f, std::vector<Diag>& out) {
+  static const std::set<std::string> kBanned{"atoi", "atol", "atoll", "atof"};
+  static const std::set<std::string> kStrto{"strtol",  "strtoul",  "strtoll", "strtoull",
+                                            "strtod",  "strtof",   "strtold", "strtoimax",
+                                            "strtoumax"};
+  const auto& t = f.tokens();
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].ident || !is(t, i + 1, "(")) continue;
+    if (kBanned.count(t[i].text)) {
+      out.push_back({t[i].line, "unchecked-parse",
+                     t[i].text + "() reports no errors; use strto* with an end-pointer check"});
+      continue;
+    }
+    if (!kStrto.count(t[i].text)) continue;
+    const std::size_t close = match_paren(t, i + 1);
+    const auto args = split_args(t, i + 1, close);
+    if (args.size() < 2 || arg_is_null(t, args[1])) {
+      out.push_back({t[i].line, "unchecked-parse",
+                     t[i].text + "() with a null end pointer silently maps garbage to 0"});
+    }
+  }
+}
+
+void rule_nondet_rand(const FileModel& f, std::vector<Diag>& out) {
+  static const std::set<std::string> kCalls{"srand",   "rand_r",  "drand48",       "lrand48",
+                                            "mrand48", "erand48", "random_shuffle"};
+  const auto& t = f.tokens();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].ident) continue;
+    const bool call_like = i + 1 < t.size() && is(t, i + 1, "(");
+    if ((kCalls.count(t[i].text) && call_like) || t[i].text == "random_device" ||
+        (t[i].text == "rand" && call_like)) {
+      out.push_back({t[i].line, "nondet-rand",
+                     t[i].text + " is nondeterministic/global; use common::Rng with a fixed seed"});
+    }
+  }
+}
+
+void rule_nondet_seed(const FileModel& f, std::vector<Diag>& out) {
+  static const std::set<std::string> kSeedSinks{"Rng",        "seed",    "seed_seq",
+                                                "mt19937",    "mt19937_64",
+                                                "default_random_engine", "minstd_rand"};
+  const auto& t = f.tokens();
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].ident || !is(t, i + 1, "(")) continue;
+    const std::size_t close = match_paren(t, i + 1);
+    if (t[i].text == "time") {
+      const auto args = split_args(t, i + 1, close);
+      if (args.size() == 1 && arg_is_null(t, args[0])) {
+        out.push_back({t[i].line, "nondet-seed", "time(nullptr) makes runs unreproducible"});
+      }
+      continue;
+    }
+    if (!kSeedSinks.count(t[i].text)) continue;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      const bool now_call = t[j].ident && t[j].text == "now";
+      const bool time_call = t[j].ident && t[j].text == "time" && is(t, j + 1, "(");
+      if (now_call || time_call) {
+        out.push_back({t[i].line, "nondet-seed",
+                       t[i].text + "(...) seeded from the wall clock; seeds must be explicit"});
+        break;
+      }
+    }
+  }
+}
+
+/// Collects identifiers declared as unordered containers in a token stream:
+/// `unordered_map<...> [&*const]* name` (members, locals, params alike).
+void harvest_unordered(const std::vector<Token>& t, std::set<std::string>& names) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].ident) continue;
+    const std::string& x = t[i].text;
+    if (x != "unordered_map" && x != "unordered_set" && x != "unordered_multimap" &&
+        x != "unordered_multiset")
+      continue;
+    std::size_t j = i + 1;
+    if (is(t, j, "<")) {
+      int depth = 0;
+      for (; j < t.size(); ++j) {
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">" && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    while (j < t.size() &&
+           (t[j].text == "&" || t[j].text == "*" || t[j].text == "const" || t[j].text == ">"))
+      ++j;
+    if (j < t.size() && t[j].ident) names.insert(t[j].text);
+  }
+}
+
+void rule_unordered_iter(const FileModel& f, const std::set<std::string>& unordered_names,
+                         std::vector<Diag>& out) {
+  const auto& t = f.tokens();
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].ident || t[i].text != "for" || !is(t, i + 1, "(")) continue;
+    const std::size_t close = match_paren(t, i + 1);
+    // Find the range-for ':' at top level (skip "::" pairs).
+    std::size_t colon = 0;
+    int depth = 0;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      const std::string& x = t[j].text;
+      if (x == "(" || x == "[" || x == "{") ++depth;
+      if (x == ")" || x == "]" || x == "}") --depth;
+      if (x == ":" && depth == 0) {
+        if (is(t, j + 1, ":") || (j > 0 && t[j - 1].text == ":")) continue;
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;
+    if (range_contains_ident(t, colon + 1, close, unordered_names)) {
+      out.push_back({t[i].line, "unordered-iter",
+                     "range-for over an unordered container: hash order is not deterministic; "
+                     "sort first or allow() with an order-insensitivity argument"});
+    }
+  }
+}
+
+void rule_hot_path_alloc(const FileModel& f, std::vector<Diag>& out) {
+  if (!f.has_hot_regions()) return;
+  static const std::set<std::string> kAllocCalls{"malloc", "calloc", "realloc", "strdup",
+                                                 "aligned_alloc"};
+  static const std::set<std::string> kGrowth{"push_back", "emplace_back", "push_front",
+                                             "emplace_front", "resize", "reserve", "insert",
+                                             "emplace", "append"};
+  const auto& t = f.tokens();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].ident || !f.hot(t[i].line)) continue;
+    const bool call_like = i + 1 < t.size() && is(t, i + 1, "(");
+    if (t[i].text == "new") {
+      out.push_back(
+          {t[i].line, "hot-path-alloc", "raw new in a hot-path region (steady state must not allocate)"});
+    } else if (kAllocCalls.count(t[i].text) && call_like) {
+      out.push_back({t[i].line, "hot-path-alloc",
+                     t[i].text + "() in a hot-path region (steady state must not allocate)"});
+    } else if (kGrowth.count(t[i].text) && call_like && i > 0 &&
+               (t[i - 1].text == "." || (t[i - 1].text == ">" && i > 1 && t[i - 2].text == "-"))) {
+      out.push_back({t[i].line, "hot-path-alloc",
+                     "container ." + t[i].text + "() in a hot-path region may reallocate; "
+                     "use the preallocated scratch surfaces"});
+    }
+  }
+}
+
+bool jsonl_adjacent(const FileModel& f) {
+  std::string name = f.path().filename().string();
+  std::transform(name.begin(), name.end(), name.begin(), ::tolower);
+  if (name.find("jsonl") != std::string::npos || name.find("results_io") != std::string::npos)
+    return true;
+  // Files that hand-build JSON records: look for an escaped "metrics" key in
+  // a string literal.  (Built from pieces so this file doesn't match itself.)
+  std::string needle = "\\\"metrics";
+  needle += "\\\"";
+  return f.raw().find(needle) != std::string::npos;
+}
+
+void rule_float_format(const FileModel& f, std::vector<Diag>& out) {
+  if (!jsonl_adjacent(f)) return;
+  const auto& t = f.tokens();
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].ident && t[i].text == "to_string" && is(t, i + 1, "(")) {
+      out.push_back({t[i].line, "float-format",
+                     "std::to_string truncates doubles to 6 significant digits; use %.17g "
+                     "(json_number) in JSONL-adjacent code"});
+    }
+  }
+  for (const Literal& lit : f.literals()) {
+    const std::string& s = lit.text;
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+      if (s[i] != '%') continue;
+      if (s[i + 1] == '%') {
+        ++i;
+        continue;
+      }
+      std::size_t j = i + 1;
+      bool has_precision = false;
+      while (j < s.size() && (std::isdigit(static_cast<unsigned char>(s[j])) || s[j] == '-' ||
+                              s[j] == '+' || s[j] == ' ' || s[j] == '#' || s[j] == '*' ||
+                              s[j] == '.' || s[j] == 'l' || s[j] == 'h')) {
+        if (s[j] == '.') has_precision = true;
+        ++j;
+      }
+      if (j < s.size() && std::strchr("gGeEfFaA", s[j]) && !has_precision) {
+        out.push_back({lit.line, "float-format",
+                       "printf float conversion without explicit precision in JSONL-adjacent "
+                       "code; default 6 digits truncates gated metrics"});
+      }
+      i = j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scan driver.
+// ---------------------------------------------------------------------------
+
+/// Scans one file; returns surviving (not-allowed) diagnostics, including
+/// unused-allow hygiene findings, sorted by line.
+std::vector<Diag> scan_file(const fs::path& path, bool* io_error = nullptr) {
+  FileModel f;
+  if (!f.load(path)) {
+    if (io_error) *io_error = true;
+    return {};
+  }
+
+  std::set<std::string> unordered_names;
+  harvest_unordered(f.tokens(), unordered_names);
+  // Members are routinely declared in the sibling header and iterated in the
+  // .cpp; harvest the header's declarations too.
+  if (path.extension() == ".cpp") {
+    fs::path header = path;
+    header.replace_extension(".h");
+    FileModel h;
+    if (fs::exists(header) && h.load(header)) harvest_unordered(h.tokens(), unordered_names);
+  }
+
+  std::vector<Diag> raw;
+  rule_unchecked_parse(f, raw);
+  rule_nondet_rand(f, raw);
+  rule_nondet_seed(f, raw);
+  rule_unordered_iter(f, unordered_names, raw);
+  rule_hot_path_alloc(f, raw);
+  rule_float_format(f, raw);
+
+  auto& allows = f.allows();
+  auto allowed = [&](const Diag& d) {
+    for (std::size_t line : {d.line, d.line - 1}) {
+      auto it = allows.find(line);
+      if (it != allows.end() && it->second.rules.count(d.rule)) {
+        it->second.used = true;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<Diag> out;
+  for (const Diag& d : raw)
+    if (!allowed(d)) out.push_back(d);
+
+  for (const auto& [line, allow] : allows) {
+    for (const std::string& rule : allow.rules) {
+      if (!all_rules().count(rule)) {
+        out.push_back({line, "unused-allow", "unknown rule '" + rule + "' in allow()"});
+      }
+    }
+    if (!allow.used && !allow.rules.empty()) {
+      bool known = false;
+      for (const std::string& rule : allow.rules)
+        if (all_rules().count(rule)) known = true;
+      if (known)
+        out.push_back({line, "unused-allow",
+                       "allow() suppressed nothing; delete the stale suppression"});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Diag& a, const Diag& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return out;
+}
+
+bool scannable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".h";
+}
+
+std::vector<fs::path> collect_files(const std::vector<std::string>& roots, bool* io_error) {
+  std::vector<fs::path> files;
+  for (const std::string& root : roots) {
+    const fs::path p(root);
+    if (fs::is_directory(p)) {
+      for (const auto& e : fs::recursive_directory_iterator(p)) {
+        if (e.is_regular_file() && scannable(e.path())) files.push_back(e.path());
+      }
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "oal_lint: no such file or directory: %s\n", root.c_str());
+      *io_error = true;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int run_scan(const std::vector<std::string>& roots) {
+  bool io_error = false;
+  const auto files = collect_files(roots, &io_error);
+  std::size_t violations = 0;
+  for (const fs::path& file : files) {
+    bool file_error = false;
+    for (const Diag& d : scan_file(file, &file_error)) {
+      std::printf("%s:%zu: [%s] %s\n", file.string().c_str(), d.line, d.rule.c_str(),
+                  d.message.c_str());
+      ++violations;
+    }
+    io_error |= file_error;
+  }
+  if (io_error) return 2;
+  if (violations) {
+    std::printf("oal_lint: %zu violation%s in %zu files scanned\n", violations,
+                violations == 1 ? "" : "s", files.size());
+    return 1;
+  }
+  std::printf("oal_lint: clean (%zu files scanned)\n", files.size());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: fixtures declare expected diagnostics in lint-expect headers.
+// ---------------------------------------------------------------------------
+
+std::map<std::string, std::size_t> parse_expectations(const fs::path& file) {
+  std::map<std::string, std::size_t> expect;
+  std::ifstream in(file);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t pos = line.find("lint-expect:");
+    if (pos == std::string::npos) continue;
+    std::istringstream rest(line.substr(pos + 12));
+    std::string item;
+    while (rest >> item) {
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos) continue;
+      // Fixture headers are first-party: a garbage count parses to 0 and
+      // fails the exact-match comparison below, so no end-pointer check.
+      // oal-lint: allow(unchecked-parse)
+      const unsigned long n = std::strtoul(item.substr(eq + 1).c_str(), nullptr, 10);
+      expect[item.substr(0, eq)] += static_cast<std::size_t>(n);
+    }
+  }
+  return expect;
+}
+
+int run_selftest(const std::string& dir) {
+  bool io_error = false;
+  const auto files = collect_files({dir}, &io_error);
+  if (io_error || files.empty()) {
+    std::fprintf(stderr, "oal_lint: no fixtures under %s\n", dir.c_str());
+    return 2;
+  }
+  std::size_t failures = 0;
+  for (const fs::path& file : files) {
+    const auto expect = parse_expectations(file);
+    for (const auto& [rule, n] : expect) {
+      if (!all_rules().count(rule)) {
+        std::printf("FAIL %s: lint-expect names unknown rule '%s'\n", file.string().c_str(),
+                    rule.c_str());
+        ++failures;
+      }
+      (void)n;
+    }
+    std::map<std::string, std::size_t> got;
+    for (const Diag& d : scan_file(file)) ++got[d.rule];
+    bool ok = got.size() == expect.size();
+    for (const auto& [rule, n] : expect)
+      if (!got.count(rule) || got.at(rule) != n) ok = false;
+    if (ok) {
+      std::printf("PASS %s\n", file.string().c_str());
+      continue;
+    }
+    ++failures;
+    std::printf("FAIL %s\n", file.string().c_str());
+    for (const auto& [rule, n] : expect)
+      std::printf("  expected %s=%zu, got %zu\n", rule.c_str(), n,
+                  got.count(rule) ? got.at(rule) : 0);
+    for (const auto& [rule, n] : got)
+      if (!expect.count(rule)) std::printf("  unexpected %s=%zu\n", rule.c_str(), n);
+  }
+  std::printf("oal_lint selftest: %zu fixtures, %zu failure%s\n", files.size(), failures,
+              failures == 1 ? "" : "s");
+  return failures ? 1 : 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: oal_lint <file-or-dir>...      scan (exit 1 on violations)\n"
+               "       oal_lint --selftest <dir>      run the fixture suite\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    usage();
+    return 2;
+  }
+  if (args[0] == "--selftest") {
+    if (args.size() != 2) {
+      usage();
+      return 2;
+    }
+    return run_selftest(args[1]);
+  }
+  for (const std::string& a : args) {
+    if (a.size() >= 2 && a[0] == '-') {
+      std::fprintf(stderr, "oal_lint: unknown option '%s'\n", a.c_str());
+      usage();
+      return 2;
+    }
+  }
+  return run_scan(args);
+}
